@@ -1,0 +1,47 @@
+//! Criterion bench for Figure 2: the six uniform Bruck variants, measured on
+//! the real threaded runtime (N = 32 bytes, as in the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+use bruck_comm::{Communicator, ThreadComm};
+use bruck_core::{alltoall, AlltoallAlgorithm};
+
+fn run_iters(algo: AlltoallAlgorithm, p: usize, block: usize, iters: u64) -> Duration {
+    let per_rank = ThreadComm::run(p, |comm| {
+        let sendbuf: Vec<u8> = (0..p * block).map(|i| i as u8).collect();
+        let mut recvbuf = vec![0u8; p * block];
+        comm.barrier().unwrap();
+        let start = Instant::now();
+        for _ in 0..iters {
+            alltoall(algo, comm, &sendbuf, &mut recvbuf, block).unwrap();
+        }
+        start.elapsed()
+    });
+    per_rank.into_iter().max().unwrap()
+}
+
+fn bench_uniform_variants(c: &mut Criterion) {
+    let block = 32;
+    for p in [16usize, 64] {
+        let mut group = c.benchmark_group(format!("fig2_uniform_p{p}"));
+        group.sample_size(10);
+        for algo in [
+            AlltoallAlgorithm::BasicBruck,
+            AlltoallAlgorithm::BasicBruckDt,
+            AlltoallAlgorithm::ModifiedBruck,
+            AlltoallAlgorithm::ModifiedBruckDt,
+            AlltoallAlgorithm::ZeroCopyBruckDt,
+            AlltoallAlgorithm::ZeroRotationBruck,
+            AlltoallAlgorithm::SpreadOut,
+        ] {
+            group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
+                b.iter_custom(|iters| run_iters(algo, p, block, iters));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_uniform_variants);
+criterion_main!(benches);

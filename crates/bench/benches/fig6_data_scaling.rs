@@ -1,0 +1,57 @@
+//! Criterion bench for Figure 6's real-execution companion: the non-uniform
+//! algorithms across block sizes on the threaded runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+use bruck_comm::{Communicator, ThreadComm};
+use bruck_core::{alltoallv, packed_displs, AlltoallvAlgorithm};
+use bruck_workload::{Distribution, SizeMatrix};
+
+fn run_iters(algo: AlltoallvAlgorithm, m: &SizeMatrix, iters: u64) -> Duration {
+    let p = m.p();
+    let per_rank = ThreadComm::run(p, |comm| {
+        let me = comm.rank();
+        let sendcounts = m.sendcounts(me);
+        let sdispls = packed_displs(&sendcounts);
+        let sendbuf: Vec<u8> = (0..sendcounts.iter().sum()).map(|i| i as u8).collect();
+        let recvcounts = m.recvcounts(me);
+        let rdispls = packed_displs(&recvcounts);
+        let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+        comm.barrier().unwrap();
+        let start = Instant::now();
+        for _ in 0..iters {
+            alltoallv(
+                algo, comm, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts, &rdispls,
+            )
+            .unwrap();
+        }
+        start.elapsed()
+    });
+    per_rank.into_iter().max().unwrap()
+}
+
+fn bench_data_scaling(c: &mut Criterion) {
+    let p = 32;
+    for n in [16usize, 256, 2048] {
+        let m = SizeMatrix::generate(Distribution::Uniform, 2022, p, n);
+        let mut group = c.benchmark_group(format!("fig6_p{p}_n{n}"));
+        group.sample_size(10);
+        for algo in [
+            AlltoallvAlgorithm::SpreadOut,
+            AlltoallvAlgorithm::Vendor,
+            AlltoallvAlgorithm::PaddedBruck,
+            AlltoallvAlgorithm::PaddedAlltoall,
+            AlltoallvAlgorithm::TwoPhaseBruck,
+            AlltoallvAlgorithm::Sloav,
+        ] {
+            group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
+                b.iter_custom(|iters| run_iters(algo, &m, iters));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_data_scaling);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation: the radix knob on two-phase Bruck — real execution at thread
+//! scale. Higher radix trades per-step latency for less forwarded data, so
+//! the best radix shifts upward with block size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+use bruck_comm::{Communicator, ThreadComm};
+use bruck_core::{packed_displs, two_phase_bruck_radix};
+use bruck_workload::{Distribution, SizeMatrix};
+
+fn run_iters(m: &SizeMatrix, radix: usize, iters: u64) -> Duration {
+    let p = m.p();
+    let per_rank = ThreadComm::run(p, |comm| {
+        let me = comm.rank();
+        let sendcounts = m.sendcounts(me);
+        let sdispls = packed_displs(&sendcounts);
+        let sendbuf: Vec<u8> = (0..sendcounts.iter().sum()).map(|i| i as u8).collect();
+        let recvcounts = m.recvcounts(me);
+        let rdispls = packed_displs(&recvcounts);
+        let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+        comm.barrier().unwrap();
+        let start = Instant::now();
+        for _ in 0..iters {
+            two_phase_bruck_radix(
+                comm, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts, &rdispls, radix,
+            )
+            .unwrap();
+        }
+        start.elapsed()
+    });
+    per_rank.into_iter().max().unwrap()
+}
+
+fn bench_radix(c: &mut Criterion) {
+    let p = 32;
+    for n in [32usize, 1024] {
+        let m = SizeMatrix::generate(Distribution::Uniform, 7, p, n);
+        let mut group = c.benchmark_group(format!("radix_two_phase_p{p}_n{n}"));
+        group.sample_size(10);
+        for radix in [2usize, 4, 8, 32] {
+            group.bench_function(BenchmarkId::from_parameter(radix), |b| {
+                b.iter_custom(|iters| run_iters(&m, radix, iters));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_radix);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion bench for the substrate itself: point-to-point latency,
+//! collectives, and the datatype engine vs. hand-rolled memcpy packing —
+//! the ablation behind the paper's Figure 2 finding that derived datatypes
+//! underperform explicit memory management for small blocks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+use bruck_comm::{Communicator, ReduceOp, ThreadComm};
+use bruck_datatype::IndexedBlocks;
+
+fn bench_p2p(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm_p2p");
+    group.sample_size(10);
+    for size in [32usize, 4096] {
+        group.bench_function(BenchmarkId::new("sendrecv_ping", size), |b| {
+            b.iter_custom(|iters| {
+                let times = ThreadComm::run(2, |comm| {
+                    let payload = vec![0u8; size];
+                    let peer = 1 - comm.rank();
+                    comm.barrier().unwrap();
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        comm.sendrecv(peer, 1, &payload, peer, 1).unwrap();
+                    }
+                    start.elapsed()
+                });
+                times.into_iter().max().unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm_collectives");
+    group.sample_size(10);
+    for p in [8usize, 64] {
+        group.bench_function(BenchmarkId::new("barrier", p), |b| {
+            b.iter_custom(|iters| {
+                let times: Vec<Duration> = ThreadComm::run(p, |comm| {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        comm.barrier().unwrap();
+                    }
+                    start.elapsed()
+                });
+                times.into_iter().max().unwrap()
+            });
+        });
+        group.bench_function(BenchmarkId::new("allreduce_max", p), |b| {
+            b.iter_custom(|iters| {
+                let times: Vec<Duration> = ThreadComm::run(p, |comm| {
+                    let start = Instant::now();
+                    for i in 0..iters {
+                        comm.allreduce_u64(i ^ comm.rank() as u64, ReduceOp::Max).unwrap();
+                    }
+                    start.elapsed()
+                });
+                times.into_iter().max().unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The Figure 2 micro-cause: datatype-engine pack vs. explicit memcpy pack of
+/// the same (P+1)/2 non-contiguous blocks.
+fn bench_pack_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pack_datatype_vs_memcpy");
+    for (p, block) in [(256usize, 32usize), (256, 512)] {
+        let buf: Vec<u8> = (0..p * block).map(|i| i as u8).collect();
+        let blocks: Vec<(usize, usize)> =
+            (0..p).filter(|i| i & 1 == 1).map(|i| (i * block, block)).collect();
+        let layout = IndexedBlocks::new(blocks.clone()).unwrap();
+        let mut wire = vec![0u8; layout.packed_len()];
+        group.bench_function(BenchmarkId::new("datatype_pack", format!("p{p}_b{block}")), |b| {
+            b.iter(|| layout.pack_into(&buf, &mut wire).unwrap());
+        });
+        group.bench_function(BenchmarkId::new("memcpy_pack", format!("p{p}_b{block}")), |b| {
+            b.iter(|| {
+                let mut at = 0;
+                for &(d, l) in &blocks {
+                    wire[at..at + l].copy_from_slice(&buf[d..d + l]);
+                    at += l;
+                }
+                at
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_p2p, bench_collectives, bench_pack_paths);
+criterion_main!(benches);

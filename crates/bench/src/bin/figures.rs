@@ -1,0 +1,734 @@
+//! Regenerate every figure of the paper's evaluation as text tables.
+//!
+//! Usage: `figures <fig2a|fig2b|fig6|fig7|fig8|fig9|fig10|fig10f|fig11|fig12|fig13|model|all>`
+//!
+//! Model-driven figures sweep the α–β trace simulator (Theta-like preset
+//! unless stated); application figures (11, 12) run the real implementations
+//! on the threaded runtime at laptop-scale rank counts. Build with
+//! `--release`; the large-P sweeps are compute-heavy.
+
+use bruck_bench::{print_table, time_alltoall, time_alltoallv, to_ms, Series};
+use bruck_bpra::{graph1_like, graph2_like, kcfa_like_run, transitive_closure, KcfaConfig};
+use bruck_comm::ThreadComm;
+use bruck_core::{
+    padded_beats_two_phase, padded_bruck_cost, select_algorithm, spread_out_cost,
+    two_phase_bruck_cost, AlltoallAlgorithm, AlltoallvAlgorithm, CostParams,
+};
+use bruck_model::{
+    crossover_n, nonuniform_trace, predict, two_phase_radix_trace, uniform_trace, DistSource,
+    MachineModel, NonuniformAlgo, RankSample, StepKind, UniformAlgo,
+};
+use bruck_workload::{histogram, Distribution, SizeMatrix};
+
+const SEED: u64 = 2022;
+
+/// The five algorithms of Figure 6's legends.
+const FIG6_ALGOS: [NonuniformAlgo; 5] = [
+    NonuniformAlgo::SpreadOut,
+    NonuniformAlgo::PaddedAlltoall,
+    NonuniformAlgo::Vendor,
+    NonuniformAlgo::PaddedBruck,
+    NonuniformAlgo::TwoPhaseBruck,
+];
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let run_all = which == "all";
+    let mut ran = false;
+    let mut want = |name: &str| {
+        let hit = run_all || which == name;
+        ran |= hit;
+        hit
+    };
+
+    if want("fig2a") {
+        fig2a();
+    }
+    if want("fig2b") {
+        fig2b();
+    }
+    if want("fig6") {
+        fig6();
+    }
+    if want("fig7") {
+        fig7();
+    }
+    if want("fig8") {
+        fig8();
+    }
+    if want("fig9") {
+        fig9();
+    }
+    if want("fig10") {
+        fig10();
+    }
+    if want("fig10f") {
+        fig10f();
+    }
+    if want("fig11") {
+        fig11();
+    }
+    if want("fig12") {
+        fig12();
+    }
+    if want("fig13") {
+        fig13();
+    }
+    if want("model") {
+        model_table();
+    }
+    if want("radix") {
+        radix_ablation();
+    }
+    if want("ablation") {
+        sloav_ablation();
+        memory_table();
+        related_work_table();
+    }
+    if !ran {
+        eprintln!(
+            "unknown figure '{which}'; expected one of \
+             fig2a fig2b fig6 fig7 fig8 fig9 fig10 fig10f fig11 fig12 fig13 model radix all"
+        );
+        std::process::exit(2);
+    }
+}
+
+/// Figure 2a: the six uniform Bruck variants, N = 32 bytes.
+fn fig2a() {
+    let m = MachineModel::theta_like();
+    let ps = [256usize, 512, 1024, 2048, 4096];
+    let n = 32;
+    let series: Vec<Series> = UniformAlgo::ALL[..6]
+        .iter()
+        .map(|&algo| Series {
+            label: algo.name().to_string(),
+            ys: ps
+                .iter()
+                .map(|&p| to_ms(uniform_trace(algo, p, n, &RankSample::auto(p)).time(&m)))
+                .collect(),
+        })
+        .collect();
+    print_table("Fig 2a — uniform Bruck variants, N = 32 B (model, theta)", "P", &ps, &series, "ms");
+
+    // Real-execution companion at thread-feasible scale.
+    let real_ps = [32usize, 64, 128];
+    let series: Vec<Series> = [
+        AlltoallAlgorithm::BasicBruck,
+        AlltoallAlgorithm::BasicBruckDt,
+        AlltoallAlgorithm::ModifiedBruck,
+        AlltoallAlgorithm::ModifiedBruckDt,
+        AlltoallAlgorithm::ZeroCopyBruckDt,
+        AlltoallAlgorithm::ZeroRotationBruck,
+    ]
+    .iter()
+    .map(|&algo| Series {
+        label: algo.name().to_string(),
+        ys: real_ps.iter().map(|&p| to_ms(time_alltoall(algo, p, n, 20))).collect(),
+    })
+    .collect();
+    print_table(
+        "Fig 2a companion — real threaded execution, N = 32 B (20 iters, median)",
+        "P",
+        &real_ps,
+        &series,
+        "ms",
+    );
+}
+
+/// Figure 2b: phase breakdown for the three explicit variants.
+fn fig2b() {
+    let m = MachineModel::theta_like();
+    let ps = [256usize, 512, 1024, 2048, 4096];
+    let n = 32;
+    println!("\n== Fig 2b — phase breakdown (model, theta, N = 32 B) ==");
+    println!(
+        "{:>6} {:>20} {:>12} {:>12} {:>12} {:>8}",
+        "P", "algorithm", "rot-init ms", "comm ms", "rot-final ms", "rot %"
+    );
+    for &p in &ps {
+        for algo in
+            [UniformAlgo::BasicBruck, UniformAlgo::ModifiedBruck, UniformAlgo::ZeroRotationBruck]
+        {
+            let trace = uniform_trace(algo, p, n, &RankSample::auto(p));
+            let mut local = Vec::new();
+            let mut comm = 0.0;
+            for step in &trace.steps {
+                let t = step.time(&m, p);
+                match step.kind {
+                    StepKind::Local => local.push(t),
+                    _ => comm += t,
+                }
+            }
+            let init = local.first().copied().unwrap_or(0.0);
+            let fin = if local.len() > 1 { local[1] } else { 0.0 };
+            let total = init + comm + fin;
+            println!(
+                "{:>6} {:>20} {:>12.4} {:>12.4} {:>12.4} {:>7.1}%",
+                p,
+                algo.name(),
+                to_ms(init),
+                to_ms(comm),
+                to_ms(fin),
+                100.0 * (init + fin) / total
+            );
+        }
+    }
+}
+
+/// Figure 6: data scaling — time vs N per process count.
+fn fig6() {
+    let m = MachineModel::theta_like();
+    let ns = [16usize, 32, 64, 128, 256, 512, 1024, 2048];
+    for p in [128usize, 512, 1024, 4096, 8192, 32768] {
+        let series: Vec<Series> = FIG6_ALGOS
+            .iter()
+            .map(|&algo| Series {
+                label: algo.name().to_string(),
+                ys: ns
+                    .iter()
+                    .map(|&n| to_ms(predict(algo, Distribution::Uniform, SEED, p, n, &m)))
+                    .collect(),
+            })
+            .collect();
+        print_table(
+            &format!("Fig 6 — data scaling, P = {p} (uniform distribution, model, theta)"),
+            "N bytes",
+            &ns,
+            &series,
+            "ms",
+        );
+    }
+    // Real-execution companion at thread-feasible scale.
+    let p = 64;
+    let ns_real = [16usize, 128, 1024];
+    let algos = [
+        AlltoallvAlgorithm::SpreadOut,
+        AlltoallvAlgorithm::Vendor,
+        AlltoallvAlgorithm::PaddedBruck,
+        AlltoallvAlgorithm::TwoPhaseBruck,
+        AlltoallvAlgorithm::Sloav,
+    ];
+    let series: Vec<Series> = algos
+        .iter()
+        .map(|&algo| Series {
+            label: algo.name().to_string(),
+            ys: ns_real
+                .iter()
+                .map(|&n| {
+                    let mat = SizeMatrix::generate(Distribution::Uniform, SEED, p, n);
+                    to_ms(time_alltoallv(algo, &mat, 20))
+                })
+                .collect(),
+        })
+        .collect();
+    print_table(
+        &format!("Fig 6 companion — real threaded execution, P = {p} (20 iters, median)"),
+        "N bytes",
+        &ns_real,
+        &series,
+        "ms",
+    );
+
+    // Headline claim (§4.1): two-phase vs vendor at N = 256.
+    println!("\nHeadline — two-phase speedup over MPI_Alltoallv at N = 256:");
+    for p in [512usize, 1024, 2048, 4096] {
+        let v = predict(NonuniformAlgo::Vendor, Distribution::Uniform, SEED, p, 256, &m);
+        let t = predict(NonuniformAlgo::TwoPhaseBruck, Distribution::Uniform, SEED, p, 256, &m);
+        println!("  P = {p:>5}: {:.1}% faster (paper: 50.1/38.5/35.8/30.8%)", 100.0 * (v - t) / v);
+    }
+}
+
+/// Figure 7: weak scaling at N = 64 and N = 512.
+fn fig7() {
+    let m = MachineModel::theta_like();
+    let ps = [128usize, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768];
+    for n in [64usize, 512] {
+        let series: Vec<Series> = FIG6_ALGOS
+            .iter()
+            .map(|&algo| Series {
+                label: algo.name().to_string(),
+                ys: ps
+                    .iter()
+                    .map(|&p| to_ms(predict(algo, Distribution::Uniform, SEED, p, n, &m)))
+                    .collect(),
+            })
+            .collect();
+        print_table(
+            &format!("Fig 7 — weak scaling, N = {n} B (uniform distribution, model, theta)"),
+            "P",
+            &ps,
+            &series,
+            "ms",
+        );
+    }
+}
+
+/// Figure 8: sensitivity to the (100−r)-r window at P = 4096.
+fn fig8() {
+    let m = MachineModel::theta_like();
+    let p = 4096;
+    println!("\n== Fig 8 — sensitivity analysis, P = {p} (model, theta) ==");
+    println!(
+        "{:>8} {:>8} | {:>14} {:>14} {:>14} | winner",
+        "N", "window", "Alltoallv ms", "two-phase ms", "padded ms"
+    );
+    for n in [16usize, 64, 256, 1024] {
+        for r in [100u32, 80, 60, 40, 20, 0] {
+            let dist = Distribution::Windowed { r };
+            let v = predict(NonuniformAlgo::Vendor, dist, SEED, p, n, &m);
+            let t = predict(NonuniformAlgo::TwoPhaseBruck, dist, SEED, p, n, &m);
+            let pd = predict(NonuniformAlgo::PaddedBruck, dist, SEED, p, n, &m);
+            let mut marks = Vec::new();
+            if t < v {
+                marks.push("two-phase beats Alltoallv (green)");
+            }
+            if pd < t {
+                marks.push("padded beats two-phase (red)");
+            }
+            println!(
+                "{:>8} {:>8} | {:>14.3} {:>14.3} {:>14.3} | {}",
+                n,
+                dist.label(),
+                to_ms(v),
+                to_ms(t),
+                to_ms(pd),
+                marks.join("; ")
+            );
+        }
+    }
+}
+
+/// Figure 9: the empirical performance model — crossover frontier.
+fn fig9() {
+    let m = MachineModel::theta_like();
+    let grid: Vec<usize> = (3..=13).map(|e| 1usize << e).collect();
+    println!("\n== Fig 9 — empirical performance model (model, theta) ==");
+    println!(
+        "{:>7} | {:>26} | {:>26}",
+        "P", "two-phase beats Alltoallv up to N", "padded beats two-phase up to N"
+    );
+    for p in [128usize, 512, 1024, 4096, 8192, 16384, 32768] {
+        let tv = crossover_n(
+            NonuniformAlgo::TwoPhaseBruck,
+            NonuniformAlgo::Vendor,
+            Distribution::Uniform,
+            SEED,
+            p,
+            &grid,
+            &m,
+        );
+        let pt = crossover_n(
+            NonuniformAlgo::PaddedBruck,
+            NonuniformAlgo::TwoPhaseBruck,
+            Distribution::Uniform,
+            SEED,
+            p,
+            &grid,
+            &m,
+        );
+        let show = |x: Option<usize>| x.map_or("never".to_string(), |n| format!("{n}"));
+        println!("{:>7} | {:>26} | {:>26}", p, show(tv), show(pt));
+    }
+}
+
+/// Figure 10(a–e): power-law and normal distributions.
+fn fig10() {
+    let m = MachineModel::theta_like();
+    let ns = [16usize, 64, 256, 1024, 2048];
+    let algos = [NonuniformAlgo::Vendor, NonuniformAlgo::TwoPhaseBruck, NonuniformAlgo::PaddedBruck];
+    for (dist, label) in [
+        (Distribution::POWER_LAW_STEEP, "power-law base 0.99"),
+        (Distribution::POWER_LAW_HEAVY, "power-law base 0.999"),
+        (Distribution::Normal, "normal (±3σ window)"),
+    ] {
+        for p in [4096usize, 8192] {
+            let series: Vec<Series> = algos
+                .iter()
+                .map(|&algo| Series {
+                    label: algo.name().to_string(),
+                    ys: ns.iter().map(|&n| to_ms(predict(algo, dist, SEED, p, n, &m))).collect(),
+                })
+                .collect();
+            print_table(
+                &format!("Fig 10 — {label}, P = {p} (model, theta)"),
+                "N bytes",
+                &ns,
+                &series,
+                "ms",
+            );
+        }
+        // Average two-phase speedup at P = 8192 across the N sweep.
+        let speedups: Vec<f64> = ns
+            .iter()
+            .map(|&n| {
+                let v = predict(NonuniformAlgo::Vendor, dist, SEED, 8192, n, &m);
+                let t = predict(NonuniformAlgo::TwoPhaseBruck, dist, SEED, 8192, n, &m);
+                100.0 * (v - t) / v
+            })
+            .collect();
+        let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        println!("  avg two-phase speedup over Alltoallv at P = 8192 ({label}): {avg:.1}%");
+    }
+    // §4.3's volume comparison: total bytes per process.
+    let steep: u64 = DistSourceTotal(Distribution::POWER_LAW_STEEP, 4096, 1024).total();
+    let norm: u64 = DistSourceTotal(Distribution::Normal, 4096, 1024).total();
+    println!(
+        "  total bytes/process at P = 4096, N = 1024: power-law(0.99) {steep} vs normal {norm} \
+         (paper: 203,928 vs 1,593,933)"
+    );
+}
+
+/// Helper: per-process total volume of a distribution.
+struct DistSourceTotal(Distribution, usize, usize);
+impl DistSourceTotal {
+    fn total(&self) -> u64 {
+        use bruck_model::SizeSource;
+        DistSource::new(self.0, SEED, self.1, self.2).row_sum(0)
+    }
+}
+
+/// Figure 10f: the distributions themselves.
+fn fig10f() {
+    println!("\n== Fig 10f — block-size distributions (histograms, P = 4096, N = 1024) ==");
+    for (dist, label) in [
+        (Distribution::Uniform, "uniform"),
+        (Distribution::Normal, "normal"),
+        (Distribution::POWER_LAW_STEEP, "power-law 0.99"),
+        (Distribution::POWER_LAW_HEAVY, "power-law 0.999"),
+    ] {
+        let row = dist.sample_row(SEED, 0, 4096, 1024);
+        let h = histogram(&row, 1024, 16);
+        let max = *h.iter().max().unwrap() as f64;
+        println!("{label:>18}:");
+        for (i, &c) in h.iter().enumerate() {
+            let bar = "#".repeat((c as f64 / max * 50.0).round() as usize);
+            println!("    [{:>4}-{:>4}] {bar} {c}", i * 64, (i + 1) * 64);
+        }
+    }
+}
+
+/// Figure 11: transitive closure, vendor vs two-phase (real execution).
+fn fig11() {
+    println!("\n== Fig 11 — transitive closure strong scaling (real threaded runs) ==");
+    let graph1 = graph1_like(8, 160, 80, SEED);
+    let graph2 = graph2_like(420, 1700, SEED);
+    for (edges, label) in [(&graph1, "Graph 1 (deep)"), (&graph2, "Graph 2 (bushy)")] {
+        println!("\n  {label}: {} edges", edges.len());
+        println!(
+            "  {:>4} | {:>14} {:>14} | {:>14} {:>14} | {:>10} {:>12}",
+            "P", "Alltoallv ms", "comm ms", "two-phase ms", "comm ms", "iters", "paths"
+        );
+        for p in [2usize, 4, 8, 16] {
+            let mut row = Vec::new();
+            let mut meta = (0usize, 0u64);
+            for algo in [AlltoallvAlgorithm::Vendor, AlltoallvAlgorithm::TwoPhaseBruck] {
+                let e = edges.clone();
+                let results =
+                    ThreadComm::run(p, move |comm| transitive_closure(comm, algo, &e).unwrap());
+                let total =
+                    results.iter().map(|r| r.total_time.as_secs_f64()).fold(0.0f64, f64::max);
+                let comm_t =
+                    results.iter().map(|r| r.comm_time.as_secs_f64()).fold(0.0f64, f64::max);
+                meta = (results[0].iterations, results[0].total_paths);
+                row.push((total, comm_t));
+            }
+            println!(
+                "  {:>4} | {:>14.2} {:>14.2} | {:>14.2} {:>14.2} | {:>10} {:>12}",
+                p,
+                to_ms(row[0].0),
+                to_ms(row[0].1),
+                to_ms(row[1].0),
+                to_ms(row[1].1),
+                meta.0,
+                meta.1
+            );
+        }
+    }
+}
+
+/// Figure 12: kCFA-like iterated exchange (real execution).
+fn fig12() {
+    println!("\n== Fig 12 — kCFA-like iterated exchanges (real threaded run, P = 16) ==");
+    let cfg = KcfaConfig { iterations: 300, base_facts: 24, seed: SEED };
+    let mut summaries = Vec::new();
+    for algo in [AlltoallvAlgorithm::Vendor, AlltoallvAlgorithm::TwoPhaseBruck] {
+        let results = ThreadComm::run(16, move |comm| kcfa_like_run(comm, algo, &cfg).unwrap());
+        summaries.push((algo, results.into_iter().next().unwrap()));
+    }
+    let (_, vendor) = &summaries[0];
+    let (_, two_phase) = &summaries[1];
+    let total = |r: &bruck_bpra::KcfaResult| -> f64 {
+        r.per_iteration.iter().map(|s| s.comm_time.as_secs_f64()).sum()
+    };
+    println!(
+        "  total all-to-all time over {} iterations: Alltoallv {:.1} ms, two-phase {:.1} ms \
+         ({:.2}x)",
+        cfg.iterations,
+        to_ms(total(vendor)),
+        to_ms(total(two_phase)),
+        total(vendor) / total(two_phase)
+    );
+    let wins = vendor
+        .per_iteration
+        .iter()
+        .zip(&two_phase.per_iteration)
+        .filter(|(v, t)| t.comm_time < v.comm_time)
+        .count();
+    println!("  iterations where two-phase is faster: {wins}/{}", cfg.iterations);
+    let ns: Vec<usize> = vendor.per_iteration.iter().map(|s| s.n_max).collect();
+    let small = ns.iter().filter(|&&n| n < 1000).count();
+    println!(
+        "  max block size N: min {} / median {} / max {}; iterations with N < 1000 B: {}/{}",
+        ns.iter().min().unwrap(),
+        {
+            let mut v = ns.clone();
+            v.sort_unstable();
+            v[v.len() / 2]
+        },
+        ns.iter().max().unwrap(),
+        small,
+        cfg.iterations
+    );
+    println!("\n  first 20 iterations (comm µs):");
+    println!("  {:>5} {:>12} {:>12} {:>8}", "iter", "Alltoallv", "two-phase", "N");
+    for i in 0..20 {
+        println!(
+            "  {:>5} {:>12.1} {:>12.1} {:>8}",
+            i,
+            vendor.per_iteration[i].comm_time.as_secs_f64() * 1e6,
+            two_phase.per_iteration[i].comm_time.as_secs_f64() * 1e6,
+            vendor.per_iteration[i].n_max
+        );
+    }
+}
+
+/// Figure 13: weak scaling on the Cori- and Stampede-like machines.
+fn fig13() {
+    let ps = [128usize, 512, 2048, 8192, 32768];
+    for machine in [MachineModel::cori_like(), MachineModel::stampede_like()] {
+        let series: Vec<Series> = [
+            NonuniformAlgo::Vendor,
+            NonuniformAlgo::TwoPhaseBruck,
+            NonuniformAlgo::PaddedBruck,
+        ]
+        .iter()
+        .map(|&algo| Series {
+            label: algo.name().to_string(),
+            ys: ps
+                .iter()
+                .map(|&p| to_ms(predict(algo, Distribution::Normal, SEED, p, 64, &machine)))
+                .collect(),
+        })
+        .collect();
+        print_table(
+            &format!("Fig 13 — weak scaling, normal distribution, N = 64 B ({})", machine.name),
+            "P",
+            &ps,
+            &series,
+            "ms",
+        );
+    }
+}
+
+/// Extension ablation: the radix knob on two-phase Bruck (model sweep).
+fn radix_ablation() {
+    let m = MachineModel::theta_like();
+    let ns = [16usize, 64, 256, 1024, 4096, 16384];
+    for p in [1024usize, 4096, 32768] {
+        let sample = RankSample::auto(p);
+        let series: Vec<Series> = [2usize, 4, 8, 16]
+            .iter()
+            .map(|&radix| Series {
+                label: format!("two-phase radix {radix}"),
+                ys: ns
+                    .iter()
+                    .map(|&n| {
+                        let s = DistSource::new(Distribution::Uniform, SEED, p, n);
+                        to_ms(two_phase_radix_trace(&s, radix, &sample).time(&m))
+                    })
+                    .collect(),
+            })
+            .collect();
+        print_table(
+            &format!("Radix ablation — two-phase Bruck, P = {p} (model, theta)"),
+            "N bytes",
+            &ns,
+            &series,
+            "ms",
+        );
+        // Best radix per N — the tunable-radix headline.
+        print!("  best radix by N:");
+        for (i, &n) in ns.iter().enumerate() {
+            let best = series
+                .iter()
+                .min_by(|a, b| a.ys[i].partial_cmp(&b.ys[i]).unwrap())
+                .unwrap()
+                .label
+                .clone();
+            print!(" N={n}:{}", best.trim_start_matches("two-phase radix "));
+        }
+        println!();
+    }
+}
+
+/// §6.1 ablation: where SLOAV loses to two-phase Bruck, phase by phase
+/// (real threaded runs; medians over 20 iterations).
+fn sloav_ablation() {
+    use bruck_comm::{Communicator, ThreadComm};
+    use bruck_core::{packed_displs, sloav_alltoallv_timed, two_phase_bruck_timed};
+
+    println!("\n== §6.1 ablation — SLOAV vs two-phase Bruck phase breakdown (real, P = 32) ==");
+    println!(
+        "{:>6} {:>16} | {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "N", "algorithm", "allred µs", "meta µs", "data µs", "copy µs", "scan µs"
+    );
+    let p = 32;
+    for n in [32usize, 256, 2048] {
+        let m = SizeMatrix::generate(Distribution::Uniform, SEED, p, n);
+        for (name, use_two_phase) in [("two-phase", true), ("SLOAV", false)] {
+            let phases = ThreadComm::run(p, |comm| {
+                let me = comm.rank();
+                let sendcounts = m.sendcounts(me);
+                let sdispls = packed_displs(&sendcounts);
+                let sendbuf = vec![0u8; sendcounts.iter().sum()];
+                let recvcounts = m.recvcounts(me);
+                let rdispls = packed_displs(&recvcounts);
+                let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+                let mut acc = bruck_core::NonuniformPhases::default();
+                for _ in 0..20 {
+                    let t = if use_two_phase {
+                        two_phase_bruck_timed(
+                            comm, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts,
+                            &rdispls,
+                        )
+                        .unwrap()
+                    } else {
+                        sloav_alltoallv_timed(
+                            comm, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts,
+                            &rdispls,
+                        )
+                        .unwrap()
+                    };
+                    acc.allreduce += t.allreduce;
+                    acc.meta_comm += t.meta_comm;
+                    acc.data_comm += t.data_comm;
+                    acc.local_copy += t.local_copy;
+                    acc.scan += t.scan;
+                }
+                acc
+            });
+            let us = |d: std::time::Duration| d.as_secs_f64() * 1e6 / 20.0;
+            let max = phases
+                .iter()
+                .max_by(|a, b| a.total().cmp(&b.total()))
+                .copied()
+                .unwrap_or_default();
+            println!(
+                "{:>6} {:>16} | {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                n,
+                name,
+                us(max.allreduce),
+                us(max.meta_comm),
+                us(max.data_comm),
+                us(max.local_copy),
+                us(max.scan)
+            );
+        }
+    }
+    println!("  (two-phase: no scan phase, no per-block allocations — the §6.1 improvements)");
+}
+
+/// §3.2's space trade-off: auxiliary memory per algorithm.
+fn memory_table() {
+    use bruck_core::memory_overhead_bytes;
+    println!("\n== memory overhead per rank (P = 4096, N = 512, uniform totals) ==");
+    let (p, n) = (4096usize, 512usize);
+    let totals = p * n / 2;
+    for algo in [
+        AlltoallvAlgorithm::Vendor,
+        AlltoallvAlgorithm::TwoPhaseBruck,
+        AlltoallvAlgorithm::PaddedBruck,
+        AlltoallvAlgorithm::Sloav,
+        AlltoallvAlgorithm::Hierarchical,
+        AlltoallvAlgorithm::RankaTwoStage,
+    ] {
+        let bytes = memory_overhead_bytes(algo, p, n, totals, totals);
+        println!("  {:<16} {:>12} bytes ({:.1} MiB)", algo.name(), bytes, bytes as f64 / (1 << 20) as f64);
+    }
+}
+
+/// Related-work baselines (§6) under the model: hierarchical and Ranka
+/// two-stage vs the paper's algorithms.
+fn related_work_table() {
+    let m = MachineModel::theta_like();
+    let ns = [16usize, 128, 1024];
+    for p in [512usize, 4096] {
+        let series: Vec<Series> = [
+            NonuniformAlgo::Vendor,
+            NonuniformAlgo::TwoPhaseBruck,
+            NonuniformAlgo::Hierarchical,
+            NonuniformAlgo::RankaTwoStage,
+        ]
+        .iter()
+        .map(|&algo| Series {
+            label: algo.name().to_string(),
+            ys: ns
+                .iter()
+                .map(|&n| to_ms(predict(algo, Distribution::Uniform, SEED, p, n, &m)))
+                .collect(),
+        })
+        .collect();
+        print_table(
+            &format!("Related-work baselines (§6), P = {p} (model, theta)"),
+            "N bytes",
+            &ns,
+            &series,
+            "ms",
+        );
+    }
+}
+
+/// §3.3: the closed-form model and inequality (3).
+fn model_table() {
+    let params = CostParams::default();
+    println!("\n== §3.3 theoretical model (α = {}, β = {}) ==", params.alpha, params.beta);
+    println!(
+        "{:>7} {:>7} | {:>12} {:>12} {:>12} | {:>10} {:>8}",
+        "P", "N", "padded ms", "two-ph ms", "spread ms", "selected", "ineq(3)"
+    );
+    for p in [128usize, 1024, 4096, 32768] {
+        for n in [4usize, 8, 64, 512, 4096] {
+            println!(
+                "{:>7} {:>7} | {:>12.4} {:>12.4} {:>12.4} | {:>10} {:>8}",
+                p,
+                n,
+                to_ms(padded_bruck_cost(p, n, &params)),
+                to_ms(two_phase_bruck_cost(p, n, &params)),
+                to_ms(spread_out_cost(p, n, &params)),
+                match select_algorithm(p, n, &params) {
+                    AlltoallvAlgorithm::PaddedBruck => "padded",
+                    AlltoallvAlgorithm::TwoPhaseBruck => "two-phase",
+                    _ => "spread-out",
+                },
+                padded_beats_two_phase(p, n, &params)
+            );
+        }
+    }
+
+    // Model-vs-trace sanity: the closed form and the trace simulator must
+    // rank padded vs two-phase identically in the latency-dominated regime.
+    let m = MachineModel::theta_like();
+    println!("\n  model-vs-trace agreement on the padded/two-phase winner:");
+    for (p, n) in [(1024usize, 8usize), (1024, 2048), (8192, 8), (8192, 2048)] {
+        let closed = padded_beats_two_phase(p, n, &CostParams { alpha: m.alpha(p), beta: m.beta });
+        let s = DistSource::new(Distribution::Uniform, SEED, p, n);
+        let sample = RankSample::auto(p);
+        let padded = nonuniform_trace(NonuniformAlgo::PaddedBruck, &s, &sample).time(&m);
+        let two = nonuniform_trace(NonuniformAlgo::TwoPhaseBruck, &s, &sample).time(&m);
+        println!(
+            "    P={p:>5} N={n:>5}: closed-form says padded wins = {closed}, trace says {}",
+            padded < two
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Tests for the distributed Datalog engine.
+
+use bruck_comm::ThreadComm;
+use bruck_core::AlltoallvAlgorithm;
+
+use crate::datalog::{evaluate, AtomPat, Program, Rule, Term};
+use crate::{graph1_like, graph2_like, sequential_closure, transitive_closure, Tuple};
+
+const V: fn(u32) -> Term = Term::Var;
+
+/// `path(x,y) :- edge(x,y). path(x,z) :- path(x,y), edge(y,z).`
+fn tc_program() -> Program {
+    const EDGE: usize = 0;
+    const PATH: usize = 1;
+    Program {
+        relations: 2,
+        rules: vec![
+            Rule::copy_rule(AtomPat::new(PATH, V(0), V(1)), AtomPat::new(EDGE, V(0), V(1))),
+            Rule::join_rule(
+                AtomPat::new(PATH, V(0), V(2)),
+                AtomPat::new(PATH, V(0), V(1)),
+                AtomPat::new(EDGE, V(1), V(2)),
+            ),
+        ],
+    }
+}
+
+fn eval_collect(
+    p: usize,
+    algo: AlltoallvAlgorithm,
+    program: &Program,
+    facts: &[Vec<Tuple>],
+    rel: usize,
+) -> (u64, Vec<Tuple>, usize) {
+    let program = program.clone();
+    let facts = facts.to_vec();
+    let results = ThreadComm::run(p, move |comm| {
+        let r = evaluate(comm, algo, &program, &facts).unwrap();
+        (r.total_facts[rel], r.local[rel].iter().copied().collect::<Vec<_>>(), r.iterations)
+    });
+    let total = results[0].0;
+    let iters = results[0].2;
+    let mut all: Vec<Tuple> = results.into_iter().flat_map(|(_, local, _)| local).collect();
+    all.sort_unstable();
+    (total, all, iters)
+}
+
+#[test]
+fn validation_catches_malformed_programs() {
+    let ok = tc_program();
+    assert!(ok.validate().is_ok());
+
+    let unbound_head = Program {
+        relations: 2,
+        rules: vec![Rule::copy_rule(AtomPat::new(1, V(9), V(0)), AtomPat::new(0, V(0), V(1)))],
+    };
+    assert!(unbound_head.validate().is_err());
+
+    let cartesian = Program {
+        relations: 2,
+        rules: vec![Rule::join_rule(
+            AtomPat::new(1, V(0), V(2)),
+            AtomPat::new(0, V(0), V(1)),
+            AtomPat::new(0, V(2), V(3)),
+        )],
+    };
+    assert!(cartesian.validate().is_err(), "no shared variable");
+
+    let bad_rel = Program {
+        relations: 1,
+        rules: vec![Rule::copy_rule(AtomPat::new(5, V(0), V(1)), AtomPat::new(0, V(0), V(1)))],
+    };
+    assert!(bad_rel.validate().is_err());
+}
+
+#[test]
+fn datalog_tc_matches_native_tc_and_sequential() {
+    for edges in [
+        graph1_like(2, 15, 6, 3),
+        graph2_like(40, 140, 3),
+        vec![(0, 1), (1, 2), (2, 0)],
+        vec![(7, 7)],
+    ] {
+        let expect = sequential_closure(&edges);
+        for p in [1usize, 3, 4, 8] {
+            let (total, all, _) = eval_collect(
+                p,
+                AlltoallvAlgorithm::TwoPhaseBruck,
+                &tc_program(),
+                &[edges.clone(), Vec::new()],
+                1,
+            );
+            assert_eq!(total, expect.len() as u64, "p={p}");
+            let mut want: Vec<Tuple> = expect.iter().copied().collect();
+            want.sort_unstable();
+            assert_eq!(all, want, "p={p}");
+
+            // Cross-check against the hand-written TC.
+            let e2 = edges.clone();
+            let native = ThreadComm::run(p, move |comm| {
+                transitive_closure(comm, AlltoallvAlgorithm::Vendor, &e2).unwrap().total_paths
+            });
+            assert_eq!(native[0], total);
+        }
+    }
+}
+
+#[test]
+fn copy_rules_with_constants_filter() {
+    // reach_from_zero(x, y) :- edge(x, y) where x = 0:
+    //   sel(0, y) :- edge(0, y).
+    let program = Program {
+        relations: 2,
+        rules: vec![Rule::copy_rule(
+            AtomPat::new(1, Term::Const(0), V(1)),
+            AtomPat::new(0, Term::Const(0), V(1)),
+        )],
+    };
+    let edges = vec![(0u64, 5u64), (0, 9), (3, 0), (2, 5)];
+    let (total, all, _) = eval_collect(4, AlltoallvAlgorithm::Vendor, &program, &[edges, vec![]], 1);
+    assert_eq!(total, 2);
+    assert_eq!(all, vec![(0, 5), (0, 9)]);
+}
+
+#[test]
+fn repeated_variable_selects_loops() {
+    // loops(x, x) :- edge(x, x).
+    let program = Program {
+        relations: 2,
+        rules: vec![Rule::copy_rule(AtomPat::new(1, V(0), V(0)), AtomPat::new(0, V(0), V(0)))],
+    };
+    let edges = vec![(1u64, 1u64), (2, 3), (4, 4), (3, 2)];
+    let (total, all, _) = eval_collect(3, AlltoallvAlgorithm::TwoPhaseBruck, &program, &[edges, vec![]], 1);
+    assert_eq!(total, 2);
+    assert_eq!(all, vec![(1, 1), (4, 4)]);
+}
+
+#[test]
+fn two_relation_join_ancestor_style() {
+    // grandparent(x, z) :- parent(x, y), parent(y, z).  (non-recursive join)
+    let program = Program {
+        relations: 2,
+        rules: vec![Rule::join_rule(
+            AtomPat::new(1, V(0), V(2)),
+            AtomPat::new(0, V(0), V(1)),
+            AtomPat::new(0, V(1), V(2)),
+        )],
+    };
+    let parent = vec![(1u64, 2u64), (2, 3), (2, 4), (5, 6)];
+    let (total, all, iters) =
+        eval_collect(4, AlltoallvAlgorithm::Vendor, &program, &[parent, vec![]], 1);
+    assert_eq!(total, 2);
+    assert_eq!(all, vec![(1, 3), (1, 4)]);
+    // Non-recursive: converges after two productive rounds at most.
+    assert!(iters <= 3, "iters {iters}");
+}
+
+#[test]
+fn join_on_first_columns_uses_reverse_shards() {
+    // siblings(y, z) :- parent(x, y), parent(x, z)  — join variable is the
+    // FIRST column of both atoms, exercising the by-second shard of neither
+    // but the by-first of both... and y ≠ z is not expressible, so (y, y)
+    // pairs appear; we just check the expected set.
+    let program = Program {
+        relations: 2,
+        rules: vec![Rule::join_rule(
+            AtomPat::new(1, V(1), V(2)),
+            AtomPat::new(0, V(0), V(1)),
+            AtomPat::new(0, V(0), V(2)),
+        )],
+    };
+    let parent = vec![(1u64, 10u64), (1, 11), (2, 20)];
+    let (total, all, _) =
+        eval_collect(5, AlltoallvAlgorithm::TwoPhaseBruck, &program, &[parent, vec![]], 1);
+    let expect = vec![(10u64, 10u64), (10, 11), (11, 10), (11, 11), (20, 20)];
+    assert_eq!(total, expect.len() as u64);
+    assert_eq!(all, expect);
+}
+
+#[test]
+fn per_iteration_stats_and_determinism() {
+    let edges = graph1_like(2, 12, 4, 1);
+    let program = tc_program();
+    let run = |algo| {
+        let program = program.clone();
+        let edges = edges.clone();
+        ThreadComm::run(4, move |comm| {
+            let r = evaluate(comm, algo, &program, &[edges.clone(), Vec::new()]).unwrap();
+            (r.iterations, r.total_facts.clone(), r.per_iteration.len())
+        })
+        .remove(0)
+    };
+    let a = run(AlltoallvAlgorithm::Vendor);
+    let b = run(AlltoallvAlgorithm::TwoPhaseBruck);
+    // Algorithm choice cannot change the fixpoint or its iteration structure.
+    assert_eq!(a, b);
+    assert_eq!(a.0, a.2);
+}

@@ -1,0 +1,353 @@
+//! A small Datalog surface syntax for the distributed engine.
+//!
+//! ```text
+//! % transitive closure
+//! edge(1, 2). edge(2, 3).
+//! path(X, Y) :- edge(X, Y).
+//! path(X, Z) :- path(X, Y), edge(Y, Z).
+//! ```
+//!
+//! Conventions: identifiers starting with an uppercase letter (or `_`) are
+//! variables; integers and lowercase identifiers are constants (lowercase
+//! symbols are interned to dense `u64` ids); `%` starts a line comment.
+//! Relations are binary, registered in order of first appearance.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::datalog::{AtomPat, Program, Rule, Term};
+use crate::Tuple;
+
+/// A parse failure with 1-based line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed program: the rule set, initial facts, and the name tables.
+#[derive(Debug, Clone)]
+pub struct ParsedProgram {
+    /// The validated rule set.
+    pub program: Program,
+    /// Relation names by [`crate::datalog::RelId`].
+    pub rel_names: Vec<String>,
+    /// Interned symbolic constants by id (numeric constants are themselves).
+    pub symbols: Vec<String>,
+    /// Ground facts per relation, ready for [`crate::datalog_evaluate`].
+    pub facts: Vec<Vec<Tuple>>,
+}
+
+impl ParsedProgram {
+    /// The relation id for `name`, if declared.
+    pub fn rel(&self, name: &str) -> Option<usize> {
+        self.rel_names.iter().position(|n| n == name)
+    }
+}
+
+/// Symbolic constants are interned above this offset so they can never
+/// collide with small numeric literals.
+pub const SYMBOL_BASE: u64 = 1 << 48;
+
+/// A parsed clause: a rule, or a ground fact `(relation, tuple)`.
+type Clause = (Option<Rule>, Option<(usize, Tuple)>);
+
+struct Token {
+    line: usize,
+    text: String,
+}
+
+fn tokenize(src: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (li, line) in src.lines().enumerate() {
+        let line_no = li + 1;
+        let code = line.split('%').next().unwrap_or("");
+        let mut chars = code.chars().peekable();
+        while let Some(&c) = chars.peek() {
+            if c.is_whitespace() {
+                chars.next();
+            } else if c.is_alphanumeric() || c == '_' {
+                let mut word = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        word.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token { line: line_no, text: word });
+            } else if c == ':' {
+                chars.next();
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    out.push(Token { line: line_no, text: ":-".into() });
+                } else {
+                    out.push(Token { line: line_no, text: ":".into() });
+                }
+            } else {
+                chars.next();
+                out.push(Token { line: line_no, text: c.to_string() });
+            }
+        }
+    }
+    out
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    at: usize,
+    rels: Vec<String>,
+    symbols: Vec<String>,
+    symbol_ids: HashMap<String, u64>,
+    vars: HashMap<String, u32>,
+}
+
+impl Parser {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        let line = self.tokens.get(self.at.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |t| t.line);
+        Err(ParseError { line, message: message.into() })
+    }
+
+    fn peek(&self) -> Option<&str> {
+        self.tokens.get(self.at).map(|t| t.text.as_str())
+    }
+
+    fn next(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.at);
+        if t.is_some() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, what: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == what => {
+                self.at += 1;
+                Ok(())
+            }
+            Some(t) => {
+                let t = t.to_string();
+                self.err(format!("expected '{what}', found '{t}'"))
+            }
+            None => self.err(format!("expected '{what}', found end of input")),
+        }
+    }
+
+    fn rel_id(&mut self, name: &str) -> usize {
+        if let Some(i) = self.rels.iter().position(|r| r == name) {
+            i
+        } else {
+            self.rels.push(name.to_string());
+            self.rels.len() - 1
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        let Some(tok) = self.next() else {
+            return self.err("expected a term, found end of input");
+        };
+        let text = tok.text.clone();
+        let first = text.chars().next().expect("tokens are non-empty");
+        if first.is_ascii_digit() {
+            match text.parse::<u64>() {
+                Ok(v) if v < SYMBOL_BASE => Ok(Term::Const(v)),
+                Ok(_) => self.err(format!("numeric constant '{text}' exceeds {SYMBOL_BASE}")),
+                Err(_) => self.err(format!("malformed number '{text}'")),
+            }
+        } else if first.is_uppercase() || first == '_' {
+            let n = self.vars.len() as u32;
+            Ok(Term::Var(*self.vars.entry(text).or_insert(n)))
+        } else if first.is_lowercase() {
+            let id = if let Some(&id) = self.symbol_ids.get(&text) {
+                id
+            } else {
+                let id = SYMBOL_BASE + self.symbols.len() as u64;
+                self.symbols.push(text.clone());
+                self.symbol_ids.insert(text, id);
+                id
+            };
+            Ok(Term::Const(id))
+        } else {
+            self.err(format!("expected a term, found '{text}'"))
+        }
+    }
+
+    fn atom(&mut self) -> Result<AtomPat, ParseError> {
+        let Some(tok) = self.next() else {
+            return self.err("expected a relation name, found end of input");
+        };
+        let name = tok.text.clone();
+        let first = name.chars().next().expect("tokens are non-empty");
+        if !first.is_lowercase() {
+            return self.err(format!("relation names must start lowercase: '{name}'"));
+        }
+        let rel = self.rel_id(&name);
+        self.expect("(")?;
+        let a = self.term()?;
+        self.expect(",")?;
+        let b = self.term()?;
+        self.expect(")")?;
+        Ok(AtomPat { rel, a, b })
+    }
+
+    /// One clause: `atom.` (fact) or `atom :- atom (, atom)? .` (rule).
+    fn clause(&mut self) -> Result<Clause, ParseError> {
+        self.vars.clear();
+        let head = self.atom()?;
+        match self.peek() {
+            Some(".") => {
+                self.at += 1;
+                match (head.a, head.b) {
+                    (Term::Const(x), Term::Const(y)) => Ok((None, Some((head.rel, (x, y))))),
+                    _ => self.err("facts must be ground (no variables)"),
+                }
+            }
+            Some(":-") => {
+                self.at += 1;
+                let b0 = self.atom()?;
+                let mut body = vec![b0];
+                if self.peek() == Some(",") {
+                    self.at += 1;
+                    body.push(self.atom()?);
+                }
+                self.expect(".")?;
+                Ok((Some(Rule { head, body }), None))
+            }
+            Some(other) => {
+                let other = other.to_string();
+                self.err(format!("expected '.' or ':-', found '{other}'"))
+            }
+            None => self.err("expected '.' or ':-', found end of input"),
+        }
+    }
+}
+
+/// Parse a program. Fails with line-level diagnostics on syntax errors and
+/// runs [`Program::validate`] on the result.
+pub fn parse_program(src: &str) -> Result<ParsedProgram, ParseError> {
+    let mut parser = Parser {
+        tokens: tokenize(src),
+        at: 0,
+        rels: Vec::new(),
+        symbols: Vec::new(),
+        symbol_ids: HashMap::new(),
+        vars: HashMap::new(),
+    };
+    let mut rules = Vec::new();
+    let mut facts_raw: Vec<(usize, Tuple)> = Vec::new();
+    while parser.peek().is_some() {
+        let (rule, fact) = parser.clause()?;
+        if let Some(r) = rule {
+            rules.push(r);
+        }
+        if let Some(f) = fact {
+            facts_raw.push(f);
+        }
+    }
+    let relations = parser.rels.len();
+    let program = Program { relations, rules };
+    if let Err(msg) = program.validate() {
+        return Err(ParseError { line: 0, message: msg });
+    }
+    let mut facts = vec![Vec::new(); relations];
+    for (rel, t) in facts_raw {
+        facts[rel].push(t);
+    }
+    Ok(ParsedProgram { program, rel_names: parser.rels, symbols: parser.symbols, facts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{datalog_evaluate, sequential_closure};
+    use bruck_comm::ThreadComm;
+    use bruck_core::AlltoallvAlgorithm;
+
+    const TC_SRC: &str = "
+        % transitive closure over a small chain with a shortcut
+        edge(0, 1). edge(1, 2). edge(2, 3). edge(0, 2).
+        path(X, Y) :- edge(X, Y).
+        path(X, Z) :- path(X, Y), edge(Y, Z).
+    ";
+
+    #[test]
+    fn parses_tc_and_evaluates_to_the_closure() {
+        let parsed = parse_program(TC_SRC).unwrap();
+        assert_eq!(parsed.rel_names, vec!["edge", "path"]);
+        assert_eq!(parsed.facts[parsed.rel("edge").unwrap()].len(), 4);
+        let expect = sequential_closure(&parsed.facts[0]);
+
+        let program = parsed.program.clone();
+        let facts = parsed.facts.clone();
+        let totals = ThreadComm::run(4, move |comm| {
+            datalog_evaluate(comm, AlltoallvAlgorithm::TwoPhaseBruck, &program, &facts)
+                .unwrap()
+                .total_facts[1]
+        });
+        assert!(totals.iter().all(|&t| t == expect.len() as u64));
+    }
+
+    #[test]
+    fn symbols_are_interned_consistently() {
+        let parsed = parse_program(
+            "likes(alice, bob). likes(bob, alice). friends(X, Y) :- likes(X, Y), likes(Y, X).",
+        )
+        .unwrap();
+        assert_eq!(parsed.symbols, vec!["alice", "bob"]);
+        let alice = SYMBOL_BASE;
+        let bob = SYMBOL_BASE + 1;
+        assert_eq!(parsed.facts[0], vec![(alice, bob), (bob, alice)]);
+    }
+
+    #[test]
+    fn variables_are_rule_scoped() {
+        let parsed = parse_program(
+            "a(1, 2). b(X, Y) :- a(X, Y). c(X, Y) :- b(X, Y).",
+        )
+        .unwrap();
+        // Both rules use X/Y but validate independently.
+        assert_eq!(parsed.program.rules.len(), 2);
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_ignored() {
+        let parsed = parse_program("% nothing\n  e(1,2).% trailing\n\n p(X,Y):-e(X,Y).").unwrap();
+        assert_eq!(parsed.rel_names, vec!["e", "p"]);
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = parse_program("e(1, 2).\np(X Y) :- e(X, Y).").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("expected ','"), "{}", err.message);
+
+        let err = parse_program("e(X, 2).").unwrap_err();
+        assert!(err.message.contains("ground"), "{}", err.message);
+
+        let err = parse_program("P(1, 2).").unwrap_err();
+        assert!(err.message.contains("lowercase"), "{}", err.message);
+
+        let err = parse_program("e(1, 2). p(X, Z) :- e(X, Y), e(Q, Z).").unwrap_err();
+        assert!(err.message.contains("shared"), "{}", err.message);
+    }
+
+    #[test]
+    fn underscore_and_upper_are_variables() {
+        let parsed = parse_program("e(1, 2). any(X, X) :- e(X, _ignored).").unwrap();
+        let rule = &parsed.program.rules[0];
+        assert!(matches!(rule.body[0].b, Term::Var(_)));
+    }
+}

@@ -1,0 +1,115 @@
+//! Local relation storage with a join index on the first column.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::Tuple;
+
+/// A local (per-rank shard of a) binary relation: a tuple set plus a hash
+/// index keyed by the first column, which is what the semi-naive join probes.
+#[derive(Debug, Default, Clone)]
+pub struct Relation {
+    tuples: HashSet<Tuple>,
+    index: HashMap<u64, Vec<u64>>,
+}
+
+impl Relation {
+    /// Empty relation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an iterator of tuples (deduplicating).
+    pub fn from_tuples(tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        let mut r = Relation::new();
+        for t in tuples {
+            r.insert(t);
+        }
+        r
+    }
+
+    /// Insert; returns true if the tuple is new.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        if self.tuples.insert(t) {
+            self.index.entry(t.0).or_default().push(t.1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// All second-column values paired with `key` in the first column.
+    pub fn matches(&self, key: u64) -> &[u64] {
+        self.index.get(&key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterate tuples (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Join: for each `(x, y)` in `probe`, emit `f(x, z)` for each `(y, z)`
+    /// here (probe's second column against our first column — the TC step).
+    pub fn join_on_first<F: FnMut(u64, u64, u64)>(&self, probe: &[Tuple], mut f: F) {
+        for &(x, y) in probe {
+            for &z in self.matches(y) {
+                f(x, y, z);
+            }
+        }
+    }
+}
+
+impl FromIterator<Tuple> for Relation {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        Self::from_tuples(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_dedups_and_indexes() {
+        let mut r = Relation::new();
+        assert!(r.insert((1, 2)));
+        assert!(!r.insert((1, 2)));
+        assert!(r.insert((1, 3)));
+        assert_eq!(r.len(), 2);
+        let mut m = r.matches(1).to_vec();
+        m.sort_unstable();
+        assert_eq!(m, vec![2, 3]);
+        assert!(r.matches(9).is_empty());
+    }
+
+    #[test]
+    fn join_on_first_matches_nested_loops() {
+        let e = Relation::from_tuples([(2u64, 10u64), (2, 11), (3, 12)]);
+        let probe = vec![(100u64, 2u64), (101, 3), (102, 4)];
+        let mut got = Vec::new();
+        e.join_on_first(&probe, |x, _y, z| got.push((x, z)));
+        got.sort_unstable();
+        assert_eq!(got, vec![(100, 10), (100, 11), (101, 12)]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let r: Relation = [(1u64, 1u64), (1, 1), (2, 2)].into_iter().collect();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&(2, 2)));
+    }
+}

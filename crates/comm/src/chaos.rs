@@ -1,0 +1,113 @@
+//! [`ChaosComm`]: deterministic schedule perturbation for testing.
+//!
+//! Wraps a communicator and injects seeded pseudo-random delays (spin-yields)
+//! before sends and receives. This perturbs thread interleavings enough to
+//! surface ordering assumptions — algorithms must be correct under *any*
+//! message arrival order permitted by the matching rules, and the test suite
+//! runs the full algorithm matrix under this wrapper.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{CommResult, Communicator, RecvReq, Tag};
+
+/// A schedule-perturbing wrapper. Deterministic per seed *per call sequence*
+/// (each operation advances a per-wrapper counter), though the resulting
+/// thread interleaving is of course up to the OS.
+pub struct ChaosComm<'a, C: Communicator + ?Sized> {
+    inner: &'a C,
+    state: AtomicU64,
+    /// Maximum spin-yield iterations injected per operation.
+    max_spin: u32,
+}
+
+impl<'a, C: Communicator + ?Sized> ChaosComm<'a, C> {
+    /// Wrap `inner`; delays derive from `seed` and the rank.
+    pub fn new(inner: &'a C, seed: u64) -> Self {
+        let state = seed ^ (inner.rank() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ChaosComm { inner, state: AtomicU64::new(splitmix(state)), max_spin: 64 }
+    }
+
+    fn jitter(&self) {
+        let mut s = self.state.load(Ordering::Relaxed);
+        s = splitmix(s);
+        self.state.store(s, Ordering::Relaxed);
+        let spins = (s % u64::from(self.max_spin)) as u32;
+        for _ in 0..spins {
+            std::thread::yield_now();
+        }
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl<C: Communicator + ?Sized> Communicator for ChaosComm<'_, C> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn send(&self, dest: usize, tag: Tag, data: &[u8]) -> CommResult<()> {
+        self.jitter();
+        self.inner.send(dest, tag, data)
+    }
+
+    fn recv(&self, src: usize, tag: Tag) -> CommResult<Vec<u8>> {
+        self.jitter();
+        self.inner.recv(src, tag)
+    }
+
+    fn recv_into(&self, src: usize, tag: Tag, buf: &mut [u8]) -> CommResult<usize> {
+        self.jitter();
+        self.inner.recv_into(src, tag, buf)
+    }
+
+    fn probe(&self, src: usize, tag: Tag) -> CommResult<Option<usize>> {
+        self.inner.probe(src, tag)
+    }
+
+    fn irecv(&self, src: usize, tag: Tag) -> CommResult<RecvReq> {
+        self.inner.irecv(src, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ReduceOp, ThreadComm};
+
+    #[test]
+    fn collectives_survive_chaos() {
+        for seed in 0..5u64 {
+            let sums = ThreadComm::run(7, move |comm| {
+                let chaos = ChaosComm::new(comm, seed);
+                chaos.barrier().unwrap();
+                chaos.allreduce_u64(chaos.rank() as u64, ReduceOp::Sum).unwrap()
+            });
+            assert!(sums.iter().all(|&s| s == 21), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn ordering_guarantee_holds_under_chaos() {
+        ThreadComm::run(2, |comm| {
+            let chaos = ChaosComm::new(comm, 9);
+            if chaos.rank() == 0 {
+                for i in 0..50u8 {
+                    chaos.send(1, 4, &[i]).unwrap();
+                }
+            } else {
+                for i in 0..50u8 {
+                    assert_eq!(chaos.recv(0, 4).unwrap(), vec![i]);
+                }
+            }
+        });
+    }
+}

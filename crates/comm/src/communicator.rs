@@ -1,0 +1,297 @@
+//! The [`Communicator`] trait: the narrow waist every algorithm is written
+//! against.
+//!
+//! A communicator gives a rank its identity (`rank`, `size`), tagged eager
+//! point-to-point transfers, and a small set of collectives implemented as
+//! default methods on top of point-to-point (so every backend — real threads,
+//! instrumented wrappers — gets them for free, with identical message
+//! schedules, which is what lets the cost model in `bruck-model` price them).
+
+use crate::{CommError, CommResult, ReduceOp, Tag};
+
+/// Tags at or above this value are reserved for the collectives implemented
+/// in this crate. User code (including the Bruck algorithms) must stay below.
+pub const RESERVED_TAG_BASE: Tag = 0x4000_0000;
+
+const TAG_BARRIER: Tag = RESERVED_TAG_BASE;
+const TAG_ALLREDUCE: Tag = RESERVED_TAG_BASE + 1;
+const TAG_ALLGATHER: Tag = RESERVED_TAG_BASE + 2;
+const TAG_GATHER: Tag = RESERVED_TAG_BASE + 3;
+const TAG_ALLTOALL_COUNTS: Tag = RESERVED_TAG_BASE + 4;
+const TAG_BCAST: Tag = RESERVED_TAG_BASE + 5;
+
+/// A posted receive. The eager runtime matches lazily: the handle simply
+/// records what to match, and completion happens in [`Communicator::wait_into`]
+/// (or [`Communicator::wait`]). Sends complete immediately under the eager
+/// protocol, so no send handle is needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvReq {
+    /// Source rank this receive matches.
+    pub src: usize,
+    /// Tag this receive matches.
+    pub tag: Tag,
+}
+
+/// SPMD communicator: every rank of the program holds one, all methods are
+/// called collectively or pairwise exactly as in MPI.
+pub trait Communicator: Sync {
+    /// This process's rank in `0..size`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the communicator.
+    fn size(&self) -> usize;
+
+    /// Eager send: deposits `data` at the destination and returns immediately.
+    fn send(&self, dest: usize, tag: Tag, data: &[u8]) -> CommResult<()>;
+
+    /// Blocking receive of the oldest message matching `(src, tag)`,
+    /// returning an owned payload.
+    fn recv(&self, src: usize, tag: Tag) -> CommResult<Vec<u8>>;
+
+    /// Blocking receive into a caller buffer; returns the message length.
+    ///
+    /// Errors with [`CommError::Truncated`] if `buf` is too small; the
+    /// message is left un-consumed in that case so the caller can retry.
+    fn recv_into(&self, src: usize, tag: Tag, buf: &mut [u8]) -> CommResult<usize>;
+
+    /// Length of the next matching message, if one has already arrived.
+    fn probe(&self, src: usize, tag: Tag) -> CommResult<Option<usize>>;
+
+    /// Non-blocking send. Under the eager protocol this is identical to
+    /// [`Communicator::send`]; it exists so algorithms read like their MPI
+    /// counterparts (`MPI_Isend` + waitall).
+    fn isend(&self, dest: usize, tag: Tag, data: &[u8]) -> CommResult<()> {
+        self.send(dest, tag, data)
+    }
+
+    /// Post a receive for `(src, tag)`; complete it with
+    /// [`Communicator::wait_into`] or [`Communicator::wait`].
+    fn irecv(&self, src: usize, tag: Tag) -> CommResult<RecvReq> {
+        let size = self.size();
+        if src >= size {
+            return Err(CommError::InvalidRank { rank: src, size });
+        }
+        Ok(RecvReq { src, tag })
+    }
+
+    /// Complete a posted receive into a caller buffer.
+    fn wait_into(&self, req: RecvReq, buf: &mut [u8]) -> CommResult<usize> {
+        self.recv_into(req.src, req.tag, buf)
+    }
+
+    /// Complete a posted receive, returning an owned payload.
+    fn wait(&self, req: RecvReq) -> CommResult<Vec<u8>> {
+        self.recv(req.src, req.tag)
+    }
+
+    /// Combined send-then-receive (deadlock-free under the eager protocol),
+    /// the workhorse of every Bruck communication step.
+    fn sendrecv(
+        &self,
+        dest: usize,
+        send_tag: Tag,
+        data: &[u8],
+        src: usize,
+        recv_tag: Tag,
+    ) -> CommResult<Vec<u8>> {
+        self.send(dest, send_tag, data)?;
+        self.recv(src, recv_tag)
+    }
+
+    /// [`Communicator::sendrecv`] into a caller buffer; returns received length.
+    fn sendrecv_into(
+        &self,
+        dest: usize,
+        send_tag: Tag,
+        data: &[u8],
+        src: usize,
+        recv_tag: Tag,
+        rbuf: &mut [u8],
+    ) -> CommResult<usize> {
+        self.send(dest, send_tag, data)?;
+        self.recv_into(src, recv_tag, rbuf)
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives (default, point-to-point based — identical schedules on
+    // every backend).
+    // ------------------------------------------------------------------
+
+    /// Dissemination barrier: ⌈log₂ P⌉ rounds of empty messages.
+    fn barrier(&self) -> CommResult<()> {
+        let p = self.size();
+        let me = self.rank();
+        let mut dist = 1;
+        let mut round: Tag = 0;
+        while dist < p {
+            let to = (me + dist) % p;
+            let from = (me + p - dist % p) % p;
+            self.send(to, TAG_BARRIER + round, &[])?;
+            self.recv(from, TAG_BARRIER + round)?;
+            dist <<= 1;
+            round += 1;
+        }
+        Ok(())
+    }
+
+    /// All-reduce of a single `u64` (recursive doubling with the standard
+    /// fold-in of the non-power-of-two remainder ranks).
+    fn allreduce_u64(&self, value: u64, op: ReduceOp) -> CommResult<u64> {
+        let p = self.size();
+        let me = self.rank();
+        if p == 1 {
+            return Ok(value);
+        }
+        let m = p.next_power_of_two() >> if p.is_power_of_two() { 0 } else { 1 };
+        let rem = p - m; // ranks m..p fold into ranks 0..rem
+        let mut acc = value;
+        if me >= m {
+            self.send(me - m, TAG_ALLREDUCE, &acc.to_le_bytes())?;
+            let out = self.recv(me - m, TAG_ALLREDUCE + 1)?;
+            return Ok(u64::from_le_bytes(out.try_into().expect("8-byte reduce payload")));
+        }
+        if me < rem {
+            let folded = self.recv(me + m, TAG_ALLREDUCE)?;
+            acc = op.apply(acc, u64::from_le_bytes(folded.try_into().expect("8-byte reduce payload")));
+        }
+        let mut dist = 1;
+        let mut round: Tag = 2;
+        while dist < m {
+            let partner = me ^ dist;
+            let got = self.sendrecv(
+                partner,
+                TAG_ALLREDUCE + round,
+                &acc.to_le_bytes(),
+                partner,
+                TAG_ALLREDUCE + round,
+            )?;
+            acc = op.apply(acc, u64::from_le_bytes(got.try_into().expect("8-byte reduce payload")));
+            dist <<= 1;
+            round += 1;
+        }
+        if me < rem {
+            self.send(me + m, TAG_ALLREDUCE + 1, &acc.to_le_bytes())?;
+        }
+        Ok(acc)
+    }
+
+    /// Ring allgather of one `u64` per rank; result is indexed by rank.
+    fn allgather_u64(&self, value: u64) -> CommResult<Vec<u64>> {
+        let p = self.size();
+        let me = self.rank();
+        let mut out = vec![0u64; p];
+        out[me] = value;
+        if p == 1 {
+            return Ok(out);
+        }
+        let right = (me + 1) % p;
+        let left = (me + p - 1) % p;
+        // At step s we forward the value that originated at (me - s) mod p.
+        let mut carry = value;
+        for s in 0..p - 1 {
+            let got = self.sendrecv(
+                right,
+                TAG_ALLGATHER + s as Tag,
+                &carry.to_le_bytes(),
+                left,
+                TAG_ALLGATHER + s as Tag,
+            )?;
+            carry = u64::from_le_bytes(got.try_into().expect("8-byte allgather payload"));
+            out[(me + p - s - 1) % p] = carry;
+        }
+        Ok(out)
+    }
+
+    /// Gather variable-length byte payloads at `root`; non-roots get `None`.
+    fn gather_bytes(&self, root: usize, data: &[u8]) -> CommResult<Option<Vec<Vec<u8>>>> {
+        let p = self.size();
+        let me = self.rank();
+        if root >= p {
+            return Err(CommError::InvalidRank { rank: root, size: p });
+        }
+        if me == root {
+            let mut out = vec![Vec::new(); p];
+            out[me] = data.to_vec();
+            for (src, slot) in out.iter_mut().enumerate() {
+                if src != me {
+                    *slot = self.recv(src, TAG_GATHER)?;
+                }
+            }
+            Ok(Some(out))
+        } else {
+            self.send(root, TAG_GATHER, data)?;
+            Ok(None)
+        }
+    }
+
+    /// Broadcast variable-length bytes from `root` (binomial tree).
+    fn bcast_bytes(&self, root: usize, data: &[u8]) -> CommResult<Vec<u8>> {
+        let p = self.size();
+        let me = self.rank();
+        if root >= p {
+            return Err(CommError::InvalidRank { rank: root, size: p });
+        }
+        if p == 1 {
+            return Ok(data.to_vec());
+        }
+        // Work in a rotated space where the root is rank 0.
+        let vrank = (me + p - root) % p;
+        let mut payload = if me == root { data.to_vec() } else { Vec::new() };
+        let mut mask = 1usize;
+        while mask < p {
+            mask <<= 1;
+        }
+        mask >>= 1;
+        // Receive from the parent first (unless root)...
+        if vrank != 0 {
+            let lowest = 1usize << vrank.trailing_zeros();
+            let parent = (vrank - lowest + root) % p;
+            payload = self.recv(parent, TAG_BCAST)?;
+        }
+        // ...then fan out to children.
+        let lowest = if vrank == 0 { mask << 1 } else { 1usize << vrank.trailing_zeros() };
+        let mut child_bit = lowest >> 1;
+        while child_bit > 0 {
+            let child_v = vrank + child_bit;
+            if child_v < p {
+                self.send((child_v + root) % p, TAG_BCAST, &payload)?;
+            }
+            child_bit >>= 1;
+        }
+        Ok(payload)
+    }
+
+    /// The "counts handshake" of every `alltoallv`: each rank learns how many
+    /// bytes it will receive from every other rank. Pairwise exchange.
+    fn alltoall_counts(&self, sendcounts: &[usize]) -> CommResult<Vec<usize>> {
+        let p = self.size();
+        let me = self.rank();
+        if sendcounts.len() != p {
+            return Err(CommError::BadArgument("sendcounts.len() != size"));
+        }
+        let mut recvcounts = vec![0usize; p];
+        recvcounts[me] = sendcounts[me];
+        for i in 1..p {
+            let dest = (me + i) % p;
+            let src = (me + p - i) % p;
+            let got = self.sendrecv(
+                dest,
+                TAG_ALLTOALL_COUNTS,
+                &(sendcounts[dest] as u64).to_le_bytes(),
+                src,
+                TAG_ALLTOALL_COUNTS,
+            )?;
+            recvcounts[src] = u64::from_le_bytes(got.try_into().expect("8-byte count payload")) as usize;
+        }
+        Ok(recvcounts)
+    }
+
+    /// Validate a rank argument.
+    fn check_rank(&self, rank: usize) -> CommResult<()> {
+        if rank >= self.size() {
+            Err(CommError::InvalidRank { rank, size: self.size() })
+        } else {
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Error types for the message-passing runtime.
+
+use std::fmt;
+
+/// Errors raised by communicator operations.
+///
+/// The runtime follows MPI's philosophy that communication errors are
+/// programming errors: well-formed SPMD programs never see these at runtime.
+/// They are surfaced as `Result`s (rather than panics) so that library users
+/// can still observe and report misuse cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A rank argument was outside `0..size`.
+    InvalidRank {
+        /// The offending rank value.
+        rank: usize,
+        /// The communicator size it was checked against.
+        size: usize,
+    },
+    /// A receive was posted with a buffer smaller than the matched message.
+    ///
+    /// MPI calls this a truncation error (`MPI_ERR_TRUNCATE`).
+    Truncated {
+        /// Bytes in the matched incoming message.
+        message_len: usize,
+        /// Capacity of the posted receive buffer.
+        buffer_len: usize,
+    },
+    /// Mismatched argument lengths (e.g. a counts slice not of length `size`).
+    BadArgument(&'static str),
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            CommError::Truncated { message_len, buffer_len } => write!(
+                f,
+                "message of {message_len} bytes truncated by {buffer_len}-byte receive buffer"
+            ),
+            CommError::BadArgument(what) => write!(f, "bad argument: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Convenience alias used across the runtime.
+pub type CommResult<T> = Result<T, CommError>;

@@ -1,0 +1,59 @@
+//! # bruck-comm — a threaded, MPI-like message-passing runtime
+//!
+//! This crate is the substrate beneath the all-to-all algorithms in
+//! `bruck-core`. It provides exactly the slice of MPI the HPDC '22 paper
+//! *Optimizing the Bruck Algorithm for Non-uniform All-to-all Communication*
+//! relies on:
+//!
+//! * **SPMD ranks** — [`ThreadComm::run`] plays the role of `mpiexec -n P`,
+//!   mapping one rank to one OS thread ("MPI everywhere").
+//! * **Tagged point-to-point** — eager [`Communicator::send`] /
+//!   blocking [`Communicator::recv`] with `(source, tag)` matching and MPI's
+//!   non-overtaking guarantee, plus `isend`/`irecv`/`sendrecv` forms.
+//! * **Collectives** — dissemination [`Communicator::barrier`], recursive-
+//!   doubling [`Communicator::allreduce_u64`], ring
+//!   [`Communicator::allgather_u64`], binomial [`Communicator::bcast_bytes`],
+//!   and the counts handshake [`Communicator::alltoall_counts`] — all built
+//!   from point-to-point as default trait methods, so every backend shares
+//!   the exact same message schedule.
+//! * **Instrumentation** — [`CountingComm`] logs every outgoing message; the
+//!   cost model in `bruck-model` is validated against these logs.
+//!
+//! ## Example
+//!
+//! ```
+//! use bruck_comm::{Communicator, ReduceOp, ThreadComm};
+//!
+//! let sums = ThreadComm::run(4, |comm| {
+//!     comm.allreduce_u64(comm.rank() as u64, ReduceOp::Sum).unwrap()
+//! });
+//! assert_eq!(sums, vec![6, 6, 6, 6]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod chaos;
+mod communicator;
+mod counting;
+mod error;
+mod mailbox;
+mod plan;
+mod reduce;
+mod subcomm;
+mod thread_comm;
+mod vector;
+
+pub use chaos::ChaosComm;
+pub use communicator::{Communicator, RecvReq, RESERVED_TAG_BASE};
+pub use counting::{CommStats, CountingComm, SentRecord};
+pub use error::{CommError, CommResult};
+pub use plan::ExchangePlan;
+pub use reduce::ReduceOp;
+pub use subcomm::{SubComm, SUBCOMM_MAX_TAG};
+pub use thread_comm::{ThreadComm, World};
+pub use vector::VectorCollectives;
+
+/// Message tag. Algorithms in this workspace tag data messages with their
+/// communication-step index; tags at or above [`RESERVED_TAG_BASE`] are
+/// reserved for the built-in collectives.
+pub type Tag = u32;

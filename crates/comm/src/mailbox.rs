@@ -1,0 +1,154 @@
+//! Per-rank mailboxes: the matching engine behind point-to-point transfers.
+//!
+//! Every rank owns one [`Mailbox`]. A send deposits the payload into the
+//! destination's mailbox under the `(source, tag)` key (the *eager protocol*:
+//! the sender never blocks). A receive pops the oldest message matching its
+//! `(source, tag)` pair, blocking on a condition variable until one arrives.
+//!
+//! Matching preserves MPI's **non-overtaking** rule: two messages from the
+//! same source with the same tag are received in the order they were sent,
+//! because each `(source, tag)` key maps to a FIFO queue.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use crate::Tag;
+
+/// Per-(source, tag) FIFO queues of undelivered messages.
+type MatchQueues = HashMap<(usize, Tag), VecDeque<Vec<u8>>>;
+
+/// A single rank's incoming-message store.
+///
+/// Locking is coarse (one mutex per rank) which is the right trade-off here:
+/// contention on a mailbox is between exactly one receiver (the owning rank)
+/// and its current senders, and critical sections only move a `Vec<u8>`.
+#[derive(Default)]
+pub(crate) struct Mailbox {
+    queues: Mutex<MatchQueues>,
+    arrived: Condvar,
+}
+
+impl Mailbox {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit a message from `src` with `tag`. Never blocks.
+    pub(crate) fn push(&self, src: usize, tag: Tag, data: Vec<u8>) {
+        let mut queues = self.queues.lock();
+        queues.entry((src, tag)).or_default().push_back(data);
+        // notify_all: several receives with distinct (src, tag) keys can be
+        // parked on the same condvar (collectives never do this, but user
+        // code running helper threads may).
+        self.arrived.notify_all();
+    }
+
+    /// Pop the oldest message matching `(src, tag)`, blocking until present.
+    pub(crate) fn pop(&self, src: usize, tag: Tag) -> Vec<u8> {
+        let mut queues = self.queues.lock();
+        loop {
+            if let Some(q) = queues.get_mut(&(src, tag)) {
+                if let Some(msg) = q.pop_front() {
+                    if q.is_empty() {
+                        // Keep the map from accumulating dead keys across
+                        // thousands of fixpoint iterations.
+                        queues.remove(&(src, tag));
+                    }
+                    return msg;
+                }
+            }
+            self.arrived.wait(&mut queues);
+        }
+    }
+
+    /// Pop with a deadline: `None` if no matching message arrives in time.
+    pub(crate) fn pop_timeout(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: std::time::Duration,
+    ) -> Option<Vec<u8>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut queues = self.queues.lock();
+        loop {
+            if let Some(q) = queues.get_mut(&(src, tag)) {
+                if let Some(msg) = q.pop_front() {
+                    if q.is_empty() {
+                        queues.remove(&(src, tag));
+                    }
+                    return Some(msg);
+                }
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if self.arrived.wait_until(&mut queues, deadline).timed_out() {
+                // One last check: the message may have raced the timeout.
+                return queues.get_mut(&(src, tag)).and_then(|q| q.pop_front());
+            }
+        }
+    }
+
+    /// Non-blocking probe: the byte length of the next matching message.
+    pub(crate) fn probe(&self, src: usize, tag: Tag) -> Option<usize> {
+        let queues = self.queues.lock();
+        queues.get(&(src, tag)).and_then(|q| q.front()).map(Vec::len)
+    }
+
+    /// Number of undelivered messages (diagnostics / leak tests).
+    pub(crate) fn pending(&self) -> usize {
+        self.queues.lock().values().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo_per_key() {
+        let mb = Mailbox::new();
+        mb.push(0, 7, vec![1]);
+        mb.push(0, 7, vec![2]);
+        mb.push(1, 7, vec![9]);
+        assert_eq!(mb.pop(0, 7), vec![1]);
+        assert_eq!(mb.pop(0, 7), vec![2]);
+        assert_eq!(mb.pop(1, 7), vec![9]);
+        assert_eq!(mb.pending(), 0);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let t = std::thread::spawn(move || mb2.pop(3, 11));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        mb.push(3, 11, vec![42]);
+        assert_eq!(t.join().unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn probe_reports_length_without_consuming() {
+        let mb = Mailbox::new();
+        assert_eq!(mb.probe(0, 0), None);
+        mb.push(0, 0, vec![0; 17]);
+        assert_eq!(mb.probe(0, 0), Some(17));
+        assert_eq!(mb.pop(0, 0).len(), 17);
+    }
+
+    #[test]
+    fn distinct_tags_do_not_match() {
+        let mb = Arc::new(Mailbox::new());
+        mb.push(0, 1, vec![1]);
+        let mb2 = Arc::clone(&mb);
+        let t = std::thread::spawn(move || mb2.pop(0, 2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!t.is_finished(), "pop(0,2) must not match tag 1");
+        mb.push(0, 2, vec![2]);
+        assert_eq!(t.join().unwrap(), vec![2]);
+        assert_eq!(mb.pop(0, 1), vec![1]);
+    }
+}

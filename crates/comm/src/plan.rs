@@ -1,0 +1,132 @@
+//! Planned exchanges: amortize the counts handshake across repeated
+//! all-to-alls with a fixed (or slowly changing) load — the idea behind
+//! Jackson & Booth's *planned AlltoAllv* (related work §6 of the paper), and
+//! the natural API for fixpoint applications whose counts only change every
+//! iteration.
+//!
+//! An [`ExchangePlan`] captures the `(sendcounts, recvcounts)` pair once;
+//! [`ExchangePlan::displs`] are derived packed offsets. Executing the plan is
+//! the caller's choice of algorithm (`bruck-core` takes the same arrays), so
+//! this type is algorithm-agnostic and lives with the runtime.
+
+use crate::{CommError, CommResult, Communicator};
+
+/// A reusable non-uniform exchange plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExchangePlan {
+    sendcounts: Vec<usize>,
+    sdispls: Vec<usize>,
+    recvcounts: Vec<usize>,
+    rdispls: Vec<usize>,
+}
+
+fn packed(counts: &[usize]) -> Vec<usize> {
+    let mut displs = Vec::with_capacity(counts.len());
+    let mut at = 0;
+    for &c in counts {
+        displs.push(at);
+        at += c;
+    }
+    displs
+}
+
+impl ExchangePlan {
+    /// Build a plan collectively: runs the counts handshake once so every
+    /// rank learns its receive counts.
+    pub fn negotiate<C: Communicator + ?Sized>(
+        comm: &C,
+        sendcounts: Vec<usize>,
+    ) -> CommResult<Self> {
+        if sendcounts.len() != comm.size() {
+            return Err(CommError::BadArgument("sendcounts.len() != size"));
+        }
+        let recvcounts = comm.alltoall_counts(&sendcounts)?;
+        Ok(Self::from_counts(sendcounts, recvcounts))
+    }
+
+    /// Build a plan from already-known counts (no communication).
+    pub fn from_counts(sendcounts: Vec<usize>, recvcounts: Vec<usize>) -> Self {
+        let sdispls = packed(&sendcounts);
+        let rdispls = packed(&recvcounts);
+        ExchangePlan { sendcounts, sdispls, recvcounts, rdispls }
+    }
+
+    /// Send counts per destination.
+    pub fn sendcounts(&self) -> &[usize] {
+        &self.sendcounts
+    }
+
+    /// Packed send displacements.
+    pub fn sdispls(&self) -> &[usize] {
+        &self.sdispls
+    }
+
+    /// Receive counts per source.
+    pub fn recvcounts(&self) -> &[usize] {
+        &self.recvcounts
+    }
+
+    /// Packed receive displacements.
+    pub fn rdispls(&self) -> &[usize] {
+        &self.rdispls
+    }
+
+    /// Total bytes this rank sends under the plan.
+    pub fn send_bytes(&self) -> usize {
+        self.sendcounts.iter().sum()
+    }
+
+    /// Total bytes this rank receives under the plan.
+    pub fn recv_bytes(&self) -> usize {
+        self.recvcounts.iter().sum()
+    }
+
+    /// Allocate a receive buffer sized for the plan.
+    pub fn alloc_recvbuf(&self) -> Vec<u8> {
+        vec![0u8; self.recv_bytes()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Communicator, ThreadComm};
+
+    #[test]
+    fn negotiate_learns_the_transpose() {
+        let p = 5;
+        let plans = ThreadComm::run(p, |comm| {
+            let me = comm.rank();
+            let sendcounts: Vec<usize> = (0..p).map(|d| me * 10 + d).collect();
+            ExchangePlan::negotiate(comm, sendcounts).unwrap()
+        });
+        for (me, plan) in plans.iter().enumerate() {
+            for src in 0..p {
+                assert_eq!(plan.recvcounts()[src], src * 10 + me);
+            }
+            assert_eq!(plan.sdispls()[0], 0);
+            assert_eq!(plan.rdispls()[1], plan.recvcounts()[0]);
+            assert_eq!(plan.recv_bytes(), plan.recvcounts().iter().sum::<usize>());
+            assert_eq!(plan.alloc_recvbuf().len(), plan.recv_bytes());
+        }
+    }
+
+    #[test]
+    fn negotiate_rejects_wrong_length() {
+        ThreadComm::run(2, |comm| {
+            if comm.rank() == 0 {
+                assert!(ExchangePlan::negotiate(comm, vec![1, 2, 3]).is_err());
+            }
+            // Rank 1 takes the valid path so nothing is left hanging.
+        });
+    }
+
+    #[test]
+    fn from_counts_is_pure() {
+        let plan = ExchangePlan::from_counts(vec![2, 0, 3], vec![1, 1, 1]);
+        assert_eq!(plan.sdispls(), &[0, 2, 2]);
+        assert_eq!(plan.rdispls(), &[0, 1, 2]);
+        assert_eq!(plan.send_bytes(), 5);
+        assert_eq!(plan.recv_bytes(), 3);
+    }
+}

@@ -1,0 +1,60 @@
+//! Reduction operators for the scalar collectives.
+
+/// Associative, commutative reduction over `u64`, covering everything the
+/// all-to-all algorithms need (`MPI_MAX` for the global maximum block size,
+/// `MPI_SUM`/`MPI_MIN` for harness statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise maximum (`MPI_MAX`).
+    Max,
+    /// Element-wise minimum (`MPI_MIN`).
+    Min,
+    /// Wrapping sum (`MPI_SUM`; wrapping so adversarial proptest inputs
+    /// cannot abort a collective mid-flight).
+    Sum,
+}
+
+impl ReduceOp {
+    /// Combine two values.
+    #[inline]
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Sum => a.wrapping_add(b),
+        }
+    }
+
+    /// The identity element of the operator.
+    #[inline]
+    pub fn identity(self) -> u64 {
+        match self {
+            ReduceOp::Max => 0,
+            ReduceOp::Min => u64::MAX,
+            ReduceOp::Sum => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_matches_semantics() {
+        assert_eq!(ReduceOp::Max.apply(3, 9), 9);
+        assert_eq!(ReduceOp::Min.apply(3, 9), 3);
+        assert_eq!(ReduceOp::Sum.apply(3, 9), 12);
+        assert_eq!(ReduceOp::Sum.apply(u64::MAX, 1), 0);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        for op in [ReduceOp::Max, ReduceOp::Min, ReduceOp::Sum] {
+            for v in [0u64, 1, 17, u64::MAX] {
+                assert_eq!(op.apply(op.identity(), v), v);
+                assert_eq!(op.apply(v, op.identity()), v);
+            }
+        }
+    }
+}

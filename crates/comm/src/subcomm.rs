@@ -1,0 +1,211 @@
+//! Subcommunicators: `MPI_Comm_split` for the threaded runtime.
+//!
+//! A [`SubComm`] presents a contiguous `0..size` rank space over a subset of
+//! a parent communicator's ranks. Traffic is isolated from the parent (and
+//! from sibling groups that happen to reuse a rank pair, which cannot occur
+//! under a partition split, but can across *successive* splits) by folding a
+//! context id into the message tag, the same role MPI's communicator
+//! contexts play.
+
+use crate::{CommError, CommResult, Communicator, Tag};
+
+/// Bits of the tag reserved for the subcommunicator context.
+const CTX_SHIFT: u32 = 24;
+/// Maximum user tag usable through a [`SubComm`].
+pub const SUBCOMM_MAX_TAG: Tag = 1 << CTX_SHIFT;
+const CTX_MASK: Tag = 0x3F;
+
+/// A view of a subset of a parent communicator's ranks.
+pub struct SubComm<'a, C: Communicator + ?Sized> {
+    parent: &'a C,
+    /// Parent ranks of the members, in subcommunicator rank order.
+    members: Vec<usize>,
+    /// This rank's position in `members`.
+    my_index: usize,
+    /// Context id folded into tags (derived from the split color).
+    ctx: Tag,
+}
+
+impl<'a, C: Communicator + ?Sized> SubComm<'a, C> {
+    /// Collective split: ranks with equal `color` form one subcommunicator,
+    /// ordered by `(key, parent rank)` — the `MPI_Comm_split` contract.
+    ///
+    /// Every rank of `parent` must call this (it allgathers the colors).
+    pub fn split(parent: &'a C, color: u64, key: u64) -> CommResult<Self> {
+        let me = parent.rank();
+        // Pack (color-hash collisions are fine for grouping — we compare the
+        // actual color values gathered below).
+        let colors = parent.allgather_u64(color)?;
+        let keys = parent.allgather_u64(key)?;
+        let mut members: Vec<usize> =
+            (0..parent.size()).filter(|&r| colors[r] == color).collect();
+        members.sort_by_key(|&r| (keys[r], r));
+        let my_index =
+            members.iter().position(|&r| r == me).expect("caller is a member of its own color");
+        // Context: derived from the color so sibling groups differ; 6 bits,
+        // never 0 (0 is effectively the parent's own context).
+        let ctx = ((splitmix(color) as Tag) & CTX_MASK).max(1);
+        Ok(SubComm { parent, members, my_index, ctx })
+    }
+
+    /// Build from an explicit member list (every member must call this with
+    /// the same list and a matching `ctx`). Useful for leader groups.
+    pub fn from_members(parent: &'a C, members: Vec<usize>, ctx: Tag) -> CommResult<Self> {
+        let me = parent.rank();
+        let my_index = members
+            .iter()
+            .position(|&r| r == me)
+            .ok_or(CommError::BadArgument("caller not in member list"))?;
+        for &m in &members {
+            parent.check_rank(m)?;
+        }
+        Ok(SubComm { parent, members, my_index, ctx: ctx & CTX_MASK })
+    }
+
+    /// The parent rank of subcommunicator rank `r`.
+    pub fn parent_rank(&self, r: usize) -> usize {
+        self.members[r]
+    }
+
+    /// The member list (parent ranks, in subcommunicator order).
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    fn map_tag(&self, tag: Tag) -> CommResult<Tag> {
+        if tag >= crate::RESERVED_TAG_BASE {
+            // Internal collective tags keep their reserved range but are
+            // contexted in the bits below it.
+            Ok(tag ^ (self.ctx << CTX_SHIFT))
+        } else if tag >= SUBCOMM_MAX_TAG {
+            Err(CommError::BadArgument("subcommunicator tags must be below 1 << 24"))
+        } else {
+            Ok(tag | (self.ctx << CTX_SHIFT))
+        }
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl<C: Communicator + ?Sized> Communicator for SubComm<'_, C> {
+    fn rank(&self) -> usize {
+        self.my_index
+    }
+
+    fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    fn send(&self, dest: usize, tag: Tag, data: &[u8]) -> CommResult<()> {
+        self.check_rank(dest)?;
+        self.parent.send(self.members[dest], self.map_tag(tag)?, data)
+    }
+
+    fn recv(&self, src: usize, tag: Tag) -> CommResult<Vec<u8>> {
+        self.check_rank(src)?;
+        self.parent.recv(self.members[src], self.map_tag(tag)?)
+    }
+
+    fn recv_into(&self, src: usize, tag: Tag, buf: &mut [u8]) -> CommResult<usize> {
+        self.check_rank(src)?;
+        self.parent.recv_into(self.members[src], self.map_tag(tag)?, buf)
+    }
+
+    fn probe(&self, src: usize, tag: Tag) -> CommResult<Option<usize>> {
+        self.check_rank(src)?;
+        self.parent.probe(self.members[src], self.map_tag(tag)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ReduceOp, ThreadComm};
+
+    #[test]
+    fn split_partitions_and_reranks() {
+        // 6 ranks → even/odd groups; key reverses order within the group.
+        let out = ThreadComm::run(6, |comm| {
+            let me = comm.rank();
+            let sub = SubComm::split(comm, (me % 2) as u64, (100 - me) as u64).unwrap();
+            (me, sub.rank(), sub.size(), sub.members().to_vec())
+        });
+        for (me, sub_rank, sub_size, members) in out {
+            assert_eq!(sub_size, 3);
+            // Reverse key order: highest parent rank is sub rank 0.
+            let expect: Vec<usize> =
+                if me % 2 == 0 { vec![4, 2, 0] } else { vec![5, 3, 1] };
+            assert_eq!(members, expect);
+            assert_eq!(members[sub_rank], me);
+        }
+    }
+
+    #[test]
+    fn subcomm_collectives_are_isolated_per_group() {
+        let sums = ThreadComm::run(8, |comm| {
+            let me = comm.rank();
+            let sub = SubComm::split(comm, (me / 4) as u64, me as u64).unwrap();
+            sub.allreduce_u64(me as u64, ReduceOp::Sum).unwrap()
+        });
+        // Group 0 = ranks 0..4 (sum 6); group 1 = ranks 4..8 (sum 22).
+        assert_eq!(sums, vec![6, 6, 6, 6, 22, 22, 22, 22]);
+    }
+
+    #[test]
+    fn subcomm_p2p_routes_through_parent_ranks() {
+        let got = ThreadComm::run(4, |comm| {
+            let me = comm.rank();
+            let sub = SubComm::split(comm, (me % 2) as u64, me as u64).unwrap();
+            // Within each 2-rank group: ping the other member.
+            let peer = 1 - sub.rank();
+            sub.send(peer, 5, &[me as u8]).unwrap();
+            sub.recv(peer, 5).unwrap()[0]
+        });
+        assert_eq!(got, vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn concurrent_parent_and_sub_traffic_do_not_cross() {
+        ThreadComm::run(4, |comm| {
+            let me = comm.rank();
+            let sub = SubComm::split(comm, 7, me as u64).unwrap(); // all in one group
+            // Same (src, dst, tag) on parent and sub simultaneously.
+            let peer = (me + 1) % 4;
+            let back = (me + 3) % 4;
+            comm.send(peer, 9, &[1]).unwrap();
+            sub.send(peer, 9, &[2]).unwrap();
+            assert_eq!(sub.recv(back, 9).unwrap(), vec![2]);
+            assert_eq!(comm.recv(back, 9).unwrap(), vec![1]);
+        });
+    }
+
+    #[test]
+    fn from_members_builds_leader_groups() {
+        let out = ThreadComm::run(6, |comm| {
+            let me = comm.rank();
+            if me % 3 == 0 {
+                // Leaders 0 and 3 form their own communicator.
+                let leaders = SubComm::from_members(comm, vec![0, 3], 9).unwrap();
+                Some(leaders.allreduce_u64(me as u64, ReduceOp::Sum).unwrap())
+            } else {
+                None
+            }
+        });
+        assert_eq!(out[0], Some(3));
+        assert_eq!(out[3], Some(3));
+        assert!(out[1].is_none());
+    }
+
+    #[test]
+    fn oversized_tags_rejected() {
+        ThreadComm::run(2, |comm| {
+            let sub = SubComm::split(comm, 0, comm.rank() as u64).unwrap();
+            assert!(sub.send(0, SUBCOMM_MAX_TAG, &[]).is_err());
+        });
+    }
+}

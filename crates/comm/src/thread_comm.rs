@@ -1,0 +1,345 @@
+//! [`ThreadComm`]: the real, threaded backend.
+//!
+//! One OS thread per rank ("MPI everywhere": the paper maps one MPI rank per
+//! core; we map one rank per thread). All ranks share a [`World`] holding the
+//! per-rank mailboxes; a send is a single allocation + queue push into the
+//! destination's mailbox.
+
+use std::sync::Arc;
+
+use crate::mailbox::Mailbox;
+use crate::{CommError, CommResult, Communicator, Tag};
+
+/// Shared state of one communicator: the mailboxes of all ranks.
+pub struct World {
+    mailboxes: Vec<Mailbox>,
+}
+
+impl World {
+    /// Create a world for `size` ranks.
+    pub fn new(size: usize) -> Arc<Self> {
+        assert!(size > 0, "communicator must have at least one rank");
+        Arc::new(World { mailboxes: (0..size).map(|_| Mailbox::new()).collect() })
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    /// Undelivered messages across all ranks (should be 0 after a well-formed
+    /// SPMD region completes; used by leak tests).
+    pub fn pending_messages(&self) -> usize {
+        self.mailboxes.iter().map(Mailbox::pending).sum()
+    }
+}
+
+/// One rank's handle onto a [`World`]. Cheap to clone-construct per thread.
+pub struct ThreadComm {
+    world: Arc<World>,
+    rank: usize,
+}
+
+impl ThreadComm {
+    /// A handle for `rank` in `world`.
+    pub fn new(world: Arc<World>, rank: usize) -> Self {
+        assert!(rank < world.size(), "rank {rank} out of range");
+        ThreadComm { world, rank }
+    }
+
+    /// Run an SPMD region: spawn `size` threads, each executing `f` with its
+    /// own rank's communicator, and return the per-rank results in rank order.
+    ///
+    /// This is the moral equivalent of `mpiexec -n <size>`. Threads get a
+    /// modest stack (2 MiB) so that runs with hundreds of ranks stay cheap.
+    ///
+    /// # Panics
+    /// Propagates a panic from any rank (after all threads are joined).
+    pub fn run<T, F>(size: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&ThreadComm) -> T + Sync,
+    {
+        Self::run_with_stack(size, 2 << 20, f)
+    }
+
+    /// [`ThreadComm::run`] with an explicit per-rank stack size in bytes.
+    pub fn run_with_stack<T, F>(size: usize, stack: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&ThreadComm) -> T + Sync,
+    {
+        let world = World::new(size);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..size)
+                .map(|rank| {
+                    let world = Arc::clone(&world);
+                    std::thread::Builder::new()
+                        .name(format!("rank-{rank}"))
+                        .stack_size(stack)
+                        .spawn_scoped(scope, move || {
+                            let comm = ThreadComm::new(world, rank);
+                            f(&comm)
+                        })
+                        .expect("failed to spawn rank thread")
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        })
+    }
+
+    /// The shared world (for diagnostics).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Receive with a deadline: `Ok(None)` if nothing matching `(src, tag)`
+    /// arrives within `timeout` — for tests and deadlock diagnosis, not for
+    /// algorithm control flow (MPI has no timed receive either).
+    pub fn recv_timeout(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: std::time::Duration,
+    ) -> CommResult<Option<Vec<u8>>> {
+        self.check_rank(src)?;
+        Ok(self.world.mailboxes[self.rank].pop_timeout(src, tag, timeout))
+    }
+}
+
+impl Communicator for ThreadComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.world.size()
+    }
+
+    fn send(&self, dest: usize, tag: Tag, data: &[u8]) -> CommResult<()> {
+        self.check_rank(dest)?;
+        self.world.mailboxes[dest].push(self.rank, tag, data.to_vec());
+        Ok(())
+    }
+
+    fn recv(&self, src: usize, tag: Tag) -> CommResult<Vec<u8>> {
+        self.check_rank(src)?;
+        Ok(self.world.mailboxes[self.rank].pop(src, tag))
+    }
+
+    fn recv_into(&self, src: usize, tag: Tag, buf: &mut [u8]) -> CommResult<usize> {
+        self.check_rank(src)?;
+        let msg = self.world.mailboxes[self.rank].pop(src, tag);
+        if msg.len() > buf.len() {
+            // Put it back at the *front* so retry semantics hold; simplest
+            // correct behaviour is to error loudly — truncation is a bug in
+            // the caller, and the algorithms never hit it.
+            return Err(CommError::Truncated { message_len: msg.len(), buffer_len: buf.len() });
+        }
+        buf[..msg.len()].copy_from_slice(&msg);
+        Ok(msg.len())
+    }
+
+    fn probe(&self, src: usize, tag: Tag) -> CommResult<Option<usize>> {
+        self.check_rank(src)?;
+        Ok(self.world.mailboxes[self.rank].probe(src, tag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReduceOp;
+
+    #[test]
+    fn ring_pass_all_sizes() {
+        for p in [1usize, 2, 3, 5, 8, 13] {
+            let results = ThreadComm::run(p, |comm| {
+                let me = comm.rank();
+                let right = (me + 1) % comm.size();
+                let left = (me + comm.size() - 1) % comm.size();
+                comm.send(right, 5, &[me as u8]).unwrap();
+                comm.recv(left, 5).unwrap()[0] as usize
+            });
+            for (me, got) in results.iter().enumerate() {
+                assert_eq!(*got, (me + p - 1) % p);
+            }
+        }
+    }
+
+    #[test]
+    fn self_send_works() {
+        let r = ThreadComm::run(3, |comm| {
+            comm.send(comm.rank(), 9, &[comm.rank() as u8 + 10]).unwrap();
+            comm.recv(comm.rank(), 9).unwrap()[0]
+        });
+        assert_eq!(r, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn truncated_recv_errors() {
+        ThreadComm::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, &[0u8; 16]).unwrap();
+            } else {
+                let mut small = [0u8; 4];
+                let err = comm.recv_into(0, 0, &mut small).unwrap_err();
+                assert_eq!(err, CommError::Truncated { message_len: 16, buffer_len: 4 });
+            }
+        });
+    }
+
+    #[test]
+    fn invalid_rank_errors() {
+        ThreadComm::run(2, |comm| {
+            assert!(matches!(comm.send(5, 0, &[]), Err(CommError::InvalidRank { rank: 5, size: 2 })));
+            assert!(matches!(comm.irecv(9, 0), Err(CommError::InvalidRank { rank: 9, size: 2 })));
+        });
+    }
+
+    #[test]
+    fn recv_timeout_returns_none_then_some() {
+        use std::time::Duration;
+        ThreadComm::run(2, |comm| {
+            if comm.rank() == 0 {
+                // Nothing sent yet: times out.
+                let got = comm.recv_timeout(1, 9, Duration::from_millis(20)).unwrap();
+                assert!(got.is_none());
+                comm.send(1, 1, &[0]).unwrap(); // release rank 1
+                let got = comm.recv_timeout(1, 9, Duration::from_secs(5)).unwrap();
+                assert_eq!(got, Some(vec![42]));
+            } else {
+                comm.recv(0, 1).unwrap();
+                comm.send(0, 9, &[42]).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn barrier_all_sizes() {
+        for p in [1usize, 2, 3, 4, 7, 16, 33] {
+            ThreadComm::run(p, |comm| {
+                for _ in 0..3 {
+                    comm.barrier().unwrap();
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn allreduce_max_min_sum() {
+        for p in [1usize, 2, 3, 5, 8, 17] {
+            let maxes = ThreadComm::run(p, |comm| {
+                comm.allreduce_u64((comm.rank() as u64 + 3) * 7, ReduceOp::Max).unwrap()
+            });
+            assert!(maxes.iter().all(|&m| m == (p as u64 + 2) * 7));
+            let mins =
+                ThreadComm::run(p, |comm| comm.allreduce_u64(comm.rank() as u64 + 3, ReduceOp::Min).unwrap());
+            assert!(mins.iter().all(|&m| m == 3));
+            let sums =
+                ThreadComm::run(p, |comm| comm.allreduce_u64(comm.rank() as u64, ReduceOp::Sum).unwrap());
+            let expect = (p as u64 * (p as u64 - 1)) / 2;
+            assert!(sums.iter().all(|&s| s == expect));
+        }
+    }
+
+    #[test]
+    fn allgather_collects_in_rank_order() {
+        for p in [1usize, 2, 3, 6, 9] {
+            let all = ThreadComm::run(p, |comm| comm.allgather_u64(comm.rank() as u64 * 100).unwrap());
+            let expect: Vec<u64> = (0..p as u64).map(|r| r * 100).collect();
+            for got in all {
+                assert_eq!(got, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_bytes_at_each_root() {
+        let p = 5;
+        for root in 0..p {
+            let out = ThreadComm::run(p, move |comm| {
+                let payload = vec![comm.rank() as u8; comm.rank() + 1];
+                comm.gather_bytes(root, &payload).unwrap()
+            });
+            for (rank, o) in out.into_iter().enumerate() {
+                if rank == root {
+                    let gathered = o.expect("root gets data");
+                    for (src, msg) in gathered.iter().enumerate() {
+                        assert_eq!(msg, &vec![src as u8; src + 1]);
+                    }
+                } else {
+                    assert!(o.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_from_each_root() {
+        for p in [1usize, 2, 3, 5, 8, 12] {
+            for root in [0, p / 2, p - 1] {
+                let out = ThreadComm::run(p, move |comm| {
+                    let data = if comm.rank() == root { vec![7u8, 8, 9] } else { vec![] };
+                    comm.bcast_bytes(root, &data).unwrap()
+                });
+                assert!(out.iter().all(|v| v == &[7u8, 8, 9]));
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_counts_is_transpose() {
+        for p in [1usize, 2, 3, 4, 7, 16] {
+            let out = ThreadComm::run(p, |comm| {
+                let me = comm.rank();
+                // sendcounts[d] encodes (me, d) so we can check the transpose.
+                let counts: Vec<usize> = (0..p).map(|d| me * 1000 + d).collect();
+                comm.alltoall_counts(&counts).unwrap()
+            });
+            for (me, got) in out.iter().enumerate() {
+                for (src, &c) in got.iter().enumerate() {
+                    assert_eq!(c, src * 1000 + me, "p={p} me={me} src={src}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonovertaking_same_tag() {
+        ThreadComm::run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..100u8 {
+                    comm.send(1, 3, &[i]).unwrap();
+                }
+            } else {
+                for i in 0..100u8 {
+                    assert_eq!(comm.recv(0, 3).unwrap(), vec![i]);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn no_leaked_messages_after_collectives() {
+        let world = World::new(6);
+        std::thread::scope(|scope| {
+            for rank in 0..6 {
+                let world = Arc::clone(&world);
+                scope.spawn(move || {
+                    let comm = ThreadComm::new(world, rank);
+                    comm.barrier().unwrap();
+                    comm.allreduce_u64(comm.rank() as u64, ReduceOp::Sum).unwrap();
+                    comm.allgather_u64(1).unwrap();
+                    comm.barrier().unwrap();
+                });
+            }
+        });
+        // Every message sent by the collectives must have been consumed.
+        assert_eq!(world.pending_messages(), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Vector collectives: variable-length gather/scatter/allgather, provided as
+//! a blanket extension trait over any [`Communicator`].
+
+use crate::{CommError, CommResult, Communicator, Tag, RESERVED_TAG_BASE};
+
+const TAG_ALLGATHERV: Tag = RESERVED_TAG_BASE + 16;
+const TAG_SCATTERV: Tag = RESERVED_TAG_BASE + 17;
+const TAG_REDUCE: Tag = RESERVED_TAG_BASE + 18;
+
+/// Variable-length collectives (`MPI_Allgatherv`, `MPI_Scatterv`,
+/// `MPI_Reduce`-to-root), available on every communicator.
+pub trait VectorCollectives: Communicator {
+    /// Ring allgather of variable-length byte payloads; result indexed by
+    /// rank. The v-collective behind "share every rank's counts/metadata".
+    fn allgatherv_bytes(&self, data: &[u8]) -> CommResult<Vec<Vec<u8>>> {
+        let p = self.size();
+        let me = self.rank();
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); p];
+        out[me] = data.to_vec();
+        if p == 1 {
+            return Ok(out);
+        }
+        let right = (me + 1) % p;
+        let left = (me + p - 1) % p;
+        let mut carry = data.to_vec();
+        for s in 0..p - 1 {
+            carry = self.sendrecv(right, TAG_ALLGATHERV + s as Tag, &carry, left, TAG_ALLGATHERV + s as Tag)?;
+            out[(me + p - s - 1) % p] = carry.clone();
+        }
+        Ok(out)
+    }
+
+    /// Scatter per-rank payloads from `root`; non-roots pass `None`.
+    /// Returns this rank's slice.
+    fn scatterv_bytes(&self, root: usize, data: Option<&[Vec<u8>]>) -> CommResult<Vec<u8>> {
+        let p = self.size();
+        let me = self.rank();
+        self.check_rank(root)?;
+        if me == root {
+            let data = data.ok_or(CommError::BadArgument("root must supply payloads"))?;
+            if data.len() != p {
+                return Err(CommError::BadArgument("scatterv needs one payload per rank"));
+            }
+            for (dst, payload) in data.iter().enumerate() {
+                if dst != me {
+                    self.send(dst, TAG_SCATTERV, payload)?;
+                }
+            }
+            Ok(data[me].clone())
+        } else {
+            self.recv(root, TAG_SCATTERV)
+        }
+    }
+
+    /// Reduce one `u64` to `root` with `op` (binomial tree); non-roots get
+    /// `None`.
+    fn reduce_u64(&self, root: usize, value: u64, op: crate::ReduceOp) -> CommResult<Option<u64>> {
+        let p = self.size();
+        let me = self.rank();
+        self.check_rank(root)?;
+        // Rotate so the root is virtual rank 0, then fold up a binomial tree.
+        let vrank = (me + p - root) % p;
+        let mut acc = value;
+        let mut mask = 1usize;
+        while mask < p {
+            if vrank & mask != 0 {
+                // Send to the parent and exit the tree.
+                let parent = ((vrank - mask) + root) % p;
+                self.send(parent, TAG_REDUCE, &acc.to_le_bytes())?;
+                return Ok(None);
+            }
+            // Receive from the child, if it exists.
+            let child_v = vrank + mask;
+            if child_v < p {
+                let got = self.recv((child_v + root) % p, TAG_REDUCE)?;
+                acc = op.apply(acc, u64::from_le_bytes(got.try_into().expect("8-byte payload")));
+            }
+            mask <<= 1;
+        }
+        Ok(Some(acc))
+    }
+}
+
+impl<C: Communicator + ?Sized> VectorCollectives for C {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ReduceOp, ThreadComm};
+
+    #[test]
+    fn allgatherv_collects_ragged_payloads() {
+        for p in [1usize, 2, 3, 5, 8] {
+            let out = ThreadComm::run(p, |comm| {
+                let me = comm.rank();
+                let mine = vec![me as u8; me + 1];
+                comm.allgatherv_bytes(&mine).unwrap()
+            });
+            for per_rank in out {
+                for (src, payload) in per_rank.iter().enumerate() {
+                    assert_eq!(payload, &vec![src as u8; src + 1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatterv_distributes_from_each_root() {
+        let p = 5;
+        for root in 0..p {
+            let got = ThreadComm::run(p, move |comm| {
+                let me = comm.rank();
+                let data: Option<Vec<Vec<u8>>> = (me == root)
+                    .then(|| (0..p).map(|d| vec![d as u8; d + 2]).collect());
+                comm.scatterv_bytes(root, data.as_deref()).unwrap()
+            });
+            for (rank, payload) in got.into_iter().enumerate() {
+                assert_eq!(payload, vec![rank as u8; rank + 2]);
+            }
+        }
+    }
+
+    #[test]
+    fn scatterv_rejects_missing_or_ragged_root_data() {
+        ThreadComm::run(2, |comm| {
+            if comm.rank() == 0 {
+                assert!(comm.scatterv_bytes(0, None).is_err());
+                let short = vec![vec![1u8]];
+                assert!(comm.scatterv_bytes(0, Some(&short)).is_err());
+                // Unblock rank 1 with a well-formed scatter.
+                let ok = vec![vec![1u8], vec![2u8]];
+                assert_eq!(comm.scatterv_bytes(0, Some(&ok)).unwrap(), vec![1]);
+            } else {
+                assert_eq!(comm.scatterv_bytes(0, None).unwrap(), vec![2]);
+            }
+        });
+    }
+
+    #[test]
+    fn reduce_to_each_root() {
+        for p in [1usize, 2, 3, 6, 9] {
+            for root in [0, p - 1] {
+                let out = ThreadComm::run(p, move |comm| {
+                    comm.reduce_u64(root, comm.rank() as u64 + 1, ReduceOp::Sum).unwrap()
+                });
+                let expect = (p * (p + 1) / 2) as u64;
+                for (rank, o) in out.into_iter().enumerate() {
+                    if rank == root {
+                        assert_eq!(o, Some(expect), "p={p} root={root}");
+                    } else {
+                        assert_eq!(o, None);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_max_matches_allreduce() {
+        let p = 7;
+        let out = ThreadComm::run(p, |comm| {
+            let v = ((comm.rank() * 13) % 7) as u64;
+            let red = comm.reduce_u64(2, v, ReduceOp::Max).unwrap();
+            let all = comm.allreduce_u64(v, ReduceOp::Max).unwrap();
+            (red, all)
+        });
+        for (rank, (red, all)) in out.into_iter().enumerate() {
+            if rank == 2 {
+                assert_eq!(red, Some(all));
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the message-passing runtime: ordering, matching, and
+//! collective correctness over randomized inputs.
+
+use bruck_comm::{Communicator, ReduceOp, ThreadComm, VectorCollectives};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Per-(source, tag) FIFO holds for arbitrary interleavings of tags.
+    #[test]
+    fn fifo_per_tag_under_random_schedules(
+        tags in prop::collection::vec(0u32..4, 1..60),
+        seed in any::<u64>(),
+    ) {
+        let tags2 = tags.clone();
+        ThreadComm::run(2, move |comm| {
+            if comm.rank() == 0 {
+                // Send sequence numbers per tag, in program order.
+                let mut seq = [0u8; 4];
+                for &t in &tags {
+                    comm.send(1, t, &[seq[t as usize]]).unwrap();
+                    seq[t as usize] += 1;
+                }
+            } else {
+                // Receive in a *different* order (tag-major, seeded offset):
+                // within each tag the sequence must still be FIFO.
+                let mut order: Vec<u32> = (0..4).collect();
+                order.rotate_left((seed % 4) as usize);
+                for t in order {
+                    let count = tags2.iter().filter(|&&x| x == t).count();
+                    for expect in 0..count {
+                        let got = comm.recv(0, t).unwrap();
+                        assert_eq!(got, vec![expect as u8], "tag {t}");
+                    }
+                }
+            }
+        });
+    }
+
+    /// allreduce agrees with a sequential fold for random values and sizes.
+    #[test]
+    fn allreduce_matches_sequential_fold(
+        p in 1usize..10,
+        values in prop::collection::vec(any::<u64>(), 10),
+    ) {
+        let vals = values[..p].to_vec();
+        for op in [ReduceOp::Max, ReduceOp::Min, ReduceOp::Sum] {
+            let expect = vals.iter().skip(1).fold(vals[0], |a, &b| op.apply(a, b));
+            let vals2 = vals.clone();
+            let out = ThreadComm::run(p, move |comm| {
+                comm.allreduce_u64(vals2[comm.rank()], op).unwrap()
+            });
+            prop_assert!(out.iter().all(|&v| v == expect), "{op:?}");
+        }
+    }
+
+    /// allgatherv returns every rank's exact payload, any lengths.
+    #[test]
+    fn allgatherv_roundtrips_random_payloads(
+        p in 1usize..8,
+        lens in prop::collection::vec(0usize..40, 8),
+    ) {
+        let lens = lens[..p].to_vec();
+        let lens2 = lens.clone();
+        let out = ThreadComm::run(p, move |comm| {
+            let me = comm.rank();
+            let mine: Vec<u8> = (0..lens2[me]).map(|i| (me * 91 + i) as u8).collect();
+            comm.allgatherv_bytes(&mine).unwrap()
+        });
+        for got in out {
+            for (src, payload) in got.iter().enumerate() {
+                let expect: Vec<u8> = (0..lens[src]).map(|i| (src * 91 + i) as u8).collect();
+                prop_assert_eq!(payload, &expect);
+            }
+        }
+    }
+
+    /// The counts handshake is an exact transpose for arbitrary matrices.
+    #[test]
+    fn alltoall_counts_transposes(
+        p in 1usize..8,
+        flat in prop::collection::vec(0usize..10_000, 64),
+    ) {
+        let matrix: Vec<Vec<usize>> =
+            (0..p).map(|s| (0..p).map(|d| flat[s * 8 + d]).collect()).collect();
+        let m2 = matrix.clone();
+        let out = ThreadComm::run(p, move |comm| {
+            comm.alltoall_counts(&m2[comm.rank()]).unwrap()
+        });
+        for (me, got) in out.iter().enumerate() {
+            for (src, &c) in got.iter().enumerate() {
+                prop_assert_eq!(c, matrix[src][me]);
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Bruck's log-time allgather — the other collective from Bruck et al. [9],
+//! here in its variable-length form.
+//!
+//! The ring `allgatherv` in `bruck-comm` takes `P − 1` rounds; Bruck's
+//! doubling takes `⌈log₂ P⌉`: after step `k` each rank holds the blocks of
+//! sources `p .. p + 2^k − 1` (mod `P`), and step `k` ships that whole run to
+//! `p − 2^k` while receiving the next run from `p + 2^k`. Blocks are
+//! self-describing on the wire (u32 length prefix), so no separate size
+//! exchange is needed even for ragged payloads — the same
+//! metadata-coupling idea as two-phase Bruck, one message earlier.
+
+use bruck_comm::{CommError, CommResult, Communicator};
+
+use crate::common::{add_mod, ceil_log2, sub_mod, uniform_step_tag};
+
+/// Log-time allgather of one variable-length byte payload per rank; result
+/// is indexed by rank.
+pub fn bruck_allgatherv<C: Communicator + ?Sized>(
+    comm: &C,
+    data: &[u8],
+) -> CommResult<Vec<Vec<u8>>> {
+    let p = comm.size();
+    let me = comm.rank();
+    if data.len() > u32::MAX as usize {
+        return Err(CommError::BadArgument("payload exceeds u32 framing"));
+    }
+
+    // Running concatenation of framed blocks for sources me, me+1, ...
+    let mut run = Vec::with_capacity(data.len() + 4);
+    run.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    run.extend_from_slice(data);
+    let mut have = 1usize;
+
+    for k in 0..ceil_log2(p) {
+        let hop = 1usize << k;
+        let dest = sub_mod(me, hop, p);
+        let src = add_mod(me, hop, p);
+        // The receiver already holds `have` blocks; it needs at most
+        // P − have more. Send the prefix covering min(have, P − have) blocks
+        // — for power-of-two P that is the whole run.
+        let need = (p - have).min(have);
+        let send_slice = if need == have {
+            &run[..]
+        } else {
+            // Walk the framing to find the end of the `need`-th block.
+            let mut at = 0;
+            for _ in 0..need {
+                let len = u32::from_le_bytes(
+                    run[at..at + 4].try_into().expect("4-byte frame header"),
+                ) as usize;
+                at += 4 + len;
+            }
+            &run[..at]
+        };
+        let got = comm.sendrecv(dest, uniform_step_tag(k), send_slice, src, uniform_step_tag(k))?;
+        run.extend_from_slice(&got);
+        have = count_frames(&run)?;
+    }
+
+    // Unpack: frame j holds source (me + j) mod P.
+    let mut out = vec![Vec::new(); p];
+    let mut at = 0;
+    let mut j = 0usize;
+    while at < run.len() {
+        let len =
+            u32::from_le_bytes(run[at..at + 4].try_into().expect("4-byte frame header")) as usize;
+        at += 4;
+        out[add_mod(me, j, p)] = run[at..at + len].to_vec();
+        at += len;
+        j += 1;
+    }
+    if j != p {
+        return Err(CommError::BadArgument("allgather ended with missing blocks"));
+    }
+    Ok(out)
+}
+
+fn count_frames(run: &[u8]) -> CommResult<usize> {
+    let mut at = 0;
+    let mut n = 0;
+    while at < run.len() {
+        if at + 4 > run.len() {
+            return Err(CommError::BadArgument("torn frame header"));
+        }
+        let len =
+            u32::from_le_bytes(run[at..at + 4].try_into().expect("4-byte frame header")) as usize;
+        at += 4 + len;
+        n += 1;
+    }
+    if at != run.len() {
+        return Err(CommError::BadArgument("torn frame payload"));
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bruck_comm::{CountingComm, ThreadComm, VectorCollectives};
+
+    #[test]
+    fn gathers_ragged_payloads_for_all_sizes() {
+        for p in [1usize, 2, 3, 4, 5, 8, 12, 16, 17] {
+            let out = ThreadComm::run(p, |comm| {
+                let me = comm.rank();
+                let mine: Vec<u8> = (0..(me * 3) % 7).map(|i| (me * 13 + i) as u8).collect();
+                bruck_allgatherv(comm, &mine).unwrap()
+            });
+            for got in out {
+                for (src, payload) in got.iter().enumerate() {
+                    let expect: Vec<u8> =
+                        (0..(src * 3) % 7).map(|i| (src * 13 + i) as u8).collect();
+                    assert_eq!(payload, &expect, "p={p} src={src}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_ring_allgatherv() {
+        let p = 9;
+        let out = ThreadComm::run(p, |comm| {
+            let mine = vec![comm.rank() as u8; comm.rank() + 1];
+            let bruck = bruck_allgatherv(comm, &mine).unwrap();
+            let ring = comm.allgatherv_bytes(&mine).unwrap();
+            (bruck, ring)
+        });
+        for (bruck, ring) in out {
+            assert_eq!(bruck, ring);
+        }
+    }
+
+    #[test]
+    fn log_time_message_count() {
+        // Bruck: ⌈log₂ P⌉ messages per rank; the ring needs P − 1.
+        let p = 16;
+        let counts = ThreadComm::run(p, |comm| {
+            let counting = CountingComm::new(comm);
+            bruck_allgatherv(&counting, &[1, 2, 3]).unwrap();
+            counting.stats().messages
+        });
+        assert!(counts.iter().all(|&c| c == 4), "{counts:?}");
+    }
+
+    #[test]
+    fn empty_payloads() {
+        let out = ThreadComm::run(5, |comm| bruck_allgatherv(comm, &[]).unwrap());
+        for got in out {
+            assert!(got.iter().all(Vec::is_empty));
+        }
+    }
+}

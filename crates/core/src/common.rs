@@ -1,0 +1,151 @@
+//! Index arithmetic shared by every Bruck variant.
+
+use bruck_comm::Tag;
+
+/// Number of communication steps: ⌈log₂ P⌉ (0 for P = 1).
+#[inline]
+pub fn ceil_log2(p: usize) -> u32 {
+    debug_assert!(p >= 1);
+    usize::BITS - (p - 1).leading_zeros()
+}
+
+/// The relative block indices transmitted at step `k`: all `i ∈ (0, P)` whose
+/// `k`-th bit is 1. (The last step of a non-power-of-two `P` naturally yields
+/// fewer than `(P+1)/2` indices, exactly as §2.2 of the paper notes.)
+#[inline]
+pub fn step_rel_indices(p: usize, k: u32) -> impl Iterator<Item = usize> {
+    let mask = 1usize << k;
+    (1..p).filter(move |i| i & mask != 0)
+}
+
+/// Count of indices produced by [`step_rel_indices`].
+pub fn step_block_count(p: usize, k: u32) -> usize {
+    step_rel_indices(p, k).count()
+}
+
+/// The rotation index array of Zero Rotation Bruck and two-phase Bruck
+/// (§2.1, §3.2): `I[j] = (2p − j) mod P` for this rank `p`, mapping an
+/// *absolute working slot* `j` back to the original send-buffer block that
+/// modified Bruck's initial rotation would have placed there.
+pub fn rotation_index(rank: usize, p: usize) -> Vec<usize> {
+    (0..p).map(|j| ((2 * rank + p) - j) % p).collect()
+}
+
+/// `(a − b) mod p` without underflow.
+#[inline]
+pub fn sub_mod(a: usize, b: usize, p: usize) -> usize {
+    (a + p - b % p) % p
+}
+
+/// `(a + b) mod p`.
+#[inline]
+pub fn add_mod(a: usize, b: usize, p: usize) -> usize {
+    (a + b) % p
+}
+
+// ---------------------------------------------------------------------------
+// Tag conventions. All well below `bruck_comm::RESERVED_TAG_BASE`. The cost
+// model and `CountingComm`-based validation group traffic per step by tag.
+// ---------------------------------------------------------------------------
+
+/// Tag for the data message of uniform-Bruck step `k`.
+pub fn uniform_step_tag(k: u32) -> Tag {
+    0x0100 + k
+}
+
+/// Tag for the metadata message of non-uniform step `k` (two-phase, SLOAV).
+pub fn meta_tag(k: u32) -> Tag {
+    0x0200 + k
+}
+
+/// Tag for the data message of non-uniform step `k`.
+pub fn data_tag(k: u32) -> Tag {
+    0x0300 + k
+}
+
+/// Tag for spread-out / pairwise point-to-point payloads.
+pub const SPREAD_TAG: Tag = 0x0400;
+
+/// Tag for the hierarchical algorithm's member→leader gather phase.
+pub const HIER_GATHER_TAG: Tag = 0x0500;
+
+/// Tag for the hierarchical algorithm's leader↔leader exchange phase.
+pub const HIER_LEADER_TAG: Tag = 0x0501;
+
+/// Tag for the hierarchical algorithm's leader→member scatter phase.
+pub const HIER_SCATTER_TAG: Tag = 0x0502;
+
+/// Tag for the Ranka two-stage algorithm's piece-scatter stage.
+pub const RANKA_STAGE1_TAG: Tag = 0x0600;
+
+/// Tag for the Ranka two-stage algorithm's forwarding stage.
+pub const RANKA_STAGE2_TAG: Tag = 0x0601;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_matches_definition() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn rel_indices_have_bit_k_set() {
+        for p in [2usize, 3, 4, 7, 8, 12, 16] {
+            for k in 0..ceil_log2(p) {
+                let idx: Vec<usize> = step_rel_indices(p, k).collect();
+                assert!(idx.iter().all(|i| i & (1 << k) != 0));
+                assert!(idx.iter().all(|&i| i < p));
+                // At most (P+1)/2 blocks per step (§2.2).
+                assert!(idx.len() <= p.div_ceil(2), "p={p} k={k} len={}", idx.len());
+            }
+        }
+    }
+
+    #[test]
+    fn every_offset_is_routed_exactly_by_its_bits() {
+        // Summing the hops 2^k over the steps in which offset i participates
+        // must move a block exactly i ranks — the core Bruck invariant.
+        for p in [2usize, 3, 5, 8, 13, 16, 31] {
+            for i in 1..p {
+                let mut moved = 0usize;
+                for k in 0..ceil_log2(p) {
+                    if step_rel_indices(p, k).any(|j| j == i) {
+                        moved += 1 << k;
+                    }
+                }
+                assert_eq!(moved, i, "offset {i} at p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn last_step_of_non_power_of_two_sends_fewer_blocks() {
+        let p = 12;
+        let k_last = ceil_log2(p) - 1; // k = 3, mask 8
+        assert_eq!(step_block_count(p, k_last), 4); // {8, 9, 10, 11}
+        assert!(step_block_count(p, k_last) < p.div_ceil(2));
+    }
+
+    #[test]
+    fn rotation_index_is_self_inverse_shift() {
+        for p in [1usize, 2, 5, 8] {
+            for rank in 0..p {
+                let idx = rotation_index(rank, p);
+                // I[I[j]] = j (the map j ↦ 2p − j is an involution mod P).
+                for j in 0..p {
+                    assert_eq!(idx[idx[j]], j);
+                }
+                // The self block maps to itself: I[rank] = rank.
+                assert_eq!(idx[rank], rank);
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! # bruck-core — uniform and non-uniform all-to-all algorithms
+//!
+//! The primary contribution of *Optimizing the Bruck Algorithm for
+//! Non-uniform All-to-all Communication* (Fan et al., HPDC '22), implemented
+//! from scratch over the [`bruck_comm`] runtime.
+//!
+//! ## Uniform (`MPI_Alltoall` signature) — §2
+//!
+//! | Function | Paper name | Rotations |
+//! |---|---|---|
+//! | [`basic_bruck`] / [`basic_bruck_dt`] | BasicBruck(-dt) | initial + final |
+//! | [`modified_bruck`] / [`modified_bruck_dt`] | ModifiedBruck(-dt) | initial |
+//! | [`zero_copy_bruck_dt`] | ZeroCopyBruck-dt | initial |
+//! | [`zero_rotation_bruck`] | ZeroRotationBruck | **none** |
+//! | [`spread_out_alltoall`] | Spread-out | — |
+//!
+//! ## Non-uniform (`MPI_Alltoallv` signature) — §3
+//!
+//! * [`padded_bruck`] — pad → uniform Bruck → scan (§3.1)
+//! * [`two_phase_bruck`] — coupled metadata/data exchange over a monolithic
+//!   working buffer (§3.2, Algorithm 1)
+//! * [`spread_out_alltoallv`], [`vendor_alltoallv`] — the linear baselines
+//! * [`padded_alltoall`] — pad → vendor uniform all-to-all → scan
+//! * [`sloav_alltoallv`] — the SLOAV (Xu et al.) prior art, reimplemented (§6.1)
+//!
+//! ## Model — §3.3
+//!
+//! [`padded_bruck_cost`], [`two_phase_bruck_cost`], [`spread_out_cost`],
+//! inequality (3) as [`padded_beats_two_phase`], and [`select_algorithm`].
+//!
+//! ## Example
+//!
+//! ```
+//! use bruck_comm::{Communicator, ThreadComm};
+//! use bruck_core::{packed_displs, two_phase_bruck};
+//!
+//! // 4 ranks; rank p sends p+1 bytes of value p to every rank.
+//! ThreadComm::run(4, |comm| {
+//!     let me = comm.rank();
+//!     let sendcounts = vec![me + 1; 4];
+//!     let sdispls = packed_displs(&sendcounts);
+//!     let sendbuf = vec![me as u8; 4 * (me + 1)];
+//!     let recvcounts: Vec<usize> = (0..4).map(|src| src + 1).collect();
+//!     let rdispls = packed_displs(&recvcounts);
+//!     let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+//!     two_phase_bruck(
+//!         comm, &sendbuf, &sendcounts, &sdispls,
+//!         &mut recvbuf, &recvcounts, &rdispls,
+//!     ).unwrap();
+//!     for src in 0..4 {
+//!         assert!(recvbuf[rdispls[src]..rdispls[src] + src + 1]
+//!             .iter().all(|&b| b == src as u8));
+//!     }
+//! });
+//! ```
+
+#![warn(missing_docs)]
+
+mod allgather;
+pub mod common;
+mod memory;
+mod model;
+mod nonuniform;
+mod phases;
+mod radix;
+mod uniform;
+
+pub use allgather::bruck_allgatherv;
+pub use memory::{memory_overhead_bytes, select_algorithm_with_budget};
+pub use model::{
+    padded_beats_two_phase, padded_bruck_cost, select_algorithm, spread_out_cost,
+    two_phase_bruck_cost, CostParams,
+};
+pub use nonuniform::{
+    adaptive_alltoallv, alltoallv, alltoallw, hierarchical_alltoallv, packed_displs, padded_alltoall, padded_bruck, piece_len,
+    piece_offset, ranka_two_stage_alltoallv, reference_alltoallv, sloav_alltoallv,
+    sloav_alltoallv_timed, spread_out_alltoallv, two_phase_bruck, two_phase_bruck_timed,
+    vendor_alltoallv, AlltoallvAlgorithm, NonuniformPhases, DEFAULT_GROUP_SIZE, VENDOR_WINDOW,
+};
+pub use phases::PhaseTimes;
+pub use radix::{
+    radix_digit, radix_schedule, radix_step_rel_indices, two_phase_bruck_radix,
+    zero_rotation_bruck_radix,
+};
+pub use uniform::{
+    alltoall, alltoall_timed, basic_bruck, basic_bruck_dt, basic_bruck_timed, modified_bruck,
+    modified_bruck_dt, modified_bruck_timed, reference_alltoall, spread_out_alltoall,
+    zero_copy_bruck_dt, zero_rotation_bruck, zero_rotation_bruck_timed, AlltoallAlgorithm,
+};

@@ -1,0 +1,134 @@
+//! The paper's theoretical performance model (§3.3) and the runtime
+//! algorithm selector it motivates.
+
+use crate::common::ceil_log2;
+use crate::nonuniform::AlltoallvAlgorithm;
+
+/// α–β point-to-point cost parameters: a message of `n` bytes costs
+/// `α + n·β` seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// Latency per message (seconds).
+    pub alpha: f64,
+    /// Transfer time per byte (seconds/byte).
+    pub beta: f64,
+}
+
+impl Default for CostParams {
+    /// Aries-interconnect-flavoured defaults (≈2 µs latency, ≈2.8 GB/s
+    /// effective per-rank all-to-all bandwidth) — see DESIGN.md §5.
+    fn default() -> Self {
+        CostParams { alpha: 2.0e-6, beta: 1.0 / 2.8e9 }
+    }
+}
+
+/// Equation (1): padded Bruck sends `log P · (P+1)/2` blocks of exactly `N`
+/// bytes.
+pub fn padded_bruck_cost(p: usize, n_max: usize, params: &CostParams) -> f64 {
+    let logp = f64::from(ceil_log2(p));
+    let blocks = (p as f64 + 1.0) / 2.0;
+    params.alpha * logp + params.beta * logp * blocks * n_max as f64
+}
+
+/// Equation (2): two-phase Bruck doubles the latency (metadata + data), adds
+/// 4 bytes of metadata per block, and moves blocks of average size `N/2`
+/// (uniform distribution assumption of §4.1).
+pub fn two_phase_bruck_cost(p: usize, n_max: usize, params: &CostParams) -> f64 {
+    let logp = f64::from(ceil_log2(p));
+    let blocks = (p as f64 + 1.0) / 2.0;
+    2.0 * params.alpha * logp
+        + 4.0 * params.beta * logp * blocks
+        + (n_max as f64 / 2.0) * params.beta * logp * blocks
+}
+
+/// Linear-baseline cost: `P − 1` messages of average size `N/2`.
+pub fn spread_out_cost(p: usize, n_max: usize, params: &CostParams) -> f64 {
+    let msgs = (p as f64 - 1.0).max(0.0);
+    params.alpha * msgs + params.beta * msgs * n_max as f64 / 2.0
+}
+
+/// Inequality (3): padded Bruck beats two-phase Bruck iff
+/// `(N − 8)(P + 1)β < 4α`.
+pub fn padded_beats_two_phase(p: usize, n_max: usize, params: &CostParams) -> bool {
+    (n_max as f64 - 8.0) * (p as f64 + 1.0) * params.beta < 4.0 * params.alpha
+}
+
+/// Pick the cheapest of the three practical algorithms under the model —
+/// the runtime selection a vendor `MPI_Alltoallv` would make (§7).
+pub fn select_algorithm(p: usize, n_max: usize, params: &CostParams) -> AlltoallvAlgorithm {
+    let padded = padded_bruck_cost(p, n_max, params);
+    let two_phase = two_phase_bruck_cost(p, n_max, params);
+    let spread = spread_out_cost(p, n_max, params);
+    if spread <= padded && spread <= two_phase {
+        AlltoallvAlgorithm::SpreadOut
+    } else if padded <= two_phase {
+        AlltoallvAlgorithm::PaddedBruck
+    } else {
+        AlltoallvAlgorithm::TwoPhaseBruck
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PARAMS: CostParams = CostParams { alpha: 2.0e-6, beta: 1.0 / 2.8e9 };
+
+    #[test]
+    fn inequality_three_matches_cost_comparison() {
+        // (1) < (2) must be *exactly* inequality (3) — the paper derives one
+        // from the other algebraically.
+        for p in [16usize, 128, 1024, 4096, 32768] {
+            for n in [1usize, 4, 8, 9, 16, 64, 256, 2048] {
+                let lhs = padded_bruck_cost(p, n, &PARAMS) < two_phase_bruck_cost(p, n, &PARAMS);
+                let rhs = padded_beats_two_phase(p, n, &PARAMS);
+                assert_eq!(lhs, rhs, "p={p} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn padded_always_wins_below_8_bytes() {
+        // §3.3: "this certainly happens when N is less than 8 bytes".
+        for p in [2usize, 64, 1024, 32768] {
+            for n in [0usize, 1, 4, 7] {
+                assert!(padded_beats_two_phase(p, n, &PARAMS), "p={p} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_phase_wins_for_moderate_loads_spread_out_for_large() {
+        // The qualitative Figure 9 shape: Bruck for small N, spread-out for
+        // large N, with the crossover shrinking as P grows.
+        assert_eq!(select_algorithm(1024, 64, &PARAMS), AlltoallvAlgorithm::TwoPhaseBruck);
+        assert_eq!(select_algorithm(1024, 1 << 20, &PARAMS), AlltoallvAlgorithm::SpreadOut);
+        let crossover_at = |p: usize| {
+            (1..=24)
+                .map(|e| 1usize << e)
+                .find(|&n| select_algorithm(p, n, &PARAMS) == AlltoallvAlgorithm::SpreadOut)
+                .unwrap()
+        };
+        assert!(crossover_at(32768) <= crossover_at(1024));
+    }
+
+    #[test]
+    fn costs_are_monotone_in_n_and_p() {
+        for p in [8usize, 256, 8192] {
+            for n in [16usize, 128, 1024] {
+                assert!(padded_bruck_cost(p, n, &PARAMS) < padded_bruck_cost(p, 2 * n, &PARAMS));
+                assert!(
+                    two_phase_bruck_cost(p, n, &PARAMS) < two_phase_bruck_cost(p * 2, n, &PARAMS)
+                );
+                assert!(spread_out_cost(p, n, &PARAMS) < spread_out_cost(p, 2 * n, &PARAMS));
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_costs_nothing() {
+        assert_eq!(padded_bruck_cost(1, 64, &PARAMS), 0.0);
+        assert_eq!(two_phase_bruck_cost(1, 64, &PARAMS), 0.0);
+        assert_eq!(spread_out_cost(1, 64, &PARAMS), 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! The adaptive `alltoallv` the paper's conclusion proposes: "Implementations
+//! of MPI can use insights from this paper to directly optimize their
+//! MPI_Alltoallv" — select spread-out, padded Bruck, or two-phase Bruck at
+//! runtime from the §3.3 model and the observed workload.
+
+use bruck_comm::{CommResult, Communicator, ReduceOp};
+
+use super::{alltoallv, AlltoallvAlgorithm};
+use crate::model::{select_algorithm, CostParams};
+
+/// Non-uniform all-to-all that measures the workload's global maximum block
+/// size with one allreduce, consults the §3.3 cost model, and dispatches to
+/// the predicted-fastest algorithm. Returns the algorithm used.
+///
+/// All ranks deterministically agree on the choice (the allreduce gives every
+/// rank the same `N`), so the collective stays well-formed.
+#[allow(clippy::too_many_arguments)]
+pub fn adaptive_alltoallv<C: Communicator + ?Sized>(
+    comm: &C,
+    params: &CostParams,
+    sendbuf: &[u8],
+    sendcounts: &[usize],
+    sdispls: &[usize],
+    recvbuf: &mut [u8],
+    recvcounts: &[usize],
+    rdispls: &[usize],
+) -> CommResult<AlltoallvAlgorithm> {
+    let local_max = sendcounts.iter().copied().max().unwrap_or(0);
+    let n_max = comm.allreduce_u64(local_max as u64, ReduceOp::Max)? as usize;
+    let algo = match select_algorithm(comm.size(), n_max, params) {
+        // The model's "spread-out" slot maps to the production (throttled)
+        // pairwise implementation.
+        AlltoallvAlgorithm::SpreadOut => AlltoallvAlgorithm::Vendor,
+        other => other,
+    };
+    alltoallv(algo, comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)?;
+    Ok(algo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{build_send, check_recv};
+    use super::*;
+    use crate::packed_displs;
+    use bruck_comm::ThreadComm;
+    use bruck_workload::{Distribution, SizeMatrix};
+
+    fn run(m: &SizeMatrix, params: &CostParams) -> AlltoallvAlgorithm {
+        let p = m.p();
+        let chosen = ThreadComm::run(p, |comm| {
+            let me = comm.rank();
+            let (sendbuf, sendcounts, sdispls) = build_send(me, m);
+            let recvcounts = m.recvcounts(me);
+            let rdispls = packed_displs(&recvcounts);
+            let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+            let algo = adaptive_alltoallv(
+                comm, params, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts,
+                &rdispls,
+            )
+            .unwrap();
+            check_recv(me, m, &recvbuf, &rdispls);
+            algo
+        });
+        // Every rank must have picked the same algorithm.
+        assert!(chosen.windows(2).all(|w| w[0] == w[1]));
+        chosen[0]
+    }
+
+    #[test]
+    fn picks_by_regime_and_stays_correct() {
+        let params = CostParams::default();
+        // Tiny blocks → padded Bruck territory (N < 8 always wins per (3)).
+        let tiny = SizeMatrix::uniform(64, 4);
+        assert_eq!(run(&tiny, &params), AlltoallvAlgorithm::PaddedBruck);
+        // Moderate blocks at a P where log P ≪ P → two-phase.
+        let moderate = SizeMatrix::uniform(64, 512);
+        assert_eq!(run(&moderate, &params), AlltoallvAlgorithm::TwoPhaseBruck);
+        // Huge blocks → the vendor pairwise path.
+        let huge = SizeMatrix::uniform(8, 1 << 20);
+        assert_eq!(run(&huge, &params), AlltoallvAlgorithm::Vendor);
+        // Degenerate small P: log P ≈ P, padding is as good as it gets.
+        let small_p = SizeMatrix::generate(Distribution::Uniform, 1, 8, 512);
+        assert_eq!(run(&small_p, &params), AlltoallvAlgorithm::PaddedBruck);
+    }
+
+    #[test]
+    fn all_ranks_agree_under_skew() {
+        // Only one rank holds the large block; the allreduce must still give
+        // a unanimous selection.
+        let params = CostParams::default();
+        let mut rows = vec![vec![2usize; 6]; 6];
+        rows[3][1] = 1 << 21;
+        let m = SizeMatrix::from_rows(rows);
+        assert_eq!(run(&m, &params), AlltoallvAlgorithm::Vendor);
+    }
+}

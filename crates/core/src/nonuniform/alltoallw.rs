@@ -1,0 +1,167 @@
+//! `MPI_Alltoallw`-style exchange over derived datatypes — the extension the
+//! paper lists as unexplored ("we have also not explored the applicability
+//! of our techniques for mixed datatypes, as used by MPI_Alltoallw", §1).
+//!
+//! Each peer's block is described by an [`IndexedBlocks`] layout instead of a
+//! `(count, displacement)` pair: `send_layouts[i]` gathers the bytes destined
+//! to rank `i` out of `sendbuf`, and `recv_layouts[i]` scatters the block
+//! arriving from rank `i` into `recvbuf`. The exchange itself is two-phase
+//! Bruck over the packed representations, so all of the paper's non-uniform
+//! machinery (metadata coupling, monolithic working buffer, zero rotations)
+//! carries over unchanged.
+
+use bruck_comm::{CommError, CommResult, Communicator};
+use bruck_datatype::IndexedBlocks;
+
+use super::packed_displs;
+use crate::nonuniform::{alltoallv, AlltoallvAlgorithm};
+
+/// Non-uniform all-to-all where every block is a derived-datatype layout.
+///
+/// Contract: `send_layouts[i].packed_len()` on rank `p` must equal
+/// `recv_layouts[p].packed_len()` on rank `i` (the `MPI_Alltoallw`
+/// sizes-match rule).
+pub fn alltoallw<C: Communicator + ?Sized>(
+    algo: AlltoallvAlgorithm,
+    comm: &C,
+    sendbuf: &[u8],
+    send_layouts: &[IndexedBlocks],
+    recvbuf: &mut [u8],
+    recv_layouts: &[IndexedBlocks],
+) -> CommResult<()> {
+    let p = comm.size();
+    if send_layouts.len() != p || recv_layouts.len() != p {
+        return Err(CommError::BadArgument("one layout per rank required"));
+    }
+
+    // Gather every outgoing block into a packed staging buffer.
+    let sendcounts: Vec<usize> = send_layouts.iter().map(IndexedBlocks::packed_len).collect();
+    let sdispls = packed_displs(&sendcounts);
+    let mut packed_send = vec![0u8; sendcounts.iter().sum()];
+    for (i, layout) in send_layouts.iter().enumerate() {
+        layout
+            .pack_into(sendbuf, &mut packed_send[sdispls[i]..sdispls[i] + sendcounts[i]])
+            .map_err(|_| CommError::BadArgument("send layout out of bounds"))?;
+    }
+
+    let recvcounts: Vec<usize> = recv_layouts.iter().map(IndexedBlocks::packed_len).collect();
+    let rdispls = packed_displs(&recvcounts);
+    let mut packed_recv = vec![0u8; recvcounts.iter().sum()];
+
+    alltoallv(
+        algo, comm, &packed_send, &sendcounts, &sdispls, &mut packed_recv, &recvcounts, &rdispls,
+    )?;
+
+    // Scatter each received block through its layout.
+    for (i, layout) in recv_layouts.iter().enumerate() {
+        layout
+            .unpack_from(&packed_recv[rdispls[i]..rdispls[i] + recvcounts[i]], recvbuf)
+            .map_err(|_| CommError::BadArgument("recv layout out of bounds"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bruck_comm::ThreadComm;
+
+    /// Strided matrix exchange: rank p owns column p of a P×P byte matrix in
+    /// row-major layout and sends each rank its row segment — the classic
+    /// Alltoallw transpose-without-pack use case.
+    #[test]
+    fn strided_transpose_via_alltoallw() {
+        let p = 6;
+        for algo in [AlltoallvAlgorithm::TwoPhaseBruck, AlltoallvAlgorithm::Vendor] {
+            ThreadComm::run(p, |comm| {
+                let me = comm.rank();
+                let cell = 4usize; // bytes per matrix cell
+                // sendbuf: my row of the logical matrix, P cells.
+                let sendbuf: Vec<u8> =
+                    (0..p * cell).map(|i| (me * 31 + i / cell) as u8).collect();
+                // To rank d: my cell d (contiguous within my row).
+                let send_layouts: Vec<IndexedBlocks> = (0..p)
+                    .map(|d| IndexedBlocks::new(vec![(d * cell, cell)]).unwrap())
+                    .collect();
+                // From rank s: its cell me, landing strided into my column
+                // buffer at row s.
+                let recv_layouts: Vec<IndexedBlocks> = (0..p)
+                    .map(|s| IndexedBlocks::new(vec![(s * cell, cell)]).unwrap())
+                    .collect();
+                let mut recvbuf = vec![0u8; p * cell];
+                alltoallw(algo, comm, &sendbuf, &send_layouts, &mut recvbuf, &recv_layouts)
+                    .unwrap();
+                for s in 0..p {
+                    for b in 0..cell {
+                        assert_eq!(recvbuf[s * cell + b], (s * 31 + me) as u8);
+                    }
+                }
+            });
+        }
+    }
+
+    /// Non-uniform, non-contiguous layouts on both sides.
+    #[test]
+    fn ragged_noncontiguous_layouts() {
+        let p = 5;
+        ThreadComm::run(p, |comm| {
+            let me = comm.rank();
+            // To rank d: (me + d + 1) bytes scattered across sendbuf as two
+            // pieces.
+            let region = 64usize;
+            let sendbuf: Vec<u8> = (0..p * region).map(|i| (me * 7 + i) as u8).collect();
+            let send_layouts: Vec<IndexedBlocks> = (0..p)
+                .map(|d| {
+                    let len = me + d + 1;
+                    let head = len / 2;
+                    IndexedBlocks::new(vec![
+                        (d * region, head),
+                        (d * region + 32, len - head),
+                    ])
+                    .unwrap()
+                })
+                .collect();
+            // From rank s: (s + me + 1) bytes into a strided spot.
+            let recv_layouts: Vec<IndexedBlocks> = (0..p)
+                .map(|s| {
+                    let len = s + me + 1;
+                    IndexedBlocks::new(vec![(s * 32, len)]).unwrap()
+                })
+                .collect();
+            let mut recvbuf = vec![0u8; p * 32];
+            alltoallw(
+                AlltoallvAlgorithm::TwoPhaseBruck,
+                comm,
+                &sendbuf,
+                &send_layouts,
+                &mut recvbuf,
+                &recv_layouts,
+            )
+            .unwrap();
+            // Verify against a manual pack of the sender-side bytes.
+            for s in 0..p {
+                let len = s + me + 1;
+                let head = len / 2;
+                let mut expect = Vec::new();
+                for off in 0..head {
+                    expect.push((s * 7 + me * region + off) as u8);
+                }
+                for off in 0..len - head {
+                    expect.push((s * 7 + me * region + 32 + off) as u8);
+                }
+                assert_eq!(&recvbuf[s * 32..s * 32 + len], &expect[..], "from {s}");
+            }
+        });
+    }
+
+    #[test]
+    fn rejects_wrong_layout_counts() {
+        ThreadComm::run(2, |comm| {
+            let layouts = vec![IndexedBlocks::contiguous(1)];
+            let mut recv = vec![0u8; 2];
+            let err =
+                alltoallw(AlltoallvAlgorithm::Vendor, comm, &[0u8; 2], &layouts, &mut recv, &layouts);
+            assert!(err.is_err());
+        });
+    }
+}

@@ -1,0 +1,268 @@
+//! Non-uniform all-to-all (`MPI_Alltoallv` signature): §3 of the paper.
+//!
+//! Contract (identical to `MPI_Alltoallv`): rank `p` sends
+//! `sendbuf[sdispls[i] .. sdispls[i] + sendcounts[i]]` to rank `i` and
+//! receives rank `i`'s block for `p` into
+//! `recvbuf[rdispls[i] .. rdispls[i] + recvcounts[i]]`. As in MPI, the caller
+//! already knows `recvcounts` (apply [`bruck_comm::Communicator::alltoall_counts`]
+//! first if it does not).
+
+mod adaptive;
+mod alltoallw;
+mod hierarchical;
+mod padded;
+mod padded_alltoall;
+mod reference;
+mod sloav;
+mod spread_out;
+mod timed;
+mod two_phase;
+mod two_stage;
+mod vendor;
+
+pub use adaptive::adaptive_alltoallv;
+pub use alltoallw::alltoallw;
+pub use hierarchical::{hierarchical_alltoallv, DEFAULT_GROUP_SIZE};
+pub use padded::padded_bruck;
+pub use padded_alltoall::padded_alltoall;
+pub use reference::reference_alltoallv;
+pub use sloav::sloav_alltoallv;
+pub use spread_out::spread_out_alltoallv;
+pub use timed::{sloav_alltoallv_timed, two_phase_bruck_timed, NonuniformPhases};
+pub use two_phase::two_phase_bruck;
+pub use two_stage::{piece_len, piece_offset, ranka_two_stage_alltoallv};
+pub use vendor::{vendor_alltoallv, VENDOR_WINDOW};
+
+use bruck_comm::{CommError, CommResult, Communicator};
+
+/// The non-uniform algorithms evaluated in §4 (Figures 6–13) plus the SLOAV
+/// baseline reimplementation (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlltoallvAlgorithm {
+    /// Pairwise oracle for tests.
+    Reference,
+    /// Non-blocking point-to-point, all pairs in flight.
+    SpreadOut,
+    /// Throttled spread-out standing in for the vendor `MPI_Alltoallv`.
+    Vendor,
+    /// Pad to uniform, Bruck exchange, scan (§3.1).
+    PaddedBruck,
+    /// Pad to uniform, vendor-style uniform all-to-all, scan (§4.1's
+    /// `PaddedAlltoall` baseline).
+    PaddedAlltoall,
+    /// Coupled metadata/data exchange over a monolithic working buffer (§3.2).
+    TwoPhaseBruck,
+    /// Reimplementation of SLOAV (Xu et al.) with its combined-buffer metadata, block
+    /// pointer array, and final scan (§6.1 describes these drawbacks).
+    Sloav,
+    /// Leader-based hierarchical exchange (related work, §6) with groups of
+    /// [`DEFAULT_GROUP_SIZE`].
+    Hierarchical,
+    /// Ranka et al.'s balanced two-stage decomposition (related work, §6).
+    RankaTwoStage,
+}
+
+impl AlltoallvAlgorithm {
+    /// All algorithms, baselines first.
+    pub const ALL: [AlltoallvAlgorithm; 9] = [
+        AlltoallvAlgorithm::Reference,
+        AlltoallvAlgorithm::SpreadOut,
+        AlltoallvAlgorithm::Vendor,
+        AlltoallvAlgorithm::PaddedBruck,
+        AlltoallvAlgorithm::PaddedAlltoall,
+        AlltoallvAlgorithm::TwoPhaseBruck,
+        AlltoallvAlgorithm::Sloav,
+        AlltoallvAlgorithm::Hierarchical,
+        AlltoallvAlgorithm::RankaTwoStage,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlltoallvAlgorithm::Reference => "Reference",
+            AlltoallvAlgorithm::SpreadOut => "Spread-out",
+            AlltoallvAlgorithm::Vendor => "MPI_Alltoallv",
+            AlltoallvAlgorithm::PaddedBruck => "Padded Bruck",
+            AlltoallvAlgorithm::PaddedAlltoall => "PaddedAlltoall",
+            AlltoallvAlgorithm::TwoPhaseBruck => "Two-phase Bruck",
+            AlltoallvAlgorithm::Sloav => "SLOAV",
+            AlltoallvAlgorithm::Hierarchical => "Hierarchical",
+            AlltoallvAlgorithm::RankaTwoStage => "Ranka two-stage",
+        }
+    }
+}
+
+/// Dispatch a non-uniform all-to-all by algorithm id.
+#[allow(clippy::too_many_arguments)]
+pub fn alltoallv<C: Communicator + ?Sized>(
+    algo: AlltoallvAlgorithm,
+    comm: &C,
+    sendbuf: &[u8],
+    sendcounts: &[usize],
+    sdispls: &[usize],
+    recvbuf: &mut [u8],
+    recvcounts: &[usize],
+    rdispls: &[usize],
+) -> CommResult<()> {
+    match algo {
+        AlltoallvAlgorithm::Reference => {
+            reference_alltoallv(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
+        }
+        AlltoallvAlgorithm::SpreadOut => {
+            spread_out_alltoallv(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
+        }
+        AlltoallvAlgorithm::Vendor => {
+            vendor_alltoallv(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
+        }
+        AlltoallvAlgorithm::PaddedBruck => {
+            padded_bruck(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
+        }
+        AlltoallvAlgorithm::PaddedAlltoall => {
+            padded_alltoall(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
+        }
+        AlltoallvAlgorithm::TwoPhaseBruck => {
+            two_phase_bruck(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
+        }
+        AlltoallvAlgorithm::Sloav => {
+            sloav_alltoallv(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
+        }
+        AlltoallvAlgorithm::Hierarchical => hierarchical_alltoallv(
+            comm,
+            sendbuf,
+            sendcounts,
+            sdispls,
+            recvbuf,
+            recvcounts,
+            rdispls,
+            DEFAULT_GROUP_SIZE,
+        ),
+        AlltoallvAlgorithm::RankaTwoStage => ranka_two_stage_alltoallv(
+            comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls,
+        ),
+    }
+}
+
+/// Exclusive prefix sums: the packed displacement array for a counts array.
+pub fn packed_displs(counts: &[usize]) -> Vec<usize> {
+    let mut displs = Vec::with_capacity(counts.len());
+    let mut at = 0;
+    for &c in counts {
+        displs.push(at);
+        at += c;
+    }
+    displs
+}
+
+/// Validate an `alltoallv` argument set; returns `P`.
+pub(crate) fn validate_v<C: Communicator + ?Sized>(
+    comm: &C,
+    sendbuf: &[u8],
+    sendcounts: &[usize],
+    sdispls: &[usize],
+    recvbuf: &[u8],
+    recvcounts: &[usize],
+    rdispls: &[usize],
+) -> CommResult<usize> {
+    let p = comm.size();
+    if sendcounts.len() != p || sdispls.len() != p {
+        return Err(CommError::BadArgument("sendcounts/sdispls must have length P"));
+    }
+    if recvcounts.len() != p || rdispls.len() != p {
+        return Err(CommError::BadArgument("recvcounts/rdispls must have length P"));
+    }
+    for i in 0..p {
+        if sdispls[i] + sendcounts[i] > sendbuf.len() {
+            return Err(CommError::BadArgument("send block out of bounds"));
+        }
+        if rdispls[i] + recvcounts[i] > recvbuf.len() {
+            return Err(CommError::BadArgument("recv block out of bounds"));
+        }
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use bruck_comm::ThreadComm;
+    use bruck_workload::SizeMatrix;
+
+    /// Deterministic pattern byte for (source, destination, offset-in-block).
+    pub fn pattern(src: usize, dst: usize, idx: usize) -> u8 {
+        (src.wrapping_mul(167) ^ dst.wrapping_mul(59) ^ idx.wrapping_mul(13)) as u8
+    }
+
+    /// Build rank `src`'s packed (sendbuf, sendcounts, sdispls) for a matrix.
+    pub fn build_send(src: usize, m: &SizeMatrix) -> (Vec<u8>, Vec<usize>, Vec<usize>) {
+        let counts = m.sendcounts(src);
+        let displs = packed_displs(&counts);
+        let total: usize = counts.iter().sum();
+        let mut buf = vec![0u8; total];
+        for dst in 0..m.p() {
+            for idx in 0..counts[dst] {
+                buf[displs[dst] + idx] = pattern(src, dst, idx);
+            }
+        }
+        (buf, counts, displs)
+    }
+
+    /// Check rank `me`'s receive buffer against the matrix and pattern.
+    pub fn check_recv(me: usize, m: &SizeMatrix, recvbuf: &[u8], rdispls: &[usize]) {
+        for src in 0..m.p() {
+            let len = m.get(src, me);
+            for idx in 0..len {
+                assert_eq!(
+                    recvbuf[rdispls[src] + idx],
+                    pattern(src, me, idx),
+                    "rank {me}: byte {idx} of block from {src} (len {len})"
+                );
+            }
+        }
+    }
+
+    /// Run `algo` on every rank for the given size matrix and verify output.
+    pub fn run_and_check_matrix(algo: AlltoallvAlgorithm, m: &SizeMatrix) {
+        let p = m.p();
+        ThreadComm::run(p, |comm| {
+            let me = comm.rank();
+            let (sendbuf, sendcounts, sdispls) = build_send(me, m);
+            let recvcounts = m.recvcounts(me);
+            let rdispls = packed_displs(&recvcounts);
+            let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+            alltoallv(algo, comm, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts, &rdispls)
+                .unwrap();
+            check_recv(me, m, &recvbuf, &rdispls);
+        });
+    }
+
+    /// Run `algo` over a generated workload.
+    pub fn run_and_check(algo: AlltoallvAlgorithm, p: usize, n_max: usize, seed: u64) {
+        let m = SizeMatrix::generate(bruck_workload::Distribution::Uniform, seed, p, n_max);
+        run_and_check_matrix(algo, &m);
+    }
+
+    /// The sizes every variant must survive: powers of two, odd, prime, one.
+    pub const TEST_SIZES: [usize; 9] = [1, 2, 3, 4, 5, 8, 12, 16, 17];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_displs_is_exclusive_prefix_sum() {
+        assert_eq!(packed_displs(&[3, 0, 5, 1]), vec![0, 3, 3, 8]);
+        assert_eq!(packed_displs(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_bounds_blocks() {
+        bruck_comm::ThreadComm::run(2, |comm| {
+            let send = vec![0u8; 4];
+            let recv = vec![0u8; 4];
+            // block 1 reaches byte 5 > 4.
+            let err = validate_v(comm, &send, &[2, 3], &[0, 2], &recv, &[2, 2], &[0, 2]);
+            assert!(err.is_err());
+        });
+    }
+}

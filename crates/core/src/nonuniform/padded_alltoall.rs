@@ -1,0 +1,77 @@
+//! `PaddedAlltoall` (§4.1): pad to uniform, then use the *vendor's* uniform
+//! all-to-all instead of our Bruck — the ablation baseline that isolates how
+//! much of padded Bruck's win comes from the Bruck exchange itself.
+
+use bruck_comm::{CommResult, Communicator, ReduceOp};
+
+use super::validate_v;
+use crate::common::{add_mod, sub_mod, SPREAD_TAG};
+
+/// Pad to the global maximum `N`, run a vendor-style (throttled pairwise)
+/// uniform all-to-all, scan the real bytes out.
+#[allow(clippy::too_many_arguments)]
+pub fn padded_alltoall<C: Communicator + ?Sized>(
+    comm: &C,
+    sendbuf: &[u8],
+    sendcounts: &[usize],
+    sdispls: &[usize],
+    recvbuf: &mut [u8],
+    recvcounts: &[usize],
+    rdispls: &[usize],
+) -> CommResult<()> {
+    let p = validate_v(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)?;
+    let me = comm.rank();
+
+    let local_max = sendcounts.iter().copied().max().unwrap_or(0);
+    let n_max = comm.allreduce_u64(local_max as u64, ReduceOp::Max)? as usize;
+    if n_max == 0 {
+        return Ok(());
+    }
+
+    let mut padded_send = vec![0u8; p * n_max];
+    for dst in 0..p {
+        let d = sdispls[dst];
+        padded_send[dst * n_max..dst * n_max + sendcounts[dst]]
+            .copy_from_slice(&sendbuf[d..d + sendcounts[dst]]);
+    }
+    let mut padded_recv = vec![0u8; p * n_max];
+
+    // Vendor-style uniform exchange (throttled pairwise, window as in
+    // `vendor_alltoallv`).
+    padded_recv[me * n_max..(me + 1) * n_max]
+        .copy_from_slice(&padded_send[me * n_max..(me + 1) * n_max]);
+    let window = super::VENDOR_WINDOW;
+    let mut next = 1usize;
+    while next < p {
+        let batch_end = (next + window).min(p);
+        for i in next..batch_end {
+            let dest = add_mod(me, i, p);
+            comm.isend(dest, SPREAD_TAG, &padded_send[dest * n_max..(dest + 1) * n_max])?;
+        }
+        for i in next..batch_end {
+            let src = sub_mod(me, i, p);
+            comm.recv_into(src, SPREAD_TAG, &mut padded_recv[src * n_max..(src + 1) * n_max])?;
+        }
+        next = batch_end;
+    }
+
+    for src in 0..p {
+        let want = recvcounts[src];
+        recvbuf[rdispls[src]..rdispls[src] + want]
+            .copy_from_slice(&padded_recv[src * n_max..src * n_max + want]);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{run_and_check, TEST_SIZES};
+    use super::super::AlltoallvAlgorithm::PaddedAlltoall;
+
+    #[test]
+    fn correct_for_all_communicator_sizes() {
+        for p in TEST_SIZES {
+            run_and_check(PaddedAlltoall, p, 24, 0xABCD);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Pairwise oracle `alltoallv` used to validate every other variant.
+
+use bruck_comm::{CommResult, Communicator};
+
+use super::validate_v;
+use crate::common::{add_mod, sub_mod, SPREAD_TAG};
+
+/// Blocking pairwise exchange, structurally unlike the Bruck family.
+#[allow(clippy::too_many_arguments)]
+pub fn reference_alltoallv<C: Communicator + ?Sized>(
+    comm: &C,
+    sendbuf: &[u8],
+    sendcounts: &[usize],
+    sdispls: &[usize],
+    recvbuf: &mut [u8],
+    recvcounts: &[usize],
+    rdispls: &[usize],
+) -> CommResult<()> {
+    let p = validate_v(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)?;
+    let me = comm.rank();
+
+    recvbuf[rdispls[me]..rdispls[me] + recvcounts[me]]
+        .copy_from_slice(&sendbuf[sdispls[me]..sdispls[me] + sendcounts[me]]);
+    for i in 1..p {
+        let dest = add_mod(me, i, p);
+        let src = sub_mod(me, i, p);
+        let n = comm.sendrecv_into(
+            dest,
+            SPREAD_TAG,
+            &sendbuf[sdispls[dest]..sdispls[dest] + sendcounts[dest]],
+            src,
+            SPREAD_TAG,
+            &mut recvbuf[rdispls[src]..rdispls[src] + recvcounts[src]],
+        )?;
+        debug_assert_eq!(n, recvcounts[src], "peer sent unexpected block size");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{run_and_check, TEST_SIZES};
+    use super::super::AlltoallvAlgorithm::Reference;
+
+    #[test]
+    fn correct_for_all_communicator_sizes() {
+        for p in TEST_SIZES {
+            run_and_check(Reference, p, 40, 0x1234);
+        }
+    }
+}

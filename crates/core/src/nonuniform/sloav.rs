@@ -1,0 +1,138 @@
+//! SLOAV (Xu et al. [44]) reimplementation — the prior log-time non-uniform
+//! all-to-all that two-phase Bruck improves upon.
+//!
+//! Faithful to the structural choices §6.1 criticizes, so the benchmarks can
+//! quantify each improvement:
+//!
+//! 1. **Combined metadata**: each step sends one message whose payload is the
+//!    block-size array *packed together with* the data blocks, preceded by a
+//!    size-of-combined-buffer exchange — costing an extra pack on the sender
+//!    and an unpack on the receiver (two-phase Bruck decouples them instead).
+//! 2. **Two-layer buffer management**: intermediate blocks live in a pointer
+//!    array of individually sized allocations (two-phase Bruck's monolithic
+//!    `W` has neither the pointer array nor the per-step allocations).
+//! 3. **Final scan**: blocks are keyed by Bruck *offset* and only copied to
+//!    their destination positions in a final scan over all `P` blocks
+//!    (two-phase Bruck preempts final locations and delivers in place).
+
+use bruck_comm::{CommError, CommResult, Communicator};
+
+use super::validate_v;
+use crate::common::{add_mod, ceil_log2, data_tag, meta_tag, step_rel_indices, sub_mod};
+
+/// SLOAV-style non-uniform all-to-all (same contract as `MPI_Alltoallv`).
+#[allow(clippy::too_many_arguments)]
+pub fn sloav_alltoallv<C: Communicator + ?Sized>(
+    comm: &C,
+    sendbuf: &[u8],
+    sendcounts: &[usize],
+    sdispls: &[usize],
+    recvbuf: &mut [u8],
+    recvcounts: &[usize],
+    rdispls: &[usize],
+) -> CommResult<()> {
+    let p = validate_v(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)?;
+    let me = comm.rank();
+
+    // Two-layer intermediate storage: temp[i] holds the block currently at
+    // Bruck offset i, if it has been received; otherwise the block is still
+    // the original send-buffer block for destination (me + i) % P.
+    let mut temp: Vec<Option<Vec<u8>>> = vec![None; p];
+    let mut sizes: Vec<usize> = (0..p).map(|i| sendcounts[add_mod(me, i, p)]).collect();
+
+    for k in 0..ceil_log2(p) {
+        let hop = 1usize << k;
+        let dest = add_mod(me, hop, p); // basic-Bruck direction
+        let src = sub_mod(me, hop, p);
+        let offsets: Vec<usize> = step_rel_indices(p, k).collect();
+
+        // Pack the combined buffer: block-size array, then the blocks.
+        let mut combined = Vec::with_capacity(offsets.len() * 4);
+        for &i in &offsets {
+            let sz = u32::try_from(sizes[i])
+                .map_err(|_| CommError::BadArgument("block size exceeds u32 metadata"))?;
+            combined.extend_from_slice(&sz.to_le_bytes());
+        }
+        for &i in &offsets {
+            match &temp[i] {
+                Some(block) => combined.extend_from_slice(block),
+                None => {
+                    let d = sdispls[add_mod(me, i, p)];
+                    combined.extend_from_slice(&sendbuf[d..d + sizes[i]]);
+                }
+            }
+        }
+
+        // Meta phase: announce the combined-buffer size; data phase: send it.
+        let total = (combined.len() as u64).to_le_bytes();
+        let their_total = comm.sendrecv(dest, meta_tag(k), &total, src, meta_tag(k))?;
+        let their_total =
+            u64::from_le_bytes(their_total.try_into().expect("8-byte size header")) as usize;
+        let got = comm.sendrecv(dest, data_tag(k), &combined, src, data_tag(k))?;
+        if got.len() != their_total {
+            return Err(CommError::BadArgument("combined buffer length mismatch"));
+        }
+
+        // Unpack: split metadata from data, then re-slice each block into the
+        // pointer array (a fresh allocation per block — SLOAV's layout).
+        let meta_len = offsets.len() * 4;
+        let mut at = meta_len;
+        for (idx, &i) in offsets.iter().enumerate() {
+            let sz = u32::from_le_bytes(
+                got[idx * 4..idx * 4 + 4].try_into().expect("4-byte metadata entry"),
+            ) as usize;
+            temp[i] = Some(got[at..at + sz].to_vec());
+            sizes[i] = sz;
+            at += sz;
+        }
+        if at != got.len() {
+            return Err(CommError::BadArgument("combined payload length mismatch"));
+        }
+    }
+
+    // Final scan (+ implicit rotation): the block at offset i came from rank
+    // (me − i) mod P; copy everything into the receive buffer.
+    for i in 0..p {
+        let src_rank = sub_mod(me, i, p);
+        let want = recvcounts[src_rank];
+        let out = &mut recvbuf[rdispls[src_rank]..rdispls[src_rank] + want];
+        match &temp[i] {
+            Some(block) => {
+                debug_assert_eq!(block.len(), want, "routed size disagrees with recvcounts");
+                out.copy_from_slice(block);
+            }
+            None => {
+                // Only the self block (offset 0) never travels.
+                debug_assert_eq!(i, 0);
+                let d = sdispls[add_mod(me, i, p)];
+                out.copy_from_slice(&sendbuf[d..d + want]);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{run_and_check, run_and_check_matrix, TEST_SIZES};
+    use super::super::AlltoallvAlgorithm::Sloav;
+    use bruck_workload::{Distribution, SizeMatrix};
+
+    #[test]
+    fn correct_for_all_communicator_sizes() {
+        for p in TEST_SIZES {
+            run_and_check(Sloav, p, 32, 0x5105);
+        }
+    }
+
+    #[test]
+    fn correct_for_skewed_distribution() {
+        let m = SizeMatrix::generate(Distribution::POWER_LAW_STEEP, 5, 11, 80);
+        run_and_check_matrix(Sloav, &m);
+    }
+
+    #[test]
+    fn zero_blocks() {
+        run_and_check_matrix(Sloav, &SizeMatrix::uniform(5, 0));
+    }
+}

@@ -1,0 +1,54 @@
+//! Spread-out `alltoallv`: non-blocking point-to-point, all pairs in flight.
+
+use bruck_comm::{CommResult, Communicator};
+
+use super::validate_v;
+use crate::common::{add_mod, sub_mod, SPREAD_TAG};
+
+/// The linear-complexity baseline (§4.1's `Spread-out`): post every send with
+/// `MPI_Isend` semantics, then drain every receive. Peers are offset-ordered
+/// so that rank `p` talks to `p±i` at round `i`, spreading load.
+#[allow(clippy::too_many_arguments)]
+pub fn spread_out_alltoallv<C: Communicator + ?Sized>(
+    comm: &C,
+    sendbuf: &[u8],
+    sendcounts: &[usize],
+    sdispls: &[usize],
+    recvbuf: &mut [u8],
+    recvcounts: &[usize],
+    rdispls: &[usize],
+) -> CommResult<()> {
+    let p = validate_v(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)?;
+    let me = comm.rank();
+
+    recvbuf[rdispls[me]..rdispls[me] + recvcounts[me]]
+        .copy_from_slice(&sendbuf[sdispls[me]..sdispls[me] + sendcounts[me]]);
+
+    for i in 1..p {
+        let dest = add_mod(me, i, p);
+        comm.isend(dest, SPREAD_TAG, &sendbuf[sdispls[dest]..sdispls[dest] + sendcounts[dest]])?;
+    }
+    for i in 1..p {
+        let src = sub_mod(me, i, p);
+        let n = comm.recv_into(
+            src,
+            SPREAD_TAG,
+            &mut recvbuf[rdispls[src]..rdispls[src] + recvcounts[src]],
+        )?;
+        debug_assert_eq!(n, recvcounts[src], "peer sent unexpected block size");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{run_and_check, TEST_SIZES};
+    use super::super::AlltoallvAlgorithm::SpreadOut;
+
+    #[test]
+    fn correct_for_all_communicator_sizes() {
+        for p in TEST_SIZES {
+            run_and_check(SpreadOut, p, 48, 0xD00D);
+        }
+    }
+}

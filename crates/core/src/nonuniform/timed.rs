@@ -1,0 +1,302 @@
+//! Instrumented variants of the non-uniform algorithms: wall-clock per
+//! phase, for quantifying each §6.1 design decision (metadata scheme, buffer
+//! management, rotation/scan elimination) — the two-phase-vs-SLOAV ablation.
+
+use std::time::{Duration, Instant};
+
+use bruck_comm::{CommError, CommResult, Communicator, ReduceOp};
+
+use super::validate_v;
+use crate::common::{add_mod, ceil_log2, data_tag, meta_tag, rotation_index, step_rel_indices, sub_mod};
+
+/// Per-phase wall-clock breakdown of a non-uniform exchange.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NonuniformPhases {
+    /// The allreduce finding the global maximum block size `N`.
+    pub allreduce: Duration,
+    /// Metadata transmission (all log P rounds).
+    pub meta_comm: Duration,
+    /// Data transmission (all log P rounds).
+    pub data_comm: Duration,
+    /// Local packing/unpacking/staging copies.
+    pub local_copy: Duration,
+    /// Final rotation/scan (zero for two-phase Bruck — the point).
+    pub scan: Duration,
+}
+
+impl NonuniformPhases {
+    /// Total across phases.
+    pub fn total(&self) -> Duration {
+        self.allreduce + self.meta_comm + self.data_comm + self.local_copy + self.scan
+    }
+}
+
+/// [`super::two_phase_bruck`] with per-phase timing. Identical wire
+/// behaviour (same tags, sizes, schedule).
+#[allow(clippy::too_many_arguments)]
+pub fn two_phase_bruck_timed<C: Communicator + ?Sized>(
+    comm: &C,
+    sendbuf: &[u8],
+    sendcounts: &[usize],
+    sdispls: &[usize],
+    recvbuf: &mut [u8],
+    recvcounts: &[usize],
+    rdispls: &[usize],
+) -> CommResult<NonuniformPhases> {
+    let p = validate_v(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)?;
+    let me = comm.rank();
+    let mut t = NonuniformPhases::default();
+
+    let start = Instant::now();
+    let local_max = sendcounts.iter().copied().max().unwrap_or(0);
+    let n_max = comm.allreduce_u64(local_max as u64, ReduceOp::Max)? as usize;
+    t.allreduce = start.elapsed();
+
+    let copy_start = Instant::now();
+    recvbuf[rdispls[me]..rdispls[me] + recvcounts[me]]
+        .copy_from_slice(&sendbuf[sdispls[me]..sdispls[me] + sendcounts[me]]);
+    if p == 1 {
+        t.local_copy = copy_start.elapsed();
+        return Ok(t);
+    }
+    let mut working = vec![0u8; p * n_max];
+    let rot = rotation_index(me, p);
+    let mut cur_size: Vec<usize> = (0..p).map(|j| sendcounts[rot[j]]).collect();
+    let mut in_working = vec![false; p];
+    t.local_copy += copy_start.elapsed();
+
+    let mut slots: Vec<usize> = Vec::with_capacity(p.div_ceil(2));
+    let mut meta_wire: Vec<u8> = Vec::new();
+    let mut data_wire: Vec<u8> = Vec::new();
+
+    for k in 0..ceil_log2(p) {
+        let hop = 1usize << k;
+        let dest = sub_mod(me, hop, p);
+        let src = add_mod(me, hop, p);
+
+        slots.clear();
+        slots.extend(step_rel_indices(p, k).map(|i| add_mod(i, me, p)));
+
+        let meta_start = Instant::now();
+        meta_wire.clear();
+        for &j in &slots {
+            let sz = u32::try_from(cur_size[j])
+                .map_err(|_| CommError::BadArgument("block size exceeds u32 metadata"))?;
+            meta_wire.extend_from_slice(&sz.to_le_bytes());
+        }
+        let meta_got = comm.sendrecv(dest, meta_tag(k), &meta_wire, src, meta_tag(k))?;
+        t.meta_comm += meta_start.elapsed();
+
+        let pack_start = Instant::now();
+        data_wire.clear();
+        for &j in &slots {
+            let sz = cur_size[j];
+            if in_working[j] {
+                data_wire.extend_from_slice(&working[j * n_max..j * n_max + sz]);
+            } else {
+                let d = sdispls[rot[j]];
+                data_wire.extend_from_slice(&sendbuf[d..d + sz]);
+            }
+        }
+        t.local_copy += pack_start.elapsed();
+
+        let data_start = Instant::now();
+        let data_got = comm.sendrecv(dest, data_tag(k), &data_wire, src, data_tag(k))?;
+        t.data_comm += data_start.elapsed();
+
+        let unpack_start = Instant::now();
+        let mut at = 0;
+        for (idx, &j) in slots.iter().enumerate() {
+            let sz = u32::from_le_bytes(
+                meta_got[idx * 4..idx * 4 + 4].try_into().expect("4-byte metadata entry"),
+            ) as usize;
+            let rel = sub_mod(j, me, p);
+            if rel < 2 * hop {
+                recvbuf[rdispls[j]..rdispls[j] + sz].copy_from_slice(&data_got[at..at + sz]);
+            } else {
+                working[j * n_max..j * n_max + sz].copy_from_slice(&data_got[at..at + sz]);
+            }
+            in_working[j] = true;
+            cur_size[j] = sz;
+            at += sz;
+        }
+        t.local_copy += unpack_start.elapsed();
+    }
+    Ok(t)
+}
+
+/// [`super::sloav_alltoallv`] with per-phase timing. The `scan` slot captures
+/// SLOAV's final rotation+scan, which two-phase Bruck eliminates.
+#[allow(clippy::too_many_arguments)]
+pub fn sloav_alltoallv_timed<C: Communicator + ?Sized>(
+    comm: &C,
+    sendbuf: &[u8],
+    sendcounts: &[usize],
+    sdispls: &[usize],
+    recvbuf: &mut [u8],
+    recvcounts: &[usize],
+    rdispls: &[usize],
+) -> CommResult<NonuniformPhases> {
+    let p = validate_v(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)?;
+    let me = comm.rank();
+    let mut t = NonuniformPhases::default();
+
+    let mut temp: Vec<Option<Vec<u8>>> = vec![None; p];
+    let mut sizes: Vec<usize> = (0..p).map(|i| sendcounts[add_mod(me, i, p)]).collect();
+
+    for k in 0..ceil_log2(p) {
+        let hop = 1usize << k;
+        let dest = add_mod(me, hop, p);
+        let src = sub_mod(me, hop, p);
+        let offsets: Vec<usize> = step_rel_indices(p, k).collect();
+
+        let pack_start = Instant::now();
+        let mut combined = Vec::with_capacity(offsets.len() * 4);
+        for &i in &offsets {
+            let sz = u32::try_from(sizes[i])
+                .map_err(|_| CommError::BadArgument("block size exceeds u32 metadata"))?;
+            combined.extend_from_slice(&sz.to_le_bytes());
+        }
+        for &i in &offsets {
+            match &temp[i] {
+                Some(block) => combined.extend_from_slice(block),
+                None => {
+                    let d = sdispls[add_mod(me, i, p)];
+                    combined.extend_from_slice(&sendbuf[d..d + sizes[i]]);
+                }
+            }
+        }
+        t.local_copy += pack_start.elapsed();
+
+        let meta_start = Instant::now();
+        let total = (combined.len() as u64).to_le_bytes();
+        let their_total = comm.sendrecv(dest, meta_tag(k), &total, src, meta_tag(k))?;
+        let _ = u64::from_le_bytes(their_total.try_into().expect("8-byte size header"));
+        t.meta_comm += meta_start.elapsed();
+
+        let data_start = Instant::now();
+        let got = comm.sendrecv(dest, data_tag(k), &combined, src, data_tag(k))?;
+        t.data_comm += data_start.elapsed();
+
+        let unpack_start = Instant::now();
+        let mut at = offsets.len() * 4;
+        for (idx, &i) in offsets.iter().enumerate() {
+            let sz = u32::from_le_bytes(
+                got[idx * 4..idx * 4 + 4].try_into().expect("4-byte metadata entry"),
+            ) as usize;
+            temp[i] = Some(got[at..at + sz].to_vec());
+            sizes[i] = sz;
+            at += sz;
+        }
+        t.local_copy += unpack_start.elapsed();
+    }
+
+    let scan_start = Instant::now();
+    for i in 0..p {
+        let src_rank = sub_mod(me, i, p);
+        let want = recvcounts[src_rank];
+        let out = &mut recvbuf[rdispls[src_rank]..rdispls[src_rank] + want];
+        match &temp[i] {
+            Some(block) => out.copy_from_slice(block),
+            None => {
+                let d = sdispls[add_mod(me, i, p)];
+                out.copy_from_slice(&sendbuf[d..d + want]);
+            }
+        }
+    }
+    t.scan = scan_start.elapsed();
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{build_send, check_recv};
+    use super::*;
+    use crate::packed_displs;
+    use bruck_comm::ThreadComm;
+    use bruck_workload::{Distribution, SizeMatrix};
+
+    fn run_timed<F>(m: &SizeMatrix, f: F) -> Vec<NonuniformPhases>
+    where
+        F: Fn(
+                &ThreadComm,
+                &[u8],
+                &[usize],
+                &[usize],
+                &mut [u8],
+                &[usize],
+                &[usize],
+            ) -> CommResult<NonuniformPhases>
+            + Sync,
+    {
+        let p = m.p();
+        ThreadComm::run(p, |comm| {
+            let me = comm.rank();
+            let (sendbuf, sendcounts, sdispls) = build_send(me, m);
+            let recvcounts = m.recvcounts(me);
+            let rdispls = packed_displs(&recvcounts);
+            let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+            let t = f(comm, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts, &rdispls)
+                .unwrap();
+            check_recv(me, m, &recvbuf, &rdispls);
+            t
+        })
+    }
+
+    #[test]
+    fn timed_two_phase_is_correct_and_has_no_scan() {
+        let m = SizeMatrix::generate(Distribution::Uniform, 1, 12, 64);
+        for t in run_timed(&m, two_phase_bruck_timed) {
+            assert!(t.scan.is_zero(), "two-phase has no scan phase");
+            assert!(t.total() > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn timed_sloav_is_correct_and_scans() {
+        let m = SizeMatrix::generate(Distribution::Uniform, 2, 12, 64);
+        for t in run_timed(&m, sloav_alltoallv_timed) {
+            assert!(t.scan > Duration::ZERO, "SLOAV pays a final scan");
+            assert!(t.allreduce.is_zero(), "SLOAV needs no global max");
+        }
+    }
+
+    #[test]
+    fn timed_variants_match_untimed_output() {
+        let m = SizeMatrix::generate(Distribution::POWER_LAW_STEEP, 3, 9, 80);
+        let p = m.p();
+        let expect = ThreadComm::run(p, |comm| {
+            let me = comm.rank();
+            let (sendbuf, sendcounts, sdispls) = build_send(me, &m);
+            let recvcounts = m.recvcounts(me);
+            let rdispls = packed_displs(&recvcounts);
+            let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+            super::super::two_phase_bruck(
+                comm, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts, &rdispls,
+            )
+            .unwrap();
+            recvbuf
+        });
+        let got = ThreadComm::run(p, |comm| {
+            let me = comm.rank();
+            let (sendbuf, sendcounts, sdispls) = build_send(me, &m);
+            let recvcounts = m.recvcounts(me);
+            let rdispls = packed_displs(&recvcounts);
+            let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+            two_phase_bruck_timed(
+                comm, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts, &rdispls,
+            )
+            .unwrap();
+            recvbuf
+        });
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn single_rank_short_circuits() {
+        let m = SizeMatrix::uniform(1, 16);
+        for t in run_timed(&m, two_phase_bruck_timed) {
+            assert!(t.meta_comm.is_zero() && t.data_comm.is_zero());
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Two-phase Bruck (§3.2, Algorithm 1) — the paper's headline contribution.
+//!
+//! Each of the log(P) Bruck steps is a *coupled* exchange: a metadata message
+//! carrying the byte sizes of the outgoing blocks, then the blocks themselves
+//! packed into one data message. A monolithic working buffer `W` of `P × N`
+//! bytes (`N` = global maximum block size, found with one allreduce) stages
+//! every intermediate block: slot `j` of `W` is reserved for working slot
+//! `j`, so staging needs no per-block allocation, no pointer array and no
+//! resizing — the §6.1 improvements over SLOAV.
+//!
+//! Routing is Zero Rotation Bruck's: working slot `j` at rank `p` carries the
+//! block with relative index `i = (j − p) mod P`; a block's first send reads
+//! straight from the user buffer through the rotation index array, and a
+//! block whose relative index is exhausted (`i < 2^{k+1}` at step `k`) is
+//! received directly into its final position in the user's receive buffer —
+//! no rotation and no final scan.
+
+use bruck_comm::{CommError, CommResult, Communicator, ReduceOp};
+
+use super::validate_v;
+use crate::common::{add_mod, ceil_log2, data_tag, meta_tag, rotation_index, step_rel_indices, sub_mod};
+
+/// Two-phase Bruck non-uniform all-to-all (same contract as `MPI_Alltoallv`).
+#[allow(clippy::too_many_arguments)]
+pub fn two_phase_bruck<C: Communicator + ?Sized>(
+    comm: &C,
+    sendbuf: &[u8],
+    sendcounts: &[usize],
+    sdispls: &[usize],
+    recvbuf: &mut [u8],
+    recvcounts: &[usize],
+    rdispls: &[usize],
+) -> CommResult<()> {
+    let p = validate_v(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)?;
+    let me = comm.rank();
+
+    // Line 1: global maximum block size N (one allreduce).
+    let local_max = sendcounts.iter().copied().max().unwrap_or(0);
+    let n_max = comm.allreduce_u64(local_max as u64, ReduceOp::Max)? as usize;
+
+    // Self block: never communicated (relative index 0).
+    recvbuf[rdispls[me]..rdispls[me] + recvcounts[me]]
+        .copy_from_slice(&sendbuf[sdispls[me]..sdispls[me] + sendcounts[me]]);
+    if p == 1 {
+        return Ok(());
+    }
+
+    // Line 2: monolithic working buffer, slot j at W[j*N .. (j+1)*N].
+    let mut working = vec![0u8; p * n_max];
+    // Lines 3–5: rotation index array I[j] = (2p − j) mod P.
+    let rot = rotation_index(me, p);
+    // Current byte size of the block in working slot j (initially the
+    // original block the rotation maps there — the paper updates
+    // `sendcounts[I[sd]]` in place; we keep a separate array and leave the
+    // caller's slice untouched).
+    let mut cur_size: Vec<usize> = (0..p).map(|j| sendcounts[rot[j]]).collect();
+    // status: slot j's data has been received into W (vs. still in sendbuf).
+    let mut in_working = vec![false; p];
+
+    let mut slots: Vec<usize> = Vec::with_capacity(p.div_ceil(2));
+    let mut meta_wire: Vec<u8> = Vec::new();
+    let mut data_wire: Vec<u8> = Vec::new();
+
+    for k in 0..ceil_log2(p) {
+        let hop = 1usize << k;
+        let dest = sub_mod(me, hop, p); // "sendrank" in Algorithm 1
+        let src = add_mod(me, hop, p); // "recvrank"
+
+        // Lines 7–10: the working slots sd transmitted this step.
+        slots.clear();
+        slots.extend(step_rel_indices(p, k).map(|i| add_mod(i, me, p)));
+
+        // Lines 11–13 + 16: metadata — the sizes of the outgoing blocks.
+        meta_wire.clear();
+        for &j in &slots {
+            let sz = u32::try_from(cur_size[j])
+                .map_err(|_| CommError::BadArgument("block size exceeds u32 metadata"))?;
+            meta_wire.extend_from_slice(&sz.to_le_bytes());
+        }
+        let meta_got = comm.sendrecv(dest, meta_tag(k), &meta_wire, src, meta_tag(k))?;
+        if meta_got.len() != slots.len() * 4 {
+            return Err(CommError::BadArgument("metadata length mismatch"));
+        }
+
+        // Lines 17–23: pack outgoing blocks — from W if previously received,
+        // else from the user's send buffer through the rotation index.
+        data_wire.clear();
+        for &j in &slots {
+            let sz = cur_size[j];
+            if in_working[j] {
+                data_wire.extend_from_slice(&working[j * n_max..j * n_max + sz]);
+            } else {
+                let d = sdispls[rot[j]];
+                data_wire.extend_from_slice(&sendbuf[d..d + sz]);
+            }
+        }
+
+        // Line 24 + lines 25–33: coupled data exchange and scatter.
+        let data_got = comm.sendrecv(dest, data_tag(k), &data_wire, src, data_tag(k))?;
+        let mut at = 0;
+        for (idx, &j) in slots.iter().enumerate() {
+            let sz = u32::from_le_bytes(
+                meta_got[idx * 4..idx * 4 + 4].try_into().expect("4-byte metadata entry"),
+            ) as usize;
+            let rel = sub_mod(j, me, p);
+            if rel < 2 * hop {
+                // Final hop for this block (all set bits ≤ k): deliver
+                // straight into the user's receive buffer (lines 26–27).
+                debug_assert_eq!(sz, recvcounts[j], "recvcounts disagrees with routed size");
+                recvbuf[rdispls[j]..rdispls[j] + sz].copy_from_slice(&data_got[at..at + sz]);
+            } else {
+                // Will be forwarded at a later step: stage in W (line 29).
+                working[j * n_max..j * n_max + sz].copy_from_slice(&data_got[at..at + sz]);
+            }
+            in_working[j] = true;
+            cur_size[j] = sz;
+            at += sz;
+        }
+        if at != data_got.len() {
+            return Err(CommError::BadArgument("data payload length mismatch"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{run_and_check, run_and_check_matrix, TEST_SIZES};
+    use super::super::AlltoallvAlgorithm::TwoPhaseBruck;
+    use bruck_workload::{Distribution, SizeMatrix};
+
+    #[test]
+    fn correct_for_all_communicator_sizes() {
+        for p in TEST_SIZES {
+            run_and_check(TwoPhaseBruck, p, 32, 0xBEEF);
+        }
+    }
+
+    #[test]
+    fn correct_for_all_distributions() {
+        for dist in [
+            Distribution::Uniform,
+            Distribution::Windowed { r: 30 },
+            Distribution::Normal,
+            Distribution::POWER_LAW_STEEP,
+        ] {
+            let m = SizeMatrix::generate(dist, 7, 12, 64);
+            run_and_check_matrix(TwoPhaseBruck, &m);
+        }
+    }
+
+    #[test]
+    fn zero_sized_blocks_everywhere() {
+        let m = SizeMatrix::uniform(8, 0);
+        run_and_check_matrix(TwoPhaseBruck, &m);
+    }
+
+    #[test]
+    fn single_nonzero_block() {
+        // Only rank 2 sends anything, and only to rank 5.
+        let mut rows = vec![vec![0usize; 8]; 8];
+        rows[2][5] = 40;
+        run_and_check_matrix(TwoPhaseBruck, &SizeMatrix::from_rows(rows));
+    }
+
+    #[test]
+    fn highly_skewed_sizes() {
+        // One huge block per rank among tiny ones exercises the W staging.
+        let p = 9;
+        let rows: Vec<Vec<usize>> = (0..p)
+            .map(|src| (0..p).map(|dst| if dst == (src + 3) % p { 512 } else { 1 }).collect())
+            .collect();
+        run_and_check_matrix(TwoPhaseBruck, &SizeMatrix::from_rows(rows));
+    }
+}

@@ -1,0 +1,214 @@
+//! Ranka–Shankar–Alsabti two-stage algorithm (related work, §6): decompose
+//! a non-uniform all-to-all into two *balanced* all-to-alls by splitting
+//! every block into `P` near-equal pieces.
+//!
+//! Stage 1 sends piece `i` of every one of my blocks to intermediate rank
+//! `i` (prefixed by my counts row so intermediates can parse); stage 2 has
+//! each intermediate forward, to every final destination `d`, the pieces it
+//! holds for `d`. Each stage's messages are within one byte per block of
+//! `total/P²` — "bounded traffic" — at the cost of moving every byte twice
+//! and 2(P−1) messages. The baseline the paper contrasts with log-time
+//! approaches.
+
+use bruck_comm::{CommError, CommResult, Communicator};
+
+use super::validate_v;
+use crate::common::{add_mod, sub_mod, RANKA_STAGE1_TAG, RANKA_STAGE2_TAG};
+
+/// Bytes of piece `i` (of `p`) of a `len`-byte block: `len/p`, plus one for
+/// the first `len mod p` pieces.
+#[inline]
+pub fn piece_len(len: usize, i: usize, p: usize) -> usize {
+    len / p + usize::from(i < len % p)
+}
+
+/// Byte offset of piece `i` within its block.
+#[inline]
+pub fn piece_offset(len: usize, i: usize, p: usize) -> usize {
+    i * (len / p) + i.min(len % p)
+}
+
+/// Two-stage balanced non-uniform all-to-all (same contract as
+/// `MPI_Alltoallv`).
+#[allow(clippy::too_many_arguments)]
+pub fn ranka_two_stage_alltoallv<C: Communicator + ?Sized>(
+    comm: &C,
+    sendbuf: &[u8],
+    sendcounts: &[usize],
+    sdispls: &[usize],
+    recvbuf: &mut [u8],
+    recvcounts: &[usize],
+    rdispls: &[usize],
+) -> CommResult<()> {
+    let p = validate_v(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)?;
+    let me = comm.rank();
+
+    // ---- Stage 1: scatter pieces to intermediates -----------------------
+    // Message to intermediate i: [u32 sendcounts row][piece i of each block].
+    let build_stage1 = |i: usize| -> Vec<u8> {
+        let mut msg = Vec::with_capacity(4 * p + sendcounts.iter().sum::<usize>() / p + p);
+        for &c in sendcounts {
+            msg.extend_from_slice(&u32::try_from(c).expect("block size fits u32").to_le_bytes());
+        }
+        for dst in 0..p {
+            let len = sendcounts[dst];
+            let off = sdispls[dst] + piece_offset(len, i, p);
+            msg.extend_from_slice(&sendbuf[off..off + piece_len(len, i, p)]);
+        }
+        msg
+    };
+    for off in 1..p {
+        let i = add_mod(me, off, p);
+        comm.isend(i, RANKA_STAGE1_TAG, &build_stage1(i))?;
+    }
+
+    // held[s] = (counts row of s, piece `me` of each of s's blocks, packed).
+    let mut held: Vec<(Vec<usize>, Vec<u8>)> = (0..p).map(|_| (Vec::new(), Vec::new())).collect();
+    {
+        let own = build_stage1(me);
+        held[me] = parse_stage1(&own, p)?;
+    }
+    for off in 1..p {
+        let s = sub_mod(me, off, p);
+        let msg = comm.recv(s, RANKA_STAGE1_TAG)?;
+        held[s] = parse_stage1(&msg, p)?;
+    }
+
+    // ---- Stage 2: forward pieces to final destinations ------------------
+    // Message to destination d: piece `me` of block (s → d), s ascending.
+    let build_stage2 = |d: usize| -> Vec<u8> {
+        let mut msg = Vec::new();
+        for (counts, pieces) in held.iter() {
+            let off: usize = counts[..d].iter().map(|&len| piece_len(len, me, p)).sum();
+            msg.extend_from_slice(&pieces[off..off + piece_len(counts[d], me, p)]);
+        }
+        msg
+    };
+    for off in 1..p {
+        let d = add_mod(me, off, p);
+        comm.isend(d, RANKA_STAGE2_TAG, &build_stage2(d))?;
+    }
+
+    // Receive from every intermediate; scatter pieces into place.
+    let mut place = |i: usize, msg: &[u8]| -> CommResult<()> {
+        let mut at = 0;
+        for src in 0..p {
+            let len = recvcounts[src];
+            let pl = piece_len(len, i, p);
+            let off = rdispls[src] + piece_offset(len, i, p);
+            recvbuf[off..off + pl].copy_from_slice(&msg[at..at + pl]);
+            at += pl;
+        }
+        if at != msg.len() {
+            return Err(CommError::BadArgument("stage-2 payload length mismatch"));
+        }
+        Ok(())
+    };
+    {
+        let own = build_stage2(me);
+        place(me, &own)?;
+    }
+    for off in 1..p {
+        let i = sub_mod(me, off, p);
+        let msg = comm.recv(i, RANKA_STAGE2_TAG)?;
+        place(i, &msg)?;
+    }
+    Ok(())
+}
+
+/// Split a stage-1 message into (counts row, packed pieces).
+fn parse_stage1(msg: &[u8], p: usize) -> CommResult<(Vec<usize>, Vec<u8>)> {
+    if msg.len() < 4 * p {
+        return Err(CommError::BadArgument("stage-1 payload too short"));
+    }
+    let counts: Vec<usize> = msg[..4 * p]
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte count")) as usize)
+        .collect();
+    Ok((counts, msg[4 * p..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{run_and_check, run_and_check_matrix, TEST_SIZES};
+    use super::super::AlltoallvAlgorithm::RankaTwoStage;
+    use super::*;
+    use bruck_workload::{Distribution, SizeMatrix};
+
+    #[test]
+    fn piece_arithmetic_partitions_blocks() {
+        for len in [0usize, 1, 7, 64, 65, 1023] {
+            for p in [1usize, 2, 5, 8, 13] {
+                let total: usize = (0..p).map(|i| piece_len(len, i, p)).sum();
+                assert_eq!(total, len, "len={len} p={p}");
+                let mut at = 0;
+                for i in 0..p {
+                    assert_eq!(piece_offset(len, i, p), at);
+                    at += piece_len(len, i, p);
+                }
+                // Balanced within one byte.
+                let max = (0..p).map(|i| piece_len(len, i, p)).max().unwrap();
+                let min = (0..p).map(|i| piece_len(len, i, p)).min().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn correct_for_all_communicator_sizes() {
+        for p in TEST_SIZES {
+            run_and_check(RankaTwoStage, p, 48, 0x2A5A);
+        }
+    }
+
+    #[test]
+    fn correct_for_skewed_and_tiny_blocks() {
+        // Blocks smaller than P exercise many zero-length pieces.
+        let m = SizeMatrix::generate(Distribution::Uniform, 3, 12, 5);
+        run_and_check_matrix(RankaTwoStage, &m);
+        let m = SizeMatrix::generate(Distribution::POWER_LAW_STEEP, 3, 10, 200);
+        run_and_check_matrix(RankaTwoStage, &m);
+    }
+
+    #[test]
+    fn zero_blocks() {
+        run_and_check_matrix(RankaTwoStage, &SizeMatrix::uniform(6, 0));
+    }
+
+    #[test]
+    fn stage_messages_are_balanced() {
+        use bruck_comm::{Communicator, CountingComm, ThreadComm};
+
+        // With a skewed matrix, stage messages still differ by at most
+        // ~4P header + P bytes of rounding.
+        let p = 8;
+        let mut rows = vec![vec![0usize; p]; p];
+        rows[0][1] = 800; // one huge block
+        rows[3][4] = 3;
+        let m = SizeMatrix::from_rows(rows);
+        let logs = ThreadComm::run(p, |comm| {
+            let counting = CountingComm::new(comm);
+            let me = counting.rank();
+            let sendcounts = m.sendcounts(me);
+            let sdispls = crate::packed_displs(&sendcounts);
+            let sendbuf = vec![0u8; sendcounts.iter().sum()];
+            let recvcounts = m.recvcounts(me);
+            let rdispls = crate::packed_displs(&recvcounts);
+            let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+            ranka_two_stage_alltoallv(
+                &counting, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts, &rdispls,
+            )
+            .unwrap();
+            counting.log()
+        });
+        // Rank 0's stage-1 messages: 800 bytes split into 8 pieces of 100,
+        // plus the 4P header each.
+        let stage1: Vec<usize> = logs[0]
+            .iter()
+            .filter(|r| r.tag == crate::common::RANKA_STAGE1_TAG)
+            .map(|r| r.len)
+            .collect();
+        assert_eq!(stage1.len(), p - 1);
+        assert!(stage1.iter().all(|&l| l == 4 * p + 100), "{stage1:?}");
+    }
+}

@@ -1,0 +1,79 @@
+//! The stand-in for the vendor-optimized `MPI_Alltoallv`.
+//!
+//! Cray's implementation is closed source, but the paper notes (§1) that
+//! MPICH-family libraries implement `MPI_Alltoallv` "using only variants of
+//! the Spread-out algorithm". MPICH's production variant throttles the number
+//! of outstanding pairs to a window to avoid swamping the receive side; we
+//! reproduce that: the `P − 1` pairwise exchanges proceed in windows of
+//! [`VENDOR_WINDOW`] outstanding sends/receives.
+
+use bruck_comm::{CommResult, Communicator};
+
+use super::validate_v;
+use crate::common::{add_mod, sub_mod, SPREAD_TAG};
+
+/// Outstanding-request window (MPICH's `MPIR_CVAR_ALLTOALL_THROTTLE`-style
+/// limit; 32 is the MPICH default).
+pub const VENDOR_WINDOW: usize = 32;
+
+/// Throttled spread-out `alltoallv` — the `MPI_Alltoallv` baseline of every
+/// figure in the paper.
+#[allow(clippy::too_many_arguments)]
+pub fn vendor_alltoallv<C: Communicator + ?Sized>(
+    comm: &C,
+    sendbuf: &[u8],
+    sendcounts: &[usize],
+    sdispls: &[usize],
+    recvbuf: &mut [u8],
+    recvcounts: &[usize],
+    rdispls: &[usize],
+) -> CommResult<()> {
+    let p = validate_v(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)?;
+    let me = comm.rank();
+
+    recvbuf[rdispls[me]..rdispls[me] + recvcounts[me]]
+        .copy_from_slice(&sendbuf[sdispls[me]..sdispls[me] + sendcounts[me]]);
+
+    let mut next = 1usize;
+    while next < p {
+        let batch_end = (next + VENDOR_WINDOW).min(p);
+        for i in next..batch_end {
+            let dest = add_mod(me, i, p);
+            comm.isend(
+                dest,
+                SPREAD_TAG,
+                &sendbuf[sdispls[dest]..sdispls[dest] + sendcounts[dest]],
+            )?;
+        }
+        for i in next..batch_end {
+            let src = sub_mod(me, i, p);
+            let n = comm.recv_into(
+                src,
+                SPREAD_TAG,
+                &mut recvbuf[rdispls[src]..rdispls[src] + recvcounts[src]],
+            )?;
+            debug_assert_eq!(n, recvcounts[src], "peer sent unexpected block size");
+        }
+        next = batch_end;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{run_and_check, TEST_SIZES};
+    use super::super::AlltoallvAlgorithm::Vendor;
+
+    #[test]
+    fn correct_for_all_communicator_sizes() {
+        for p in TEST_SIZES {
+            run_and_check(Vendor, p, 48, 0xFACE);
+        }
+    }
+
+    #[test]
+    fn correct_beyond_the_window() {
+        // P > window exercises the batching loop.
+        run_and_check(Vendor, 40, 16, 0xFEED);
+    }
+}

@@ -1,0 +1,59 @@
+//! Per-phase wall-clock accounting (the data behind the paper's Figure 2b).
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock time spent in each phase of an all-to-all call.
+///
+/// * `setup` — initial rotation (basic/modified), rotation-index creation
+///   (zero-rotation), or padding (padded Bruck).
+/// * `comm` — the log(P) communication steps, including per-step pack/unpack.
+/// * `finalize` — final rotation (basic), output scan (padded, SLOAV).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Initial rotation / padding / index setup.
+    pub setup: Duration,
+    /// The log(P) communication steps.
+    pub comm: Duration,
+    /// Final rotation / scan.
+    pub finalize: Duration,
+}
+
+impl PhaseTimes {
+    /// Total across phases.
+    pub fn total(&self) -> Duration {
+        self.setup + self.comm + self.finalize
+    }
+}
+
+/// Tiny helper: time a closure into one of the phase slots.
+pub(crate) fn timed<T>(slot: &mut Duration, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    *slot += start.elapsed();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_accumulates() {
+        let mut d = Duration::ZERO;
+        let v = timed(&mut d, || 41 + 1);
+        assert_eq!(v, 42);
+        let first = d;
+        timed(&mut d, || std::thread::sleep(Duration::from_millis(1)));
+        assert!(d > first);
+    }
+
+    #[test]
+    fn total_sums_phases() {
+        let t = PhaseTimes {
+            setup: Duration::from_millis(1),
+            comm: Duration::from_millis(2),
+            finalize: Duration::from_millis(3),
+        };
+        assert_eq!(t.total(), Duration::from_millis(6));
+    }
+}

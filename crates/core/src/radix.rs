@@ -1,0 +1,338 @@
+//! Radix-r Bruck: the tunable generalization of the log₂-step algorithms.
+//!
+//! Bruck's original formulation [9] supports an arbitrary radix `r`: offsets
+//! are written in base `r`, and phase `k` performs up to `r − 1` sub-steps —
+//! one per non-zero digit value `d`, moving every block whose `k`-th base-`r`
+//! digit equals `d` by `d·rᵏ` ranks at once. The number of communication
+//! steps grows to `(r−1)·⌈log_r P⌉` while each block is forwarded only
+//! `⌈log_r P⌉` times, so the radix dials the latency↔bandwidth trade-off the
+//! paper's §3.3 model describes (`r = 2` is the classic algorithm; `r = P`
+//! degenerates to spread-out). The paper's conclusion calls for exactly this
+//! kind of tunability ("a more rigorous performance model"); we implement it
+//! for both the uniform Zero Rotation Bruck and the non-uniform two-phase
+//! Bruck, and the bench suite ablates the radix.
+
+use bruck_comm::{CommError, CommResult, Communicator, ReduceOp};
+
+use crate::common::{add_mod, data_tag, meta_tag, rotation_index, sub_mod, uniform_step_tag};
+use crate::nonuniform::validate_v;
+use crate::uniform::validate_uniform;
+
+/// The `k`-th base-`r` digit of `i`.
+#[inline]
+pub fn radix_digit(i: usize, weight: usize, radix: usize) -> usize {
+    (i / weight) % radix
+}
+
+/// The sub-steps of a radix-`r` schedule over `p` ranks: `(step_index,
+/// weight, digit)` triples in execution order. `step_index` is globally
+/// unique and doubles as the wire-tag offset.
+pub fn radix_schedule(p: usize, radix: usize) -> Vec<(u32, usize, usize)> {
+    assert!(radix >= 2, "radix must be at least 2");
+    let mut steps = Vec::new();
+    let mut weight = 1usize;
+    let mut idx = 0u32;
+    while weight < p {
+        for d in 1..radix {
+            if d * weight < p {
+                steps.push((idx, weight, d));
+                idx += 1;
+            }
+        }
+        weight *= radix;
+    }
+    steps
+}
+
+/// Relative indices transmitted at sub-step `(weight, d)`: all `i ∈ (0, P)`
+/// whose digit at `weight` equals `d`.
+#[inline]
+pub fn radix_step_rel_indices(
+    p: usize,
+    weight: usize,
+    d: usize,
+    radix: usize,
+) -> impl Iterator<Item = usize> {
+    (1..p).filter(move |&i| radix_digit(i, weight, radix) == d)
+}
+
+/// Radix-`r` Zero Rotation Bruck (uniform all-to-all). `radix = 2` computes
+/// exactly what [`crate::zero_rotation_bruck`] computes.
+pub fn zero_rotation_bruck_radix<C: Communicator + ?Sized>(
+    comm: &C,
+    sendbuf: &[u8],
+    recvbuf: &mut [u8],
+    block: usize,
+    radix: usize,
+) -> CommResult<()> {
+    let p = validate_uniform(comm, sendbuf, recvbuf, block)?;
+    let me = comm.rank();
+    let rot = rotation_index(me, p);
+    let mut received = vec![false; p];
+    let mut wire = Vec::new();
+
+    for (idx, weight, d) in radix_schedule(p, radix) {
+        let hop = (d * weight) % p;
+        let dest = sub_mod(me, hop, p);
+        let src = add_mod(me, hop, p);
+        wire.clear();
+        for i in radix_step_rel_indices(p, weight, d, radix) {
+            let abs = add_mod(i, me, p);
+            let from = if received[abs] {
+                &recvbuf[abs * block..(abs + 1) * block]
+            } else {
+                let orig = rot[abs] * block;
+                &sendbuf[orig..orig + block]
+            };
+            wire.extend_from_slice(from);
+        }
+        let got = comm.sendrecv(dest, uniform_step_tag(idx), &wire, src, uniform_step_tag(idx))?;
+        let mut at = 0;
+        for i in radix_step_rel_indices(p, weight, d, radix) {
+            let abs = add_mod(i, me, p);
+            recvbuf[abs * block..(abs + 1) * block].copy_from_slice(&got[at..at + block]);
+            received[abs] = true;
+            at += block;
+        }
+    }
+    recvbuf[me * block..(me + 1) * block].copy_from_slice(&sendbuf[me * block..(me + 1) * block]);
+    Ok(())
+}
+
+/// Radix-`r` two-phase Bruck (non-uniform all-to-all). `radix = 2` computes
+/// exactly what [`crate::two_phase_bruck`] computes, with the same wire tags.
+#[allow(clippy::too_many_arguments)]
+pub fn two_phase_bruck_radix<C: Communicator + ?Sized>(
+    comm: &C,
+    sendbuf: &[u8],
+    sendcounts: &[usize],
+    sdispls: &[usize],
+    recvbuf: &mut [u8],
+    recvcounts: &[usize],
+    rdispls: &[usize],
+    radix: usize,
+) -> CommResult<()> {
+    let p = validate_v(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)?;
+    let me = comm.rank();
+
+    let local_max = sendcounts.iter().copied().max().unwrap_or(0);
+    let n_max = comm.allreduce_u64(local_max as u64, ReduceOp::Max)? as usize;
+
+    recvbuf[rdispls[me]..rdispls[me] + recvcounts[me]]
+        .copy_from_slice(&sendbuf[sdispls[me]..sdispls[me] + sendcounts[me]]);
+    if p == 1 {
+        return Ok(());
+    }
+
+    let mut working = vec![0u8; p * n_max];
+    let rot = rotation_index(me, p);
+    let mut cur_size: Vec<usize> = (0..p).map(|j| sendcounts[rot[j]]).collect();
+    let mut in_working = vec![false; p];
+
+    let mut slots: Vec<usize> = Vec::new();
+    let mut meta_wire: Vec<u8> = Vec::new();
+    let mut data_wire: Vec<u8> = Vec::new();
+
+    for (idx, weight, d) in radix_schedule(p, radix) {
+        let hop = (d * weight) % p;
+        let dest = sub_mod(me, hop, p);
+        let src = add_mod(me, hop, p);
+
+        slots.clear();
+        slots.extend(radix_step_rel_indices(p, weight, d, radix).map(|i| add_mod(i, me, p)));
+
+        meta_wire.clear();
+        for &j in &slots {
+            let sz = u32::try_from(cur_size[j])
+                .map_err(|_| CommError::BadArgument("block size exceeds u32 metadata"))?;
+            meta_wire.extend_from_slice(&sz.to_le_bytes());
+        }
+        let meta_got = comm.sendrecv(dest, meta_tag(idx), &meta_wire, src, meta_tag(idx))?;
+        if meta_got.len() != slots.len() * 4 {
+            return Err(CommError::BadArgument("metadata length mismatch"));
+        }
+
+        data_wire.clear();
+        for &j in &slots {
+            let sz = cur_size[j];
+            if in_working[j] {
+                data_wire.extend_from_slice(&working[j * n_max..j * n_max + sz]);
+            } else {
+                let dd = sdispls[rot[j]];
+                data_wire.extend_from_slice(&sendbuf[dd..dd + sz]);
+            }
+        }
+        let data_got = comm.sendrecv(dest, data_tag(idx), &data_wire, src, data_tag(idx))?;
+
+        // A block is home after this sub-step iff all its digits above the
+        // current position are zero: rel < radix^(k+1) = weight·radix.
+        let done_bound = weight.saturating_mul(radix);
+        let mut at = 0;
+        for (si, &j) in slots.iter().enumerate() {
+            let sz = u32::from_le_bytes(
+                meta_got[si * 4..si * 4 + 4].try_into().expect("4-byte metadata entry"),
+            ) as usize;
+            let rel = sub_mod(j, me, p);
+            if rel < done_bound {
+                debug_assert_eq!(sz, recvcounts[j], "recvcounts disagrees with routed size");
+                recvbuf[rdispls[j]..rdispls[j] + sz].copy_from_slice(&data_got[at..at + sz]);
+            } else {
+                working[j * n_max..j * n_max + sz].copy_from_slice(&data_got[at..at + sz]);
+            }
+            in_working[j] = true;
+            cur_size[j] = sz;
+            at += sz;
+        }
+        if at != data_got.len() {
+            return Err(CommError::BadArgument("data payload length mismatch"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nonuniform::testutil as nu;
+    use crate::uniform::testutil as ut;
+    use bruck_comm::ThreadComm;
+    use bruck_workload::{Distribution, SizeMatrix};
+
+    #[test]
+    fn schedule_covers_every_offset_exactly_by_its_digits() {
+        for p in [2usize, 3, 8, 12, 16, 27, 31] {
+            for radix in [2usize, 3, 4, 8] {
+                for i in 1..p {
+                    let mut moved = 0usize;
+                    for (_, weight, d) in radix_schedule(p, radix) {
+                        if radix_digit(i, weight, radix) == d {
+                            moved += d * weight;
+                        }
+                    }
+                    assert_eq!(moved, i, "p={p} radix={radix} offset {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn radix_two_schedule_matches_binary_steps() {
+        let p = 16;
+        let steps = radix_schedule(p, 2);
+        assert_eq!(steps.len(), 4);
+        for (k, (idx, weight, d)) in steps.iter().enumerate() {
+            assert_eq!(*idx, k as u32);
+            assert_eq!(*weight, 1 << k);
+            assert_eq!(*d, 1);
+        }
+    }
+
+    #[test]
+    fn step_count_grows_with_radix_but_forwarding_shrinks() {
+        let p = 256;
+        assert_eq!(radix_schedule(p, 2).len(), 8); // log2(256)
+        assert_eq!(radix_schedule(p, 4).len(), 12); // 3 digits × 4 phases
+        assert_eq!(radix_schedule(p, 16).len(), 30); // 15 digits × 2 phases
+        // Max forwards per block = number of phases.
+        let phases = |r: usize| {
+            radix_schedule(p, r).iter().map(|(_, w, _)| w).collect::<std::collections::HashSet<_>>().len()
+        };
+        assert_eq!(phases(2), 8);
+        assert_eq!(phases(4), 4);
+        assert_eq!(phases(16), 2);
+    }
+
+    #[test]
+    fn uniform_radix_correct_for_many_radices_and_sizes() {
+        for p in [2usize, 3, 5, 8, 12, 16, 17, 27] {
+            for radix in [2usize, 3, 4, 7, 16] {
+                ThreadComm::run(p, |comm| {
+                    let me = comm.rank();
+                    let sendbuf = ut::fill_sendbuf(me, p, 4);
+                    let mut recvbuf = vec![0u8; p * 4];
+                    zero_rotation_bruck_radix(comm, &sendbuf, &mut recvbuf, 4, radix).unwrap();
+                    ut::check_recvbuf(me, p, 4, &recvbuf);
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_radix_two_equals_plain_zero_rotation() {
+        let p = 12;
+        let block = 5;
+        let outs = ThreadComm::run(p, |comm| {
+            let sendbuf = ut::fill_sendbuf(comm.rank(), p, block);
+            let mut a = vec![0u8; p * block];
+            let mut b = vec![0u8; p * block];
+            zero_rotation_bruck_radix(comm, &sendbuf, &mut a, block, 2).unwrap();
+            crate::zero_rotation_bruck(comm, &sendbuf, &mut b, block).unwrap();
+            (a, b)
+        });
+        for (a, b) in outs {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn two_phase_radix_correct_for_many_radices() {
+        for radix in [2usize, 3, 4, 8] {
+            for p in [3usize, 8, 12, 16] {
+                let m = SizeMatrix::generate(Distribution::Uniform, 31 + radix as u64, p, 48);
+                ThreadComm::run(p, |comm| {
+                    let me = comm.rank();
+                    let (sendbuf, sendcounts, sdispls) = nu::build_send(me, &m);
+                    let recvcounts = m.recvcounts(me);
+                    let rdispls = crate::packed_displs(&recvcounts);
+                    let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+                    two_phase_bruck_radix(
+                        comm, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts,
+                        &rdispls, radix,
+                    )
+                    .unwrap();
+                    nu::check_recv(me, &m, &recvbuf, &rdispls);
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn two_phase_radix_handles_skew_and_zeros() {
+        let mut rows = vec![vec![0usize; 9]; 9];
+        rows[1][6] = 100;
+        rows[4][4] = 7;
+        rows[8][0] = 1;
+        let m = SizeMatrix::from_rows(rows);
+        for radix in [3usize, 9] {
+            ThreadComm::run(9, |comm| {
+                let me = comm.rank();
+                let (sendbuf, sendcounts, sdispls) = nu::build_send(me, &m);
+                let recvcounts = m.recvcounts(me);
+                let rdispls = crate::packed_displs(&recvcounts);
+                let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+                two_phase_bruck_radix(
+                    comm, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts, &rdispls,
+                    radix,
+                )
+                .unwrap();
+                nu::check_recv(me, &m, &recvbuf, &rdispls);
+            });
+        }
+    }
+
+    #[test]
+    fn radix_p_degenerates_to_single_phase() {
+        // radix ≥ P: one phase, every block moves directly — spread-out-like.
+        let p = 8;
+        let sched = radix_schedule(p, p);
+        assert_eq!(sched.len(), p - 1);
+        assert!(sched.iter().all(|&(_, w, _)| w == 1));
+        ThreadComm::run(p, |comm| {
+            let me = comm.rank();
+            let sendbuf = ut::fill_sendbuf(me, p, 3);
+            let mut recvbuf = vec![0u8; p * 3];
+            zero_rotation_bruck_radix(comm, &sendbuf, &mut recvbuf, 3, p).unwrap();
+            ut::check_recvbuf(me, p, 3, &recvbuf);
+        });
+    }
+}

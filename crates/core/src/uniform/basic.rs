@@ -1,0 +1,141 @@
+//! Basic Bruck (§2.1): initial rotation, log(P) steps, final rotation.
+
+use bruck_comm::{CommResult, Communicator};
+use bruck_datatype::IndexedBlocks;
+
+use super::validate_uniform;
+use crate::common::{add_mod, ceil_log2, step_rel_indices, sub_mod, uniform_step_tag};
+use crate::phases::{timed, PhaseTimes};
+
+/// Basic Bruck with explicit `memcpy` buffer management.
+pub fn basic_bruck<C: Communicator + ?Sized>(
+    comm: &C,
+    sendbuf: &[u8],
+    recvbuf: &mut [u8],
+    block: usize,
+) -> CommResult<()> {
+    basic_bruck_timed(comm, sendbuf, recvbuf, block).map(drop)
+}
+
+/// [`basic_bruck`] with per-phase wall-clock breakdown (Figure 2b).
+pub fn basic_bruck_timed<C: Communicator + ?Sized>(
+    comm: &C,
+    sendbuf: &[u8],
+    recvbuf: &mut [u8],
+    block: usize,
+) -> CommResult<PhaseTimes> {
+    let p = validate_uniform(comm, sendbuf, recvbuf, block)?;
+    let me = comm.rank();
+    let mut t = PhaseTimes::default();
+
+    // Phase 1 — local rotation: R[i] = S[(p + i) % P].
+    timed(&mut t.setup, || {
+        for i in 0..p {
+            let src = add_mod(me, i, p) * block;
+            recvbuf[i * block..(i + 1) * block].copy_from_slice(&sendbuf[src..src + block]);
+        }
+    });
+
+    // Phase 2 — log(P) exchange steps over the offset bits.
+    timed(&mut t.comm, || -> CommResult<()> {
+        let mut wire = Vec::new();
+        for k in 0..ceil_log2(p) {
+            let hop = 1usize << k;
+            let dest = add_mod(me, hop, p);
+            let src = sub_mod(me, hop, p);
+            wire.clear();
+            for i in step_rel_indices(p, k) {
+                wire.extend_from_slice(&recvbuf[i * block..(i + 1) * block]);
+            }
+            let got = comm.sendrecv(dest, uniform_step_tag(k), &wire, src, uniform_step_tag(k))?;
+            debug_assert_eq!(got.len(), wire.len(), "peers exchange equal step volumes");
+            let mut at = 0;
+            for i in step_rel_indices(p, k) {
+                recvbuf[i * block..(i + 1) * block].copy_from_slice(&got[at..at + block]);
+                at += block;
+            }
+        }
+        Ok(())
+    })?;
+
+    // Phase 3 — final inverse rotation: R'[i] = R[(p − i) % P].
+    timed(&mut t.finalize, || {
+        let staged = recvbuf.to_vec();
+        for i in 0..p {
+            let from = sub_mod(me, i, p) * block;
+            recvbuf[i * block..(i + 1) * block].copy_from_slice(&staged[from..from + block]);
+        }
+    });
+    Ok(t)
+}
+
+/// Basic Bruck where each step's non-contiguous blocks are described by a
+/// derived datatype ([`IndexedBlocks`]) instead of hand-packed (`BasicBruck-dt`
+/// in Figure 2).
+pub fn basic_bruck_dt<C: Communicator + ?Sized>(
+    comm: &C,
+    sendbuf: &[u8],
+    recvbuf: &mut [u8],
+    block: usize,
+) -> CommResult<()> {
+    let p = validate_uniform(comm, sendbuf, recvbuf, block)?;
+    let me = comm.rank();
+
+    for i in 0..p {
+        let src = add_mod(me, i, p) * block;
+        recvbuf[i * block..(i + 1) * block].copy_from_slice(&sendbuf[src..src + block]);
+    }
+
+    for k in 0..ceil_log2(p) {
+        let hop = 1usize << k;
+        let dest = add_mod(me, hop, p);
+        let src = sub_mod(me, hop, p);
+        // The same layout describes both what we gather to send and where the
+        // received blocks scatter (indices are symmetric between the peers).
+        let layout = IndexedBlocks::new(
+            step_rel_indices(p, k).map(|i| (i * block, block)).collect(),
+        )
+        .expect("in-bounds step layout");
+        let mut wire = vec![0u8; layout.packed_len()];
+        layout.pack_into(recvbuf, &mut wire).expect("pack step blocks");
+        let got = comm.sendrecv(dest, uniform_step_tag(k), &wire, src, uniform_step_tag(k))?;
+        layout.unpack_from(&got, recvbuf).expect("unpack step blocks");
+    }
+
+    let staged = recvbuf.to_vec();
+    for i in 0..p {
+        let from = sub_mod(me, i, p) * block;
+        recvbuf[i * block..(i + 1) * block].copy_from_slice(&staged[from..from + block]);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{run_and_check, TEST_SIZES};
+    use super::super::AlltoallAlgorithm;
+
+    #[test]
+    fn basic_bruck_correct_for_all_sizes() {
+        for p in TEST_SIZES {
+            run_and_check(AlltoallAlgorithm::BasicBruck, p, 3);
+        }
+    }
+
+    #[test]
+    fn basic_bruck_dt_correct_for_all_sizes() {
+        for p in TEST_SIZES {
+            run_and_check(AlltoallAlgorithm::BasicBruckDt, p, 5);
+        }
+    }
+
+    #[test]
+    fn zero_block_size_is_a_noop() {
+        run_and_check(AlltoallAlgorithm::BasicBruck, 4, 0);
+    }
+
+    #[test]
+    fn large_blocks() {
+        run_and_check(AlltoallAlgorithm::BasicBruck, 8, 257);
+    }
+}

@@ -1,0 +1,124 @@
+//! Zero Rotation Bruck (§2.1) — the paper's uniform contribution.
+//!
+//! A synthesis of two tricks: modified Bruck's reversed schedule removes the
+//! final rotation, and SLOAV's rotation index array removes the *initial* one
+//! — instead of physically rotating the send buffer, the index array
+//! `I[j] = (2p − j) % P` maps each working slot `j` to the original send
+//! block that the rotation would have placed there. First-time sends read
+//! straight out of the user's send buffer through `I`; received blocks are
+//! staged in the receive buffer itself (slot `j` is its own final home for
+//! uniform loads) and re-sent from there.
+
+use bruck_comm::{CommResult, Communicator};
+
+use super::validate_uniform;
+use crate::common::{add_mod, ceil_log2, rotation_index, step_rel_indices, sub_mod, uniform_step_tag};
+use crate::phases::{timed, PhaseTimes};
+
+/// Zero Rotation Bruck with explicit `memcpy` buffer management.
+pub fn zero_rotation_bruck<C: Communicator + ?Sized>(
+    comm: &C,
+    sendbuf: &[u8],
+    recvbuf: &mut [u8],
+    block: usize,
+) -> CommResult<()> {
+    zero_rotation_bruck_timed(comm, sendbuf, recvbuf, block).map(drop)
+}
+
+/// [`zero_rotation_bruck`] with per-phase breakdown: `setup` is only the
+/// `O(P)` index-array construction — the point of the algorithm.
+pub fn zero_rotation_bruck_timed<C: Communicator + ?Sized>(
+    comm: &C,
+    sendbuf: &[u8],
+    recvbuf: &mut [u8],
+    block: usize,
+) -> CommResult<PhaseTimes> {
+    let p = validate_uniform(comm, sendbuf, recvbuf, block)?;
+    let me = comm.rank();
+    let mut t = PhaseTimes::default();
+
+    // Phase 1 — O(P) rotation index array instead of an O(P·n) data rotation.
+    let rot = timed(&mut t.setup, || rotation_index(me, p));
+
+    timed(&mut t.comm, || -> CommResult<()> {
+        // received[j]: slot j's current data lives in recvbuf (it has been
+        // received in an earlier step) rather than in sendbuf[I[j]].
+        let mut received = vec![false; p];
+        let mut wire = Vec::new();
+        for k in 0..ceil_log2(p) {
+            let hop = 1usize << k;
+            let dest = sub_mod(me, hop, p);
+            let src = add_mod(me, hop, p);
+            wire.clear();
+            for i in step_rel_indices(p, k) {
+                let abs = add_mod(i, me, p);
+                let from = if received[abs] {
+                    &recvbuf[abs * block..(abs + 1) * block]
+                } else {
+                    let orig = rot[abs] * block;
+                    &sendbuf[orig..orig + block]
+                };
+                wire.extend_from_slice(from);
+            }
+            let got = comm.sendrecv(dest, uniform_step_tag(k), &wire, src, uniform_step_tag(k))?;
+            let mut at = 0;
+            for i in step_rel_indices(p, k) {
+                let abs = add_mod(i, me, p);
+                recvbuf[abs * block..(abs + 1) * block].copy_from_slice(&got[at..at + block]);
+                received[abs] = true;
+                at += block;
+            }
+        }
+        // The self block never travels: I[p] = p.
+        recvbuf[me * block..(me + 1) * block]
+            .copy_from_slice(&sendbuf[me * block..(me + 1) * block]);
+        Ok(())
+    })?;
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{run_and_check, TEST_SIZES};
+    use super::super::AlltoallAlgorithm;
+    use super::*;
+    use bruck_comm::ThreadComm;
+
+    #[test]
+    fn zero_rotation_correct_for_all_sizes() {
+        for p in TEST_SIZES {
+            run_and_check(AlltoallAlgorithm::ZeroRotationBruck, p, 3);
+        }
+    }
+
+    #[test]
+    fn setup_phase_does_no_data_copies() {
+        // The timed breakdown must attribute (essentially) everything to comm:
+        // setup builds a P-entry index array only. We check structure, not
+        // wall-clock: the setup allocation is O(P), independent of block size.
+        ThreadComm::run(4, |comm| {
+            let send = super::super::testutil::fill_sendbuf(comm.rank(), 4, 64);
+            let mut recv = vec![0u8; 4 * 64];
+            let t = zero_rotation_bruck_timed(comm, &send, &mut recv, 64).unwrap();
+            assert!(t.finalize.is_zero(), "zero-rotation has no final phase");
+        });
+    }
+
+    #[test]
+    fn matches_basic_bruck_output() {
+        for p in [3usize, 8, 12] {
+            let block = 6;
+            let outs = ThreadComm::run(p, |comm| {
+                let send = super::super::testutil::fill_sendbuf(comm.rank(), p, block);
+                let mut a = vec![0u8; p * block];
+                let mut b = vec![0u8; p * block];
+                zero_rotation_bruck(comm, &send, &mut a, block).unwrap();
+                super::super::basic_bruck(comm, &send, &mut b, block).unwrap();
+                (a, b)
+            });
+            for (a, b) in outs {
+                assert_eq!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! The [`IndexedBlocks`] layout and its pack/unpack engine.
+
+use std::fmt;
+
+/// Errors from layout construction and pack/unpack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatatypeError {
+    /// A block reaches past the end of the buffer it is applied to.
+    OutOfBounds {
+        /// End offset the layout requires (its extent).
+        required: usize,
+        /// Length of the buffer supplied.
+        available: usize,
+    },
+    /// The packed-side buffer does not match the layout's packed length.
+    PackedSizeMismatch {
+        /// Packed bytes the layout describes.
+        required: usize,
+        /// Length of the packed buffer supplied.
+        available: usize,
+    },
+    /// Mismatched constructor arguments (lengths vs displacements).
+    BadArgument(&'static str),
+}
+
+impl fmt::Display for DatatypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatatypeError::OutOfBounds { required, available } => {
+                write!(f, "layout extent {required} exceeds buffer of {available} bytes")
+            }
+            DatatypeError::PackedSizeMismatch { required, available } => {
+                write!(f, "layout packs {required} bytes but packed buffer has {available}")
+            }
+            DatatypeError::BadArgument(what) => write!(f, "bad argument: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DatatypeError {}
+
+/// An ordered sequence of `(displacement, length)` byte blocks over a buffer —
+/// the equivalent of an `MPI_Type_create_struct` of `MPI_BYTE` blocks, or of
+/// `MPI_Type_indexed` with byte granularity.
+///
+/// Blocks may appear in any order and zero-length blocks are allowed (the
+/// Bruck variants create them when a data block is empty). Packing serializes
+/// the blocks in sequence order into a contiguous buffer; unpacking is the
+/// inverse scatter.
+///
+/// ```
+/// use bruck_datatype::IndexedBlocks;
+///
+/// // Pick bytes 0..2 and 6..9 out of a 10-byte buffer.
+/// let ty = IndexedBlocks::new(vec![(0, 2), (6, 3)]).unwrap();
+/// let src: Vec<u8> = (0..10).collect();
+/// let packed = ty.pack(&src).unwrap();
+/// assert_eq!(packed, [0, 1, 6, 7, 8]);
+///
+/// let mut dst = [0u8; 10];
+/// ty.unpack_from(&packed, &mut dst).unwrap();
+/// assert_eq!(dst, [0, 1, 0, 0, 0, 0, 6, 7, 8, 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexedBlocks {
+    blocks: Vec<(usize, usize)>,
+    packed_len: usize,
+    extent: usize,
+}
+
+impl IndexedBlocks {
+    /// Build a layout from `(displacement, length)` block descriptors.
+    pub fn new(blocks: Vec<(usize, usize)>) -> Result<Self, DatatypeError> {
+        let mut packed_len = 0usize;
+        let mut extent = 0usize;
+        for &(displ, len) in &blocks {
+            packed_len = packed_len
+                .checked_add(len)
+                .ok_or(DatatypeError::BadArgument("packed length overflows usize"))?;
+            let end = displ
+                .checked_add(len)
+                .ok_or(DatatypeError::BadArgument("block end overflows usize"))?;
+            extent = extent.max(end);
+        }
+        Ok(IndexedBlocks { blocks, packed_len, extent })
+    }
+
+    /// Build from parallel `lengths` / `displacements` arrays — the shape MPI
+    /// programs already carry for `MPI_Alltoallv` (`counts` + `displs`).
+    pub fn from_lengths_displs(lengths: &[usize], displs: &[usize]) -> Result<Self, DatatypeError> {
+        if lengths.len() != displs.len() {
+            return Err(DatatypeError::BadArgument("lengths and displs differ in length"));
+        }
+        Self::new(displs.iter().copied().zip(lengths.iter().copied()).collect())
+    }
+
+    /// A single contiguous block `[0, len)`.
+    pub fn contiguous(len: usize) -> Self {
+        IndexedBlocks { blocks: vec![(0, len)], packed_len: len, extent: len }
+    }
+
+    /// `count` blocks of `block_len` bytes separated by `stride` bytes — the
+    /// equivalent of `MPI_Type_vector` at byte granularity.
+    pub fn strided(count: usize, block_len: usize, stride: usize) -> Result<Self, DatatypeError> {
+        if stride < block_len && count > 1 {
+            return Err(DatatypeError::BadArgument("stride smaller than block length"));
+        }
+        Self::new((0..count).map(|i| (i * stride, block_len)).collect())
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The block descriptors in sequence order.
+    pub fn blocks(&self) -> &[(usize, usize)] {
+        &self.blocks
+    }
+
+    /// Bytes produced by packing (sum of block lengths) — MPI's *size*.
+    pub fn packed_len(&self) -> usize {
+        self.packed_len
+    }
+
+    /// One-past-the-end of the furthest block — MPI's *extent* (lower bound 0).
+    pub fn extent(&self) -> usize {
+        self.extent
+    }
+
+    fn check_unpacked(&self, buf_len: usize) -> Result<(), DatatypeError> {
+        if self.extent > buf_len {
+            Err(DatatypeError::OutOfBounds { required: self.extent, available: buf_len })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Gather the layout's blocks out of `src` into `dst` (which must be
+    /// exactly [`IndexedBlocks::packed_len`] bytes). Returns bytes written.
+    pub fn pack_into(&self, src: &[u8], dst: &mut [u8]) -> Result<usize, DatatypeError> {
+        self.check_unpacked(src.len())?;
+        if dst.len() != self.packed_len {
+            return Err(DatatypeError::PackedSizeMismatch {
+                required: self.packed_len,
+                available: dst.len(),
+            });
+        }
+        let mut at = 0;
+        for &(displ, len) in &self.blocks {
+            dst[at..at + len].copy_from_slice(&src[displ..displ + len]);
+            at += len;
+        }
+        Ok(at)
+    }
+
+    /// Allocating convenience form of [`IndexedBlocks::pack_into`].
+    pub fn pack(&self, src: &[u8]) -> Result<Vec<u8>, DatatypeError> {
+        let mut out = vec![0u8; self.packed_len];
+        self.pack_into(src, &mut out)?;
+        Ok(out)
+    }
+
+    /// Scatter a packed buffer back out to the layout's blocks in `dst`.
+    pub fn unpack_from(&self, packed: &[u8], dst: &mut [u8]) -> Result<(), DatatypeError> {
+        self.check_unpacked(dst.len())?;
+        if packed.len() != self.packed_len {
+            return Err(DatatypeError::PackedSizeMismatch {
+                required: self.packed_len,
+                available: packed.len(),
+            });
+        }
+        let mut at = 0;
+        for &(displ, len) in &self.blocks {
+            dst[displ..displ + len].copy_from_slice(&packed[at..at + len]);
+            at += len;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_roundtrip() {
+        let ty = IndexedBlocks::contiguous(5);
+        let src = [9u8, 8, 7, 6, 5];
+        assert_eq!(ty.pack(&src).unwrap(), src);
+        assert_eq!(ty.packed_len(), 5);
+        assert_eq!(ty.extent(), 5);
+    }
+
+    #[test]
+    fn out_of_order_blocks_pack_in_sequence_order() {
+        let ty = IndexedBlocks::new(vec![(4, 2), (0, 2)]).unwrap();
+        let src = [0u8, 1, 2, 3, 4, 5];
+        assert_eq!(ty.pack(&src).unwrap(), [4, 5, 0, 1]);
+    }
+
+    #[test]
+    fn zero_length_blocks_are_fine() {
+        let ty = IndexedBlocks::new(vec![(3, 0), (1, 2), (9, 0)]).unwrap();
+        assert_eq!(ty.packed_len(), 2);
+        assert_eq!(ty.extent(), 9);
+        let src = [0u8, 10, 20, 0, 0, 0, 0, 0, 0];
+        assert_eq!(ty.pack(&src).unwrap(), [10, 20]);
+    }
+
+    #[test]
+    fn strided_matches_manual_blocks() {
+        let ty = IndexedBlocks::strided(3, 2, 4).unwrap();
+        assert_eq!(ty.blocks(), &[(0, 2), (4, 2), (8, 2)]);
+        assert!(IndexedBlocks::strided(2, 4, 2).is_err());
+        // A single block may have stride < len (no second block to overlap).
+        assert!(IndexedBlocks::strided(1, 4, 2).is_ok());
+    }
+
+    #[test]
+    fn from_lengths_displs_mirrors_alltoallv_arrays() {
+        let ty = IndexedBlocks::from_lengths_displs(&[2, 0, 3], &[0, 2, 2]).unwrap();
+        assert_eq!(ty.blocks(), &[(0, 2), (2, 0), (2, 3)]);
+        assert!(IndexedBlocks::from_lengths_displs(&[1], &[]).is_err());
+    }
+
+    #[test]
+    fn bounds_errors() {
+        let ty = IndexedBlocks::new(vec![(8, 4)]).unwrap();
+        let small = [0u8; 10];
+        assert_eq!(
+            ty.pack(&small).unwrap_err(),
+            DatatypeError::OutOfBounds { required: 12, available: 10 }
+        );
+        let mut dst = [0u8; 10];
+        assert!(ty.unpack_from(&[0u8; 4], &mut dst).is_err());
+        let big = [0u8; 12];
+        let mut wrong = [0u8; 3];
+        assert_eq!(
+            ty.pack_into(&big, &mut wrong).unwrap_err(),
+            DatatypeError::PackedSizeMismatch { required: 4, available: 3 }
+        );
+    }
+
+    #[test]
+    fn unpack_only_touches_described_bytes() {
+        let ty = IndexedBlocks::new(vec![(1, 2)]).unwrap();
+        let mut dst = [7u8; 4];
+        ty.unpack_from(&[1, 2], &mut dst).unwrap();
+        assert_eq!(dst, [7, 1, 2, 7]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Machine models: effective α–β–γ parameters per target system.
+//!
+//! The paper measures on real Cray/Intel interconnects at up to 32,768 ranks;
+//! we replace the hardware with calibrated *effective* parameters (DESIGN.md
+//! §1, §5). Parameters are effective rather than physical: e.g. `beta` is the
+//! per-rank bandwidth an all-to-all actually achieves under full-system
+//! self-congestion, which is far below link speed.
+
+/// Effective cost parameters of one machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineModel {
+    /// Human-readable machine name (figures use it as the series suffix).
+    pub name: &'static str,
+    /// Base latency of one synchronized message exchange (seconds).
+    pub alpha0: f64,
+    /// Additional per-rank straggle of a synchronized step (seconds/rank):
+    /// a full permutation step across `P` ranks completes when the slowest
+    /// rank does, and that tail grows with `P`.
+    pub alpha_per_rank: f64,
+    /// Per-message overhead of overlapped (non-blocking, windowed) messages
+    /// (seconds/message).
+    pub inject: f64,
+    /// Per-message overhead when *all* pairs are in flight unthrottled
+    /// (seconds/message); slightly worse than [`MachineModel::inject`].
+    pub inject_unthrottled: f64,
+    /// Transfer cost per byte for Bruck-style synchronized steps, where each
+    /// rank drives a single peer (seconds/byte).
+    pub beta: f64,
+    /// Transfer cost per byte for all-pairs patterns, where `P − 1`
+    /// simultaneous flows contend (seconds/byte). `beta_pair > beta`.
+    pub beta_pair: f64,
+    /// Local memory-copy cost (pack/unpack/rotation) per byte (seconds/byte).
+    pub gamma: f64,
+    /// Datatype-engine overhead per described block (seconds/block).
+    pub dt_block: f64,
+}
+
+impl MachineModel {
+    /// Latency of one synchronized message at communicator size `p`.
+    #[inline]
+    pub fn alpha(&self, p: usize) -> f64 {
+        self.alpha0 + self.alpha_per_rank * p as f64
+    }
+
+    /// Theta-like preset (Cray XC40 / Aries): calibrated against the paper's
+    /// Figure 6/7 magnitudes and crossovers (see EXPERIMENTS.md).
+    pub fn theta_like() -> Self {
+        MachineModel {
+            name: "theta",
+            alpha0: 10.0e-6,
+            alpha_per_rank: 0.05e-6,
+            inject: 8.0e-6,
+            inject_unthrottled: 9.5e-6,
+            beta: 14.0e-9,      // ≈ 71 MB/s effective per-rank all-to-all
+            beta_pair: 71.0e-9, // ≈ 14 MB/s effective under all-pairs contention
+            gamma: 0.3e-9,      // ≈ 3.3 GB/s memcpy
+            dt_block: 120.0e-9,
+        }
+    }
+
+    /// Cori-like preset (Cray XC40, Haswell partition): same interconnect
+    /// family as Theta, slightly lower latency and higher per-rank bandwidth.
+    pub fn cori_like() -> Self {
+        MachineModel {
+            name: "cori",
+            alpha0: 8.0e-6,
+            alpha_per_rank: 0.04e-6,
+            inject: 6.5e-6,
+            inject_unthrottled: 8.0e-6,
+            beta: 11.0e-9,
+            beta_pair: 55.0e-9,
+            gamma: 0.25e-9,
+            dt_block: 110.0e-9,
+        }
+    }
+
+    /// Stampede2-like preset (Intel Omni-Path): higher message latency,
+    /// somewhat better sustained pairwise bandwidth.
+    pub fn stampede_like() -> Self {
+        MachineModel {
+            name: "stampede",
+            alpha0: 14.0e-6,
+            alpha_per_rank: 0.07e-6,
+            inject: 10.0e-6,
+            inject_unthrottled: 12.0e-6,
+            beta: 18.0e-9,
+            beta_pair: 80.0e-9,
+            gamma: 0.3e-9,
+            dt_block: 130.0e-9,
+        }
+    }
+
+    /// All presets.
+    pub fn presets() -> [MachineModel; 3] {
+        [Self::theta_like(), Self::cori_like(), Self::stampede_like()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_grows_with_p() {
+        let m = MachineModel::theta_like();
+        assert!(m.alpha(4096) > m.alpha(128));
+        assert!((m.alpha(0) - m.alpha0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        for m in MachineModel::presets() {
+            assert!(m.alpha0 > 0.0 && m.beta > 0.0 && m.gamma > 0.0);
+            assert!(m.beta_pair > m.beta, "{}: pairwise flows must contend", m.name);
+            assert!(m.inject_unthrottled >= m.inject, "{}", m.name);
+            // Latency dominates bandwidth for sub-100-byte messages — the
+            // premise of the whole paper.
+            assert!(m.alpha0 > m.beta * 100.0, "{}", m.name);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Parameter sweeps and crossover extraction (Figures 6–10, 13 and the
+//! empirical performance model of Figure 9).
+
+use rayon::prelude::*;
+
+use crate::{nonuniform_trace, DistSource, MachineModel, NonuniformAlgo, RankSample};
+use bruck_workload::Distribution;
+
+/// Predicted time of one algorithm on one workload point.
+pub fn predict(
+    algo: NonuniformAlgo,
+    dist: Distribution,
+    seed: u64,
+    p: usize,
+    n: usize,
+    machine: &MachineModel,
+) -> f64 {
+    let source = DistSource::new(dist, seed, p, n);
+    nonuniform_trace(algo, &source, &RankSample::auto(p)).time(machine)
+}
+
+/// One evaluated point of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Communicator size.
+    pub p: usize,
+    /// Maximum block size (bytes).
+    pub n: usize,
+    /// Algorithm evaluated.
+    pub algo: NonuniformAlgo,
+    /// Predicted seconds.
+    pub seconds: f64,
+}
+
+/// Evaluate `algos × ps × ns` in parallel (rayon); output is sorted by
+/// `(p, n, algo order)` for stable figure rendering.
+pub fn sweep(
+    algos: &[NonuniformAlgo],
+    dist: Distribution,
+    seed: u64,
+    ps: &[usize],
+    ns: &[usize],
+    machine: &MachineModel,
+) -> Vec<SweepPoint> {
+    let mut points: Vec<(usize, SweepPoint)> = ps
+        .iter()
+        .flat_map(|&p| ns.iter().map(move |&n| (p, n)))
+        .flat_map(|(p, n)| algos.iter().enumerate().map(move |(ai, &algo)| (p, n, ai, algo)))
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|(p, n, ai, algo)| {
+            let seconds = predict(algo, dist, seed, p, n, machine);
+            (ai, SweepPoint { p, n, algo, seconds })
+        })
+        .collect();
+    points.sort_by_key(|(ai, a)| (a.p, a.n, *ai));
+    points.into_iter().map(|(_, sp)| sp).collect()
+}
+
+/// The largest `n` in `n_grid` for which `a` is predicted to beat `b`
+/// (Figure 9's crossover threshold). `None` if `a` never wins.
+pub fn crossover_n(
+    a: NonuniformAlgo,
+    b: NonuniformAlgo,
+    dist: Distribution,
+    seed: u64,
+    p: usize,
+    n_grid: &[usize],
+    machine: &MachineModel,
+) -> Option<usize> {
+    let wins: Vec<(usize, bool)> = n_grid
+        .par_iter()
+        .map(|&n| (n, predict(a, dist, seed, p, n, machine) < predict(b, dist, seed, p, n, machine)))
+        .collect();
+    wins.into_iter().filter(|&(_, w)| w).map(|(n, _)| n).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEED: u64 = 2022;
+
+    #[test]
+    fn sweep_covers_the_grid() {
+        let m = MachineModel::theta_like();
+        let pts = sweep(
+            &[NonuniformAlgo::Vendor, NonuniformAlgo::TwoPhaseBruck],
+            Distribution::Uniform,
+            SEED,
+            &[64, 128],
+            &[16, 64],
+            &m,
+        );
+        assert_eq!(pts.len(), 2 * 2 * 2);
+        assert!(pts.iter().all(|pt| pt.seconds > 0.0));
+        // Sorted by (p, n).
+        assert!(pts.windows(2).all(|w| (w[0].p, w[0].n) <= (w[1].p, w[1].n)));
+    }
+
+    #[test]
+    fn two_phase_beats_vendor_at_small_n_loses_at_huge_n() {
+        let m = MachineModel::theta_like();
+        let p = 1024;
+        let small = predict(NonuniformAlgo::TwoPhaseBruck, Distribution::Uniform, SEED, p, 64, &m);
+        let vendor_small = predict(NonuniformAlgo::Vendor, Distribution::Uniform, SEED, p, 64, &m);
+        assert!(small < vendor_small, "two-phase must win at N=64: {small} vs {vendor_small}");
+        let huge =
+            predict(NonuniformAlgo::TwoPhaseBruck, Distribution::Uniform, SEED, p, 1 << 16, &m);
+        let vendor_huge =
+            predict(NonuniformAlgo::Vendor, Distribution::Uniform, SEED, p, 1 << 16, &m);
+        assert!(huge > vendor_huge, "vendor must win at N=64K: {huge} vs {vendor_huge}");
+    }
+
+    #[test]
+    fn crossover_declines_with_p() {
+        // Figure 9's main trend: the N range where two-phase wins shrinks as
+        // P grows.
+        let m = MachineModel::theta_like();
+        let grid: Vec<usize> = (4..=14).map(|e| 1usize << e).collect();
+        let at = |p| {
+            crossover_n(
+                NonuniformAlgo::TwoPhaseBruck,
+                NonuniformAlgo::Vendor,
+                Distribution::Uniform,
+                SEED,
+                p,
+                &grid,
+                &m,
+            )
+            .unwrap_or(0)
+        };
+        let lo = at(512);
+        let hi = at(16384);
+        assert!(lo >= hi, "crossover at P=512 ({lo}) must be ≥ at P=16384 ({hi})");
+        assert!(lo >= 256, "two-phase should win well past N=256 at P=512 (got {lo})");
+    }
+
+    #[test]
+    fn padded_wins_only_for_tiny_blocks() {
+        let m = MachineModel::theta_like();
+        let p = 1024;
+        let grid = [8usize, 16, 32, 64, 128, 256, 512, 1024];
+        let cross = crossover_n(
+            NonuniformAlgo::PaddedBruck,
+            NonuniformAlgo::TwoPhaseBruck,
+            Distribution::Uniform,
+            SEED,
+            p,
+            &grid,
+            &m,
+        );
+        // Padded may win at the small end but must lose by N=512.
+        if let Some(n) = cross {
+            assert!(n <= 256, "padded Bruck should stop winning by N=256, got {n}");
+        }
+        let padded = predict(NonuniformAlgo::PaddedBruck, Distribution::Uniform, SEED, p, 1024, &m);
+        let two = predict(NonuniformAlgo::TwoPhaseBruck, Distribution::Uniform, SEED, p, 1024, &m);
+        assert!(two < padded, "two-phase must dominate padded at N=1024");
+    }
+}

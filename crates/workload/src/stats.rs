@@ -1,0 +1,121 @@
+//! Summary statistics and histograms over generated workloads (Figure 10f).
+
+use crate::{Distribution, SizeMatrix};
+
+/// Summary statistics of a block-size population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistStats {
+    /// Number of blocks observed.
+    pub count: usize,
+    /// Smallest block (bytes).
+    pub min: usize,
+    /// Largest block (bytes).
+    pub max: usize,
+    /// Mean block size (bytes).
+    pub mean: f64,
+    /// Population standard deviation (bytes).
+    pub stddev: f64,
+    /// Total bytes.
+    pub total: usize,
+}
+
+impl DistStats {
+    /// Compute statistics over an iterator of block sizes.
+    pub fn from_sizes(sizes: impl IntoIterator<Item = usize>) -> Self {
+        let mut count = 0usize;
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut total = 0usize;
+        let mut sq = 0.0f64;
+        for s in sizes {
+            count += 1;
+            min = min.min(s);
+            max = max.max(s);
+            total += s;
+            sq += (s as f64) * (s as f64);
+        }
+        if count == 0 {
+            return DistStats { count: 0, min: 0, max: 0, mean: 0.0, stddev: 0.0, total: 0 };
+        }
+        let mean = total as f64 / count as f64;
+        let var = (sq / count as f64 - mean * mean).max(0.0);
+        DistStats { count, min, max, mean, stddev: var.sqrt(), total }
+    }
+
+    /// Statistics over one rank's row of a distribution.
+    pub fn of_row(dist: Distribution, seed: u64, rank: usize, p: usize, n_max: usize) -> Self {
+        Self::from_sizes(dist.sample_row(seed, rank, p, n_max))
+    }
+
+    /// Statistics over a whole matrix.
+    pub fn of_matrix(m: &SizeMatrix) -> Self {
+        Self::from_sizes((0..m.p()).flat_map(|src| m.sendcounts(src)))
+    }
+}
+
+/// Histogram of block sizes into `bins` equal-width buckets over `[0, n_max]`
+/// — the data behind the paper's Figure 10f distribution plots.
+pub fn histogram(sizes: &[usize], n_max: usize, bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "histogram needs at least one bin");
+    let mut h = vec![0usize; bins];
+    let width = (n_max.max(1) as f64) / bins as f64;
+    for &s in sizes {
+        let b = ((s as f64 / width) as usize).min(bins - 1);
+        h[b] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_population() {
+        let s = DistStats::from_sizes([2usize, 4, 4, 4, 5, 5, 7, 9]);
+        assert_eq!(s.count, 8);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 9);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - 2.0).abs() < 1e-12);
+        assert_eq!(s.total, 40);
+    }
+
+    #[test]
+    fn empty_population() {
+        let s = DistStats::from_sizes([]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.total, 0);
+    }
+
+    #[test]
+    fn histogram_shapes_discriminate_distributions() {
+        let p = 10_000;
+        let n = 1000;
+        let uni = histogram(&Distribution::Uniform.sample_row(1, 0, p, n), n, 10);
+        let nor = histogram(&Distribution::Normal.sample_row(1, 0, p, n), n, 10);
+        let pow = histogram(&Distribution::POWER_LAW_STEEP.sample_row(1, 0, p, n), n, 10);
+        // Uniform: roughly flat.
+        assert!(uni.iter().all(|&c| c > p / 10 / 2 && c < p / 10 * 2));
+        // Normal: middle bins dominate the tails.
+        assert!(nor[4] + nor[5] > 4 * (nor[0] + nor[9] + 1));
+        // Power-law: first bin dominates everything else.
+        assert!(pow[0] > p * 8 / 10);
+    }
+
+    #[test]
+    fn histogram_bins_cover_max_value() {
+        let h = histogram(&[0, 500, 1000], 1000, 4);
+        assert_eq!(h.iter().sum::<usize>(), 3);
+        assert_eq!(h[3], 1, "value == n_max lands in the last bin");
+    }
+
+    #[test]
+    fn of_matrix_equals_flat_stats() {
+        let m = SizeMatrix::generate(Distribution::Uniform, 2, 6, 50);
+        let s = DistStats::of_matrix(&m);
+        assert_eq!(s.count, 36);
+        assert_eq!(s.total, m.total_bytes());
+        assert_eq!(s.max, m.global_max());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the workload generators.
+
+use bruck_workload::{histogram, DistStats, Distribution, SizeMatrix};
+use proptest::prelude::*;
+
+fn any_distribution() -> impl Strategy<Value = Distribution> {
+    prop_oneof![
+        Just(Distribution::Uniform),
+        (0u32..=100).prop_map(|r| Distribution::Windowed { r }),
+        Just(Distribution::Normal),
+        Just(Distribution::POWER_LAW_STEEP),
+        Just(Distribution::POWER_LAW_HEAVY),
+        (1u32..16, 1u32..64)
+            .prop_map(|(spacing, damping)| Distribution::Hotspot { spacing, damping }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sizes are always within [0, N] and deterministic in (seed, src, dst).
+    #[test]
+    fn sizes_bounded_and_deterministic(
+        dist in any_distribution(),
+        seed in any::<u64>(),
+        p in 1usize..64,
+        n_max in 0usize..4096,
+    ) {
+        let src = seed as usize % p;
+        let row = dist.sample_row(seed, src, p, n_max);
+        prop_assert_eq!(row.len(), p);
+        for (dst, &s) in row.iter().enumerate() {
+            prop_assert!(s <= n_max, "{}: size {s} > {n_max}", dist.label());
+            prop_assert_eq!(s, dist.block_size(seed, src, dst, p, n_max));
+        }
+    }
+
+    /// Windowed distributions respect their lower bound.
+    #[test]
+    fn windowed_lower_bound(
+        seed in any::<u64>(),
+        r in 0u32..=100,
+        n_max in 1usize..2048,
+    ) {
+        let lo = (n_max as f64 * f64::from(100 - r) / 100.0).round() as usize;
+        let row = Distribution::Windowed { r }.sample_row(seed, 0, 64, n_max);
+        // Allow the rounding boundary itself.
+        prop_assert!(row.iter().all(|&s| s + 1 >= lo), "lo={lo} min={:?}", row.iter().min());
+    }
+
+    /// Matrix accessors agree: row/col sums, totals, and the global max.
+    #[test]
+    fn matrix_invariants(
+        dist in any_distribution(),
+        seed in any::<u64>(),
+        p in 1usize..24,
+        n_max in 0usize..512,
+    ) {
+        let m = SizeMatrix::generate(dist, seed, p, n_max);
+        let total_rows: usize = (0..p).map(|r| m.bytes_sent(r)).sum();
+        let total_cols: usize = (0..p).map(|c| m.bytes_received(c)).sum();
+        prop_assert_eq!(total_rows, m.total_bytes());
+        prop_assert_eq!(total_cols, m.total_bytes());
+        prop_assert!(m.global_max() <= n_max);
+        let stats = DistStats::of_matrix(&m);
+        prop_assert_eq!(stats.total, m.total_bytes());
+        prop_assert_eq!(stats.count, p * p);
+    }
+
+    /// Histograms partition the population.
+    #[test]
+    fn histogram_partitions(
+        sizes in prop::collection::vec(0usize..1000, 0..200),
+        bins in 1usize..20,
+    ) {
+        let h = histogram(&sizes, 1000, bins);
+        prop_assert_eq!(h.len(), bins);
+        prop_assert_eq!(h.iter().sum::<usize>(), sizes.len());
+    }
+
+    /// Different seeds decorrelate rows (statistically: not identical for
+    /// non-trivial sizes).
+    #[test]
+    fn seeds_change_the_workload(seed in any::<u64>()) {
+        let a = Distribution::Uniform.sample_row(seed, 0, 256, 1024);
+        let b = Distribution::Uniform.sample_row(seed.wrapping_add(1), 0, 256, 1024);
+        prop_assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,12 @@
+//! # ruck — non-uniform all-to-all communication with optimized Bruck algorithms
+//!
+//! Facade crate re-exporting the full workspace API. See the individual crates:
+//! [`bruck_comm`], [`bruck_datatype`], [`bruck_core`], [`bruck_workload`],
+//! [`bruck_model`], [`bruck_bpra`].
+
+pub use bruck_bpra as bpra;
+pub use bruck_comm as comm;
+pub use bruck_core as core;
+pub use bruck_datatype as datatype;
+pub use bruck_model as model;
+pub use bruck_workload as workload;

@@ -1,0 +1,108 @@
+//! Property tests: every non-uniform algorithm computes exactly the same
+//! exchange as the pairwise reference oracle, over randomized size matrices
+//! (including zeros, skew, and non-power-of-two communicators), and every
+//! uniform variant agrees with its oracle too.
+
+use bruck_comm::{Communicator, ThreadComm};
+use bruck_core::{alltoall, alltoallv, packed_displs, AlltoallAlgorithm, AlltoallvAlgorithm};
+use bruck_workload::SizeMatrix;
+use proptest::prelude::*;
+
+/// A random square size matrix with arbitrary (possibly zero) block sizes.
+fn size_matrix() -> impl Strategy<Value = SizeMatrix> {
+    (2usize..12).prop_flat_map(|p| {
+        prop::collection::vec(prop::collection::vec(0usize..200, p), p)
+            .prop_map(SizeMatrix::from_rows)
+    })
+}
+
+/// Pattern byte for (src, dst, idx): distinct across blocks.
+fn pat(src: usize, dst: usize, idx: usize) -> u8 {
+    (src.wrapping_mul(101) ^ dst.wrapping_mul(17) ^ idx) as u8
+}
+
+/// Run one algorithm over the matrix; return each rank's receive buffer.
+fn run(algo: AlltoallvAlgorithm, m: &SizeMatrix) -> Vec<Vec<u8>> {
+    let p = m.p();
+    ThreadComm::run(p, |comm| {
+        let me = comm.rank();
+        let sendcounts = m.sendcounts(me);
+        let sdispls = packed_displs(&sendcounts);
+        let mut sendbuf = vec![0u8; sendcounts.iter().sum()];
+        for dst in 0..p {
+            for idx in 0..sendcounts[dst] {
+                sendbuf[sdispls[dst] + idx] = pat(me, dst, idx);
+            }
+        }
+        let recvcounts = m.recvcounts(me);
+        let rdispls = packed_displs(&recvcounts);
+        let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+        alltoallv(algo, comm, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts, &rdispls)
+            .unwrap();
+        recvbuf
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All six real algorithms agree with the reference on random inputs.
+    #[test]
+    fn all_nonuniform_algorithms_agree(m in size_matrix()) {
+        let expect = run(AlltoallvAlgorithm::Reference, &m);
+        for algo in [
+            AlltoallvAlgorithm::SpreadOut,
+            AlltoallvAlgorithm::Vendor,
+            AlltoallvAlgorithm::PaddedBruck,
+            AlltoallvAlgorithm::PaddedAlltoall,
+            AlltoallvAlgorithm::TwoPhaseBruck,
+            AlltoallvAlgorithm::Sloav,
+            AlltoallvAlgorithm::Hierarchical,
+            AlltoallvAlgorithm::RankaTwoStage,
+        ] {
+            let got = run(algo, &m);
+            prop_assert_eq!(&got, &expect, "{} disagrees with reference", algo.name());
+        }
+    }
+
+    /// All uniform variants agree with the uniform reference.
+    #[test]
+    fn all_uniform_algorithms_agree(p in 2usize..14, n in 0usize..48) {
+        let run_u = |algo: AlltoallAlgorithm| -> Vec<Vec<u8>> {
+            ThreadComm::run(p, |comm| {
+                let me = comm.rank();
+                let mut sendbuf = vec![0u8; p * n];
+                for dst in 0..p {
+                    for idx in 0..n {
+                        sendbuf[dst * n + idx] = pat(me, dst, idx);
+                    }
+                }
+                let mut recvbuf = vec![0u8; p * n];
+                alltoall(algo, comm, &sendbuf, &mut recvbuf, n).unwrap();
+                recvbuf
+            })
+        };
+        let expect = run_u(AlltoallAlgorithm::Reference);
+        for algo in [
+            AlltoallAlgorithm::BasicBruck,
+            AlltoallAlgorithm::BasicBruckDt,
+            AlltoallAlgorithm::ModifiedBruck,
+            AlltoallAlgorithm::ModifiedBruckDt,
+            AlltoallAlgorithm::ZeroCopyBruckDt,
+            AlltoallAlgorithm::ZeroRotationBruck,
+            AlltoallAlgorithm::SpreadOut,
+        ] {
+            let got = run_u(algo);
+            prop_assert_eq!(&got, &expect, "{} disagrees with reference", algo.name());
+        }
+    }
+
+    /// Non-uniform algorithms degenerate correctly to the uniform case.
+    #[test]
+    fn nonuniform_handles_uniform_matrices(p in 2usize..10, n in 0usize..64) {
+        let m = SizeMatrix::uniform(p, n);
+        let expect = run(AlltoallvAlgorithm::Reference, &m);
+        let got = run(AlltoallvAlgorithm::TwoPhaseBruck, &m);
+        prop_assert_eq!(got, expect);
+    }
+}

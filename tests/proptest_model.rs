@@ -1,0 +1,94 @@
+//! Property tests for the cost model: conservation and symmetry invariants
+//! of the trace generators over randomized size matrices.
+
+use bruck_model::{nonuniform_trace, MatrixSource, NonuniformAlgo, RankSample, SizeSource, StepKind};
+use bruck_workload::SizeMatrix;
+use proptest::prelude::*;
+
+fn size_matrix() -> impl Strategy<Value = SizeMatrix> {
+    (2usize..14).prop_flat_map(|p| {
+        prop::collection::vec(prop::collection::vec(0usize..500, p), p)
+            .prop_map(SizeMatrix::from_rows)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Within every wire step, global bytes-out equals global bytes-in
+    /// (every byte sent is received by some covered rank).
+    #[test]
+    fn per_step_flow_conservation(m in size_matrix()) {
+        let p = m.p();
+        let src = MatrixSource(&m);
+        for algo in NonuniformAlgo::ALL {
+            let trace = nonuniform_trace(algo, &src, &RankSample::all(p));
+            for step in &trace.steps {
+                if step.kind.tag().is_none() {
+                    continue;
+                }
+                let out: u64 = step.loads.iter().map(|(_, l)| l.bytes_out).sum();
+                let inb: u64 = step.loads.iter().map(|(_, l)| l.bytes_in).sum();
+                prop_assert_eq!(out, inb, "{} step {:?}", algo.name(), step.kind);
+            }
+        }
+    }
+
+    /// Bruck-family data steps conserve total payload: each block crosses the
+    /// wire once per set bit (binary) of its offset; the padded variants move
+    /// exactly count·N per step.
+    #[test]
+    fn two_phase_payload_matches_popcount_routing(m in size_matrix()) {
+        let p = m.p();
+        let src = MatrixSource(&m);
+        let trace = nonuniform_trace(NonuniformAlgo::TwoPhaseBruck, &src, &RankSample::all(p));
+        let data: u64 = trace
+            .steps
+            .iter()
+            .filter(|s| matches!(s.kind, StepKind::Data(_)))
+            .flat_map(|s| s.loads.iter().map(|(_, l)| l.bytes_out))
+            .sum();
+        let mut expect = 0u64;
+        for s in 0..p {
+            for d in 0..p {
+                let offset = (s + p - d) % p;
+                expect += (m.get(s, d) as u64) * u64::from(offset.count_ones());
+            }
+        }
+        prop_assert_eq!(data, expect);
+    }
+
+    /// The spread-out trace moves exactly the matrix, minus self blocks.
+    #[test]
+    fn spread_out_moves_exactly_the_matrix(m in size_matrix()) {
+        let p = m.p();
+        let src = MatrixSource(&m);
+        let trace = nonuniform_trace(NonuniformAlgo::Vendor, &src, &RankSample::all(p));
+        let wire = trace.total_wire_bytes();
+        let expect: u64 = (0..p)
+            .flat_map(|s| (0..p).map(move |d| (s, d)))
+            .filter(|&(s, d)| s != d)
+            .map(|(s, d)| m.get(s, d) as u64)
+            .sum();
+        prop_assert_eq!(wire, expect);
+    }
+
+    /// Time predictions are finite, non-negative, and monotone in the
+    /// machine's beta.
+    #[test]
+    fn predictions_are_sane(m in size_matrix()) {
+        let p = m.p();
+        let src = MatrixSource(&m);
+        let fast = bruck_model::MachineModel::theta_like();
+        let mut slow = fast.clone();
+        slow.beta *= 4.0;
+        slow.beta_pair *= 4.0;
+        for algo in NonuniformAlgo::ALL {
+            let trace = nonuniform_trace(algo, &src, &RankSample::all(p));
+            let tf = trace.time(&fast);
+            let ts = trace.time(&slow);
+            prop_assert!(tf.is_finite() && tf >= 0.0);
+            prop_assert!(ts >= tf, "{}: slower beta must not be faster", algo.name());
+        }
+    }
+}

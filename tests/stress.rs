@@ -1,0 +1,218 @@
+//! Stress and robustness tests: larger communicators, repeated exchanges,
+//! concurrent independent worlds, and determinism across runs.
+
+use bruck_comm::{Communicator, ExchangePlan, ThreadComm};
+use bruck_core::{alltoallv, packed_displs, AlltoallvAlgorithm};
+use bruck_workload::{Distribution, SizeMatrix};
+
+/// P = 64 threads, every algorithm, one pass: the biggest smoke test.
+#[test]
+fn all_algorithms_at_p64() {
+    let p = 64;
+    let m = SizeMatrix::generate(Distribution::Uniform, 0x64, p, 48);
+    for algo in [
+        AlltoallvAlgorithm::SpreadOut,
+        AlltoallvAlgorithm::Vendor,
+        AlltoallvAlgorithm::PaddedBruck,
+        AlltoallvAlgorithm::PaddedAlltoall,
+        AlltoallvAlgorithm::TwoPhaseBruck,
+        AlltoallvAlgorithm::Sloav,
+        AlltoallvAlgorithm::Hierarchical,
+        AlltoallvAlgorithm::RankaTwoStage,
+    ] {
+        run_and_verify(algo, &m);
+    }
+}
+
+fn run_and_verify(algo: AlltoallvAlgorithm, m: &SizeMatrix) {
+    let p = m.p();
+    ThreadComm::run(p, |comm| {
+        let me = comm.rank();
+        let sendcounts = m.sendcounts(me);
+        let sdispls = packed_displs(&sendcounts);
+        let mut sendbuf = vec![0u8; sendcounts.iter().sum()];
+        for (i, b) in sendbuf.iter_mut().enumerate() {
+            *b = (me.wrapping_mul(37) ^ i) as u8;
+        }
+        let recvcounts = m.recvcounts(me);
+        let rdispls = packed_displs(&recvcounts);
+        let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+        alltoallv(algo, comm, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts, &rdispls)
+            .unwrap();
+        for src in 0..p {
+            for i in 0..recvcounts[src] {
+                // Reconstruct the sender-side byte: block src→me starts at
+                // sender's sdispls[me].
+                let sender_counts = m.sendcounts(src);
+                let sender_displs = packed_displs(&sender_counts);
+                let expect = (src.wrapping_mul(37) ^ (sender_displs[me] + i)) as u8;
+                assert_eq!(recvbuf[rdispls[src] + i], expect, "{algo:?} src={src} i={i}");
+            }
+        }
+    });
+}
+
+/// Thousands of back-to-back exchanges reusing one plan: no tag leakage, no
+/// mailbox growth, stable results.
+#[test]
+fn repeated_exchanges_are_stable() {
+    let p = 8;
+    let m = SizeMatrix::generate(Distribution::Normal, 5, p, 64);
+    let world = bruck_comm::World::new(p);
+    std::thread::scope(|scope| {
+        for rank in 0..p {
+            let world = std::sync::Arc::clone(&world);
+            let m = &m;
+            scope.spawn(move || {
+                let comm = ThreadComm::new(world, rank);
+                repeated_exchange_body(&comm, m);
+            });
+        }
+    });
+    // Only after every rank has finished is "no undelivered messages" a
+    // stable property.
+    assert_eq!(world.pending_messages(), 0);
+}
+
+fn repeated_exchange_body(comm: &ThreadComm, m: &SizeMatrix) {
+    {
+        let me = comm.rank();
+        let plan = ExchangePlan::negotiate(comm, m.sendcounts(me)).unwrap();
+        let sendbuf = vec![me as u8; plan.send_bytes()];
+        let mut recvbuf = plan.alloc_recvbuf();
+        let mut first: Option<Vec<u8>> = None;
+        for _ in 0..200 {
+            alltoallv(
+                AlltoallvAlgorithm::TwoPhaseBruck,
+                comm,
+                &sendbuf,
+                plan.sendcounts(),
+                plan.sdispls(),
+                &mut recvbuf,
+                plan.recvcounts(),
+                plan.rdispls(),
+            )
+            .unwrap();
+            match &first {
+                None => first = Some(recvbuf.clone()),
+                Some(f) => assert_eq!(f, &recvbuf),
+            }
+        }
+    }
+}
+
+/// Two independent worlds running different algorithms concurrently must not
+/// interfere (separate mailboxes, no global state).
+#[test]
+fn concurrent_worlds_are_isolated() {
+    let t1 = std::thread::spawn(|| {
+        let m = SizeMatrix::generate(Distribution::Uniform, 1, 6, 32);
+        for _ in 0..20 {
+            run_and_verify(AlltoallvAlgorithm::TwoPhaseBruck, &m);
+        }
+    });
+    let t2 = std::thread::spawn(|| {
+        let m = SizeMatrix::generate(Distribution::POWER_LAW_STEEP, 2, 5, 64);
+        for _ in 0..20 {
+            run_and_verify(AlltoallvAlgorithm::Sloav, &m);
+        }
+    });
+    t1.join().unwrap();
+    t2.join().unwrap();
+}
+
+/// Interleaving two different algorithms on the same communicator (as the
+/// BPRA applications do when switching per iteration) stays correct.
+#[test]
+fn alternating_algorithms_on_one_communicator() {
+    let p = 10;
+    let m = SizeMatrix::generate(Distribution::Uniform, 9, p, 40);
+    ThreadComm::run(p, |comm| {
+        let me = comm.rank();
+        let sendcounts = m.sendcounts(me);
+        let sdispls = packed_displs(&sendcounts);
+        let sendbuf = vec![me as u8; sendcounts.iter().sum()];
+        let recvcounts = m.recvcounts(me);
+        let rdispls = packed_displs(&recvcounts);
+        let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+        let algos = [
+            AlltoallvAlgorithm::TwoPhaseBruck,
+            AlltoallvAlgorithm::Vendor,
+            AlltoallvAlgorithm::PaddedBruck,
+            AlltoallvAlgorithm::RankaTwoStage,
+            AlltoallvAlgorithm::Hierarchical,
+        ];
+        for round in 0..25 {
+            let algo = algos[round % algos.len()];
+            recvbuf.fill(0);
+            alltoallv(
+                algo, comm, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts, &rdispls,
+            )
+            .unwrap();
+            for src in 0..p {
+                assert!(recvbuf[rdispls[src]..rdispls[src] + recvcounts[src]]
+                    .iter()
+                    .all(|&b| b == src as u8));
+            }
+        }
+    });
+}
+
+/// Extremely skewed loads: one rank floods, everyone else is silent.
+#[test]
+fn flood_from_one_rank() {
+    let p = 12;
+    let mut rows = vec![vec![0usize; p]; p];
+    for (d, cell) in rows[5].iter_mut().enumerate() {
+        *cell = 4000 + d;
+    }
+    let m = SizeMatrix::from_rows(rows);
+    for algo in
+        [AlltoallvAlgorithm::TwoPhaseBruck, AlltoallvAlgorithm::PaddedBruck, AlltoallvAlgorithm::Sloav]
+    {
+        run_and_verify(algo, &m);
+    }
+}
+
+/// Every algorithm remains correct under adversarial schedule perturbation.
+#[test]
+fn all_algorithms_survive_chaos() {
+    use bruck_comm::ChaosComm;
+    let p = 9;
+    let m = SizeMatrix::generate(Distribution::Uniform, 0xC4A05, p, 48);
+    for seed in 0..3u64 {
+        for algo in [
+            AlltoallvAlgorithm::SpreadOut,
+            AlltoallvAlgorithm::Vendor,
+            AlltoallvAlgorithm::PaddedBruck,
+            AlltoallvAlgorithm::TwoPhaseBruck,
+            AlltoallvAlgorithm::Sloav,
+            AlltoallvAlgorithm::Hierarchical,
+            AlltoallvAlgorithm::RankaTwoStage,
+        ] {
+            ThreadComm::run(p, |comm| {
+                let chaos = ChaosComm::new(comm, seed);
+                let me = chaos.rank();
+                let sendcounts = m.sendcounts(me);
+                let sdispls = packed_displs(&sendcounts);
+                let sendbuf = vec![me as u8; sendcounts.iter().sum()];
+                let recvcounts = m.recvcounts(me);
+                let rdispls = packed_displs(&recvcounts);
+                let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+                alltoallv(
+                    algo, &chaos, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts,
+                    &rdispls,
+                )
+                .unwrap();
+                for src in 0..p {
+                    assert!(
+                        recvbuf[rdispls[src]..rdispls[src] + recvcounts[src]]
+                            .iter()
+                            .all(|&b| b == src as u8),
+                        "{algo:?} seed {seed}"
+                    );
+                }
+            });
+        }
+    }
+}
