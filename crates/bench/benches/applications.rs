@@ -1,8 +1,8 @@
-//! Criterion bench for the §5 applications (Figures 11 and 12): transitive
-//! closure and the kCFA-like iterated exchange, vendor vs two-phase Bruck.
+//! Bench for the §5 applications (Figures 11 and 12): transitive closure
+//! and the kCFA-like iterated exchange, vendor vs two-phase Bruck.
+//! Std-only harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use bruck_bench::harness::BenchGroup;
 use bruck_bpra::{
     connected_components, datalog_evaluate, graph1_like, graph2_like, kcfa_like_run,
     points_to_analysis, transitive_closure, KcfaConfig, PointsToInput,
@@ -13,21 +13,19 @@ use bruck_core::AlltoallvAlgorithm;
 const ALGOS: [AlltoallvAlgorithm; 2] =
     [AlltoallvAlgorithm::Vendor, AlltoallvAlgorithm::TwoPhaseBruck];
 
-fn bench_transitive_closure(c: &mut Criterion) {
+fn bench_transitive_closure() {
     let p = 8;
     let graph1 = graph1_like(4, 60, 24, 7);
     let graph2 = graph2_like(160, 640, 7);
     for (edges, label) in [(graph1, "graph1_deep"), (graph2, "graph2_bushy")] {
-        let mut group = c.benchmark_group(format!("fig11_tc_{label}"));
+        let mut group = BenchGroup::new(format!("fig11_tc_{label}"));
         group.sample_size(10);
         for algo in ALGOS {
             let edges = edges.clone();
-            group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
-                b.iter(|| {
-                    let e = edges.clone();
-                    ThreadComm::run(p, move |comm| {
-                        transitive_closure(comm, algo, &e).unwrap().total_paths
-                    })
+            group.bench(algo.name(), || {
+                let e = edges.clone();
+                ThreadComm::run(p, move |comm| {
+                    transitive_closure(comm, algo, &e).unwrap().total_paths
                 });
             });
         }
@@ -35,62 +33,56 @@ fn bench_transitive_closure(c: &mut Criterion) {
     }
 }
 
-fn bench_kcfa_like(c: &mut Criterion) {
+fn bench_kcfa_like() {
     let p = 8;
     let cfg = KcfaConfig { iterations: 40, base_facts: 16, seed: 7 };
-    let mut group = c.benchmark_group("fig12_kcfa_like");
+    let mut group = BenchGroup::new("fig12_kcfa_like");
     group.sample_size(10);
     for algo in ALGOS {
-        group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
-            b.iter(|| {
-                ThreadComm::run(p, move |comm| {
-                    kcfa_like_run(comm, algo, &cfg).unwrap().facts_received
-                })
+        group.bench(algo.name(), || {
+            ThreadComm::run(p, move |comm| {
+                kcfa_like_run(comm, algo, &cfg).unwrap().facts_received
             });
         });
     }
     group.finish();
 }
 
-fn bench_connected_components(c: &mut Criterion) {
+fn bench_connected_components() {
     let p = 8;
     let edges = graph2_like(300, 900, 3);
-    let mut group = c.benchmark_group("cc_label_propagation");
+    let mut group = BenchGroup::new("cc_label_propagation");
     group.sample_size(10);
     for algo in ALGOS {
         let edges = edges.clone();
-        group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
-            b.iter(|| {
-                let e = edges.clone();
-                ThreadComm::run(p, move |comm| {
-                    connected_components(comm, algo, &e).unwrap().components
-                })
+        group.bench(algo.name(), || {
+            let e = edges.clone();
+            ThreadComm::run(p, move |comm| {
+                connected_components(comm, algo, &e).unwrap().components
             });
         });
     }
     group.finish();
 }
 
-fn bench_points_to(c: &mut Criterion) {
+fn bench_points_to() {
     let p = 8;
     let input = PointsToInput::generate(6, 20, 2, 12, 3);
-    let mut group = c.benchmark_group("points_to_analysis");
+    let mut group = BenchGroup::new("points_to_analysis");
     group.sample_size(10);
     for algo in ALGOS {
         let input = input.clone();
-        group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
-            b.iter(|| {
-                let inp = input.clone();
-                ThreadComm::run(p, move |comm| {
-                    points_to_analysis(comm, algo, &inp).unwrap().total_facts[2]
-                })
+        group.bench(algo.name(), || {
+            let inp = input.clone();
+            ThreadComm::run(p, move |comm| {
+                points_to_analysis(comm, algo, &inp).unwrap().total_facts[2]
             });
         });
     }
     group.finish();
 }
 
-fn bench_datalog_tc(c: &mut Criterion) {
+fn bench_datalog_tc() {
     use bruck_bpra::{AtomPat, Program, Rule, Term};
     let p = 8;
     let edges = graph1_like(3, 40, 16, 5);
@@ -108,30 +100,26 @@ fn bench_datalog_tc(c: &mut Criterion) {
             ),
         ],
     };
-    let mut group = c.benchmark_group("datalog_engine_tc");
+    let mut group = BenchGroup::new("datalog_engine_tc");
     group.sample_size(10);
     for algo in ALGOS {
         let program = program.clone();
         let edges = edges.clone();
-        group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
-            b.iter(|| {
-                let program = program.clone();
-                let facts = vec![edges.clone(), Vec::new()];
-                ThreadComm::run(p, move |comm| {
-                    datalog_evaluate(comm, algo, &program, &facts).unwrap().total_facts[1]
-                })
+        group.bench(algo.name(), || {
+            let program = program.clone();
+            let facts = vec![edges.clone(), Vec::new()];
+            ThreadComm::run(p, move |comm| {
+                datalog_evaluate(comm, algo, &program, &facts).unwrap().total_facts[1]
             });
         });
     }
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_transitive_closure,
-    bench_kcfa_like,
-    bench_connected_components,
-    bench_points_to,
-    bench_datalog_tc
-);
-criterion_main!(benches);
+fn main() {
+    bench_transitive_closure();
+    bench_kcfa_like();
+    bench_connected_components();
+    bench_points_to();
+    bench_datalog_tc();
+}

@@ -1,9 +1,9 @@
-//! Criterion bench for Figure 2: the six uniform Bruck variants, measured on
-//! the real threaded runtime (N = 32 bytes, as in the paper).
+//! Bench for Figure 2: the six uniform Bruck variants, measured on the real
+//! threaded runtime (N = 32 bytes, as in the paper). Std-only harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::{Duration, Instant};
 
+use bruck_bench::harness::BenchGroup;
 use bruck_comm::{Communicator, ThreadComm};
 use bruck_core::{alltoall, AlltoallAlgorithm};
 
@@ -21,10 +21,10 @@ fn run_iters(algo: AlltoallAlgorithm, p: usize, block: usize, iters: u64) -> Dur
     per_rank.into_iter().max().unwrap()
 }
 
-fn bench_uniform_variants(c: &mut Criterion) {
+fn main() {
     let block = 32;
     for p in [16usize, 64] {
-        let mut group = c.benchmark_group(format!("fig2_uniform_p{p}"));
+        let mut group = BenchGroup::new(format!("fig2_uniform_p{p}"));
         group.sample_size(10);
         for algo in [
             AlltoallAlgorithm::BasicBruck,
@@ -35,13 +35,8 @@ fn bench_uniform_variants(c: &mut Criterion) {
             AlltoallAlgorithm::ZeroRotationBruck,
             AlltoallAlgorithm::SpreadOut,
         ] {
-            group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
-                b.iter_custom(|iters| run_iters(algo, p, block, iters));
-            });
+            group.bench_custom(algo.name(), |iters| run_iters(algo, p, block, iters));
         }
         group.finish();
     }
 }
-
-criterion_group!(benches, bench_uniform_variants);
-criterion_main!(benches);

@@ -1,9 +1,9 @@
-//! Criterion bench for Figure 6's real-execution companion: the non-uniform
-//! algorithms across block sizes on the threaded runtime.
+//! Bench for Figure 6's real-execution companion: the non-uniform
+//! algorithms across block sizes on the threaded runtime. Std-only harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::{Duration, Instant};
 
+use bruck_bench::harness::BenchGroup;
 use bruck_comm::{Communicator, ThreadComm};
 use bruck_core::{alltoallv, packed_displs, AlltoallvAlgorithm};
 use bruck_workload::{Distribution, SizeMatrix};
@@ -31,11 +31,11 @@ fn run_iters(algo: AlltoallvAlgorithm, m: &SizeMatrix, iters: u64) -> Duration {
     per_rank.into_iter().max().unwrap()
 }
 
-fn bench_data_scaling(c: &mut Criterion) {
+fn main() {
     let p = 32;
     for n in [16usize, 256, 2048] {
         let m = SizeMatrix::generate(Distribution::Uniform, 2022, p, n);
-        let mut group = c.benchmark_group(format!("fig6_p{p}_n{n}"));
+        let mut group = BenchGroup::new(format!("fig6_p{p}_n{n}"));
         group.sample_size(10);
         for algo in [
             AlltoallvAlgorithm::SpreadOut,
@@ -45,13 +45,8 @@ fn bench_data_scaling(c: &mut Criterion) {
             AlltoallvAlgorithm::TwoPhaseBruck,
             AlltoallvAlgorithm::Sloav,
         ] {
-            group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
-                b.iter_custom(|iters| run_iters(algo, &m, iters));
-            });
+            group.bench_custom(algo.name(), |iters| run_iters(algo, &m, iters));
         }
         group.finish();
     }
 }
-
-criterion_group!(benches, bench_data_scaling);
-criterion_main!(benches);

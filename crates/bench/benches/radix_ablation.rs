@@ -1,10 +1,10 @@
 //! Ablation: the radix knob on two-phase Bruck — real execution at thread
 //! scale. Higher radix trades per-step latency for less forwarded data, so
-//! the best radix shifts upward with block size.
+//! the best radix shifts upward with block size. Std-only harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::{Duration, Instant};
 
+use bruck_bench::harness::BenchGroup;
 use bruck_comm::{Communicator, ThreadComm};
 use bruck_core::{packed_displs, two_phase_bruck_radix};
 use bruck_workload::{Distribution, SizeMatrix};
@@ -32,20 +32,15 @@ fn run_iters(m: &SizeMatrix, radix: usize, iters: u64) -> Duration {
     per_rank.into_iter().max().unwrap()
 }
 
-fn bench_radix(c: &mut Criterion) {
+fn main() {
     let p = 32;
     for n in [32usize, 1024] {
         let m = SizeMatrix::generate(Distribution::Uniform, 7, p, n);
-        let mut group = c.benchmark_group(format!("radix_two_phase_p{p}_n{n}"));
+        let mut group = BenchGroup::new(format!("radix_two_phase_p{p}_n{n}"));
         group.sample_size(10);
         for radix in [2usize, 4, 8, 32] {
-            group.bench_function(BenchmarkId::from_parameter(radix), |b| {
-                b.iter_custom(|iters| run_iters(&m, radix, iters));
-            });
+            group.bench_custom(&radix.to_string(), |iters| run_iters(&m, radix, iters));
         }
         group.finish();
     }
 }
-
-criterion_group!(benches, bench_radix);
-criterion_main!(benches);

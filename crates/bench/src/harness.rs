@@ -1,0 +1,118 @@
+//! Minimal Criterion-style benchmark harness (std-only).
+//!
+//! The workspace builds hermetically with zero external crates, so the
+//! `[[bench]]` targets (all `harness = false`) drive their measurements
+//! through this module instead of Criterion. Same shape as the Criterion
+//! API the benches were written against — groups, per-function ids,
+//! `iter`/`iter_custom`-style closures — with calibration (pick an
+//! iteration count that fills a target window), warm-up, and median ± MAD
+//! reporting, which is also the paper's §2.2 methodology.
+
+use std::time::{Duration, Instant};
+
+use crate::{mad, median};
+
+/// A named group of related measurements (one figure/subplot).
+pub struct BenchGroup {
+    name: String,
+    sample_size: usize,
+    target: Duration,
+}
+
+impl BenchGroup {
+    /// Start a group; prints the header immediately.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchGroup { name, sample_size: 10, target: Duration::from_millis(20) }
+    }
+
+    /// Number of timed samples per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Target wall-clock per sample; calibration picks an iteration count
+    /// that roughly fills it (default 20 ms).
+    pub fn target_time(&mut self, t: Duration) -> &mut Self {
+        self.target = t;
+        self
+    }
+
+    /// Measure with caller-managed batching: `f(iters)` runs the workload
+    /// `iters` times and returns the *total* elapsed time (Criterion's
+    /// `iter_custom`). Use this when setup (thread spawn, buffer fill) must
+    /// stay outside the timed region.
+    pub fn bench_custom<F: FnMut(u64) -> Duration>(&mut self, id: &str, mut f: F) {
+        // Warm-up + calibration probe.
+        let probe = f(1).max(Duration::from_nanos(1));
+        let iters = (self.target.as_secs_f64() / probe.as_secs_f64()).clamp(1.0, 1e6) as u64;
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| f(iters).as_secs_f64() / iters as f64)
+            .collect();
+        let spread = mad(&samples);
+        let mid = median(&mut samples);
+        println!(
+            "{:<40} {:>12}/iter  (MAD {}, {} samples x {} iters)",
+            format!("{}/{id}", self.name),
+            fmt_time(mid),
+            fmt_time(spread),
+            self.sample_size,
+            iters,
+        );
+    }
+
+    /// Measure a closure per call (Criterion's plain `iter`).
+    pub fn bench<F: FnMut()>(&mut self, id: &str, mut f: F) {
+        self.bench_custom(id, |iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed()
+        });
+    }
+
+    /// End the group (parity with Criterion's `finish`).
+    pub fn finish(self) {}
+}
+
+/// Render seconds with an SI unit fitting its magnitude.
+pub fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut g = BenchGroup::new("harness_selftest");
+        g.sample_size(3).target_time(Duration::from_micros(200));
+        let mut calls = 0u64;
+        g.bench("spin", || {
+            calls += 1;
+            std::hint::black_box((0..100u64).sum::<u64>());
+        });
+        assert!(calls >= 3, "warm-up + samples must all run (got {calls})");
+        g.finish();
+    }
+
+    #[test]
+    fn fmt_time_picks_units() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_time(2.5e-9), "2.5 ns");
+    }
+}

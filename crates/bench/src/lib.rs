@@ -1,5 +1,5 @@
 //! # bruck-bench — measurement harness shared by the figure binary and the
-//! Criterion benches.
+//! `[[bench]]` targets (all driven by the std-only [`harness`] module).
 //!
 //! Two measurement paths, per DESIGN.md:
 //! * **Real execution** ([`time_alltoallv`], [`time_alltoall`]) — the actual
@@ -10,6 +10,8 @@
 //!   (driven from `src/bin/figures.rs`).
 
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use std::time::Instant;
 

@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 use bruck_comm::{CommResult, Communicator, ReduceOp};
 use bruck_core::{alltoallv, packed_displs, AlltoallvAlgorithm};
 
-use crate::{decode_all, encode_all, Tuple};
+use crate::{decode_all, encode_into, Tuple};
 
 /// Instrumentation for one exchange (the data behind Figure 12).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -35,11 +35,15 @@ pub fn exchange_tuples<C: Communicator + ?Sized>(
     let p = comm.size();
     assert_eq!(outboxes.len(), p, "one outbox per rank");
 
+    // Encode every outbox straight into the single packed send region — no
+    // per-destination staging buffer; the alltoallv below sends views of it.
     let sendcounts: Vec<usize> = outboxes.iter().map(|b| b.len() * crate::TUPLE_BYTES).collect();
     let sdispls = packed_displs(&sendcounts);
     let mut sendbuf = Vec::with_capacity(sendcounts.iter().sum());
     for b in outboxes {
-        sendbuf.extend_from_slice(&encode_all(b));
+        for &t in b {
+            encode_into(t, &mut sendbuf);
+        }
     }
 
     // Instrumentation: the iteration's global maximum block size (the paper

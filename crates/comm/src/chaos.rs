@@ -8,7 +8,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::{CommResult, Communicator, RecvReq, Tag};
+use crate::{CommResult, Communicator, MsgBuf, RecvReq, Tag};
 
 /// A schedule-perturbing wrapper. Deterministic per seed *per call sequence*
 /// (each operation advances a per-wrapper counter), though the resulting
@@ -52,6 +52,16 @@ impl<C: Communicator + ?Sized> Communicator for ChaosComm<'_, C> {
 
     fn size(&self) -> usize {
         self.inner.size()
+    }
+
+    fn send_buf(&self, dest: usize, tag: Tag, buf: MsgBuf) -> CommResult<()> {
+        self.jitter();
+        self.inner.send_buf(dest, tag, buf)
+    }
+
+    fn recv_buf(&self, src: usize, tag: Tag) -> CommResult<MsgBuf> {
+        self.jitter();
+        self.inner.recv_buf(src, tag)
     }
 
     fn send(&self, dest: usize, tag: Tag, data: &[u8]) -> CommResult<()> {

@@ -6,8 +6,15 @@
 //! default methods on top of point-to-point (so every backend — real threads,
 //! instrumented wrappers — gets them for free, with identical message
 //! schedules, which is what lets the cost model in `bruck-model` price them).
+//!
+//! The *primitive* transfer operations move [`MsgBuf`] views
+//! ([`Communicator::send_buf`] / [`Communicator::recv_buf`]): handing a
+//! message to the runtime is a reference-count bump, never a payload copy.
+//! The `&[u8]`/`Vec<u8>` forms ([`Communicator::send`],
+//! [`Communicator::recv`], …) are thin compat wrappers that pack into /
+//! unpack out of a `MsgBuf` — one copy on send, usually zero on receive.
 
-use crate::{CommError, CommResult, ReduceOp, Tag};
+use crate::{CommError, CommResult, MsgBuf, ReduceOp, Tag};
 
 /// Tags at or above this value are reserved for the collectives implemented
 /// in this crate. User code (including the Bruck algorithms) must stay below.
@@ -41,12 +48,15 @@ pub trait Communicator: Sync {
     /// Number of ranks in the communicator.
     fn size(&self) -> usize;
 
-    /// Eager send: deposits `data` at the destination and returns immediately.
-    fn send(&self, dest: usize, tag: Tag, data: &[u8]) -> CommResult<()>;
+    /// Eager zero-copy send: deposits the [`MsgBuf`] view at the destination
+    /// and returns immediately. The payload is shared, not copied — the
+    /// backing region lives until the receiver consumes the message.
+    fn send_buf(&self, dest: usize, tag: Tag, buf: MsgBuf) -> CommResult<()>;
 
-    /// Blocking receive of the oldest message matching `(src, tag)`,
-    /// returning an owned payload.
-    fn recv(&self, src: usize, tag: Tag) -> CommResult<Vec<u8>>;
+    /// Blocking zero-copy receive of the oldest message matching
+    /// `(src, tag)`: returns the sender's view, payload shared rather than
+    /// copied.
+    fn recv_buf(&self, src: usize, tag: Tag) -> CommResult<MsgBuf>;
 
     /// Blocking receive into a caller buffer; returns the message length.
     ///
@@ -57,11 +67,31 @@ pub trait Communicator: Sync {
     /// Length of the next matching message, if one has already arrived.
     fn probe(&self, src: usize, tag: Tag) -> CommResult<Option<usize>>;
 
+    /// Eager send of a borrowed slice: compat wrapper over
+    /// [`Communicator::send_buf`] that packs `data` into a fresh region
+    /// (exactly one copy).
+    fn send(&self, dest: usize, tag: Tag, data: &[u8]) -> CommResult<()> {
+        self.send_buf(dest, tag, MsgBuf::copy_from_slice(data))
+    }
+
+    /// Blocking receive returning an owned `Vec<u8>`: compat wrapper over
+    /// [`Communicator::recv_buf`] (zero-copy when the received view is the
+    /// whole region, which is the common case).
+    fn recv(&self, src: usize, tag: Tag) -> CommResult<Vec<u8>> {
+        Ok(self.recv_buf(src, tag)?.into_vec())
+    }
+
     /// Non-blocking send. Under the eager protocol this is identical to
     /// [`Communicator::send`]; it exists so algorithms read like their MPI
     /// counterparts (`MPI_Isend` + waitall).
     fn isend(&self, dest: usize, tag: Tag, data: &[u8]) -> CommResult<()> {
         self.send(dest, tag, data)
+    }
+
+    /// Non-blocking zero-copy send (same eager identity as
+    /// [`Communicator::isend`]).
+    fn isend_buf(&self, dest: usize, tag: Tag, buf: MsgBuf) -> CommResult<()> {
+        self.send_buf(dest, tag, buf)
     }
 
     /// Post a receive for `(src, tag)`; complete it with
@@ -84,6 +114,11 @@ pub trait Communicator: Sync {
         self.recv(req.src, req.tag)
     }
 
+    /// Complete a posted receive, returning the shared view.
+    fn wait_buf(&self, req: RecvReq) -> CommResult<MsgBuf> {
+        self.recv_buf(req.src, req.tag)
+    }
+
     /// Combined send-then-receive (deadlock-free under the eager protocol),
     /// the workhorse of every Bruck communication step.
     fn sendrecv(
@@ -96,6 +131,20 @@ pub trait Communicator: Sync {
     ) -> CommResult<Vec<u8>> {
         self.send(dest, send_tag, data)?;
         self.recv(src, recv_tag)
+    }
+
+    /// Zero-copy [`Communicator::sendrecv`]: hands off one view, receives
+    /// another, no payload copies in the runtime.
+    fn sendrecv_buf(
+        &self,
+        dest: usize,
+        send_tag: Tag,
+        buf: MsgBuf,
+        src: usize,
+        recv_tag: Tag,
+    ) -> CommResult<MsgBuf> {
+        self.send_buf(dest, send_tag, buf)?;
+        self.recv_buf(src, recv_tag)
     }
 
     /// [`Communicator::sendrecv`] into a caller buffer; returns received length.
@@ -126,8 +175,10 @@ pub trait Communicator: Sync {
         while dist < p {
             let to = (me + dist) % p;
             let from = (me + p - dist % p) % p;
-            self.send(to, TAG_BARRIER + round, &[])?;
-            self.recv(from, TAG_BARRIER + round)?;
+            // MsgBuf::new() shares one static empty region: a barrier round
+            // allocates nothing.
+            self.send_buf(to, TAG_BARRIER + round, MsgBuf::new())?;
+            self.recv_buf(from, TAG_BARRIER + round)?;
             dist <<= 1;
             round += 1;
         }
@@ -225,6 +276,9 @@ pub trait Communicator: Sync {
     }
 
     /// Broadcast variable-length bytes from `root` (binomial tree).
+    ///
+    /// Zero-copy fan-out: interior ranks forward the *received view* to every
+    /// child, so one packed region at the root serves all `P − 1` deliveries.
     fn bcast_bytes(&self, root: usize, data: &[u8]) -> CommResult<Vec<u8>> {
         let p = self.size();
         let me = self.rank();
@@ -236,7 +290,7 @@ pub trait Communicator: Sync {
         }
         // Work in a rotated space where the root is rank 0.
         let vrank = (me + p - root) % p;
-        let mut payload = if me == root { data.to_vec() } else { Vec::new() };
+        let mut payload = if me == root { MsgBuf::copy_from_slice(data) } else { MsgBuf::new() };
         let mut mask = 1usize;
         while mask < p {
             mask <<= 1;
@@ -246,7 +300,7 @@ pub trait Communicator: Sync {
         if vrank != 0 {
             let lowest = 1usize << vrank.trailing_zeros();
             let parent = (vrank - lowest + root) % p;
-            payload = self.recv(parent, TAG_BCAST)?;
+            payload = self.recv_buf(parent, TAG_BCAST)?;
         }
         // ...then fan out to children.
         let lowest = if vrank == 0 { mask << 1 } else { 1usize << vrank.trailing_zeros() };
@@ -254,11 +308,11 @@ pub trait Communicator: Sync {
         while child_bit > 0 {
             let child_v = vrank + child_bit;
             if child_v < p {
-                self.send((child_v + root) % p, TAG_BCAST, &payload)?;
+                self.send_buf((child_v + root) % p, TAG_BCAST, payload.clone())?;
             }
             child_bit >>= 1;
         }
-        Ok(payload)
+        Ok(payload.into_vec())
     }
 
     /// The "counts handshake" of every `alltoallv`: each rank learns how many

@@ -6,10 +6,17 @@
 //! `bruck-model`: integration tests run an algorithm under `CountingComm` and
 //! assert that the model's communication trace predicts exactly the bytes the
 //! real code moved.
+//!
+//! It also audits the **copy discipline** of the zero-copy transport: a send
+//! that goes through the compat `&[u8]` path packs its payload into a fresh
+//! region (one allocation + one copy), while a [`Communicator::send_buf`]
+//! send hands over a shared view (neither). Each [`SentRecord`] carries which
+//! path it took, and [`CountingComm::copy_stats`] aggregates the totals, so
+//! tests can *prove* an algorithm's data phase does zero per-message copies.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
-use crate::{CommResult, Communicator, RecvReq, Tag};
+use crate::{CommResult, Communicator, MsgBuf, RecvReq, Tag};
 
 /// One recorded outgoing message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,6 +28,10 @@ pub struct SentRecord {
     pub tag: Tag,
     /// Payload bytes.
     pub len: usize,
+    /// Whether this send packed its payload through the compat `&[u8]` path
+    /// (true: one allocation + one copy) or handed over a [`MsgBuf`] view
+    /// (false: zero-copy).
+    pub copied: bool,
 }
 
 /// Aggregate statistics over a recorded message log.
@@ -30,6 +41,17 @@ pub struct CommStats {
     pub messages: usize,
     /// Total payload bytes sent by this rank.
     pub bytes: usize,
+}
+
+/// Copy-discipline totals over a recorded message log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CopyStats {
+    /// Sends that packed through the compat path (one allocation each).
+    pub copied_sends: usize,
+    /// Payload bytes copied by compat-path sends.
+    pub bytes_copied: usize,
+    /// Sends that handed over a shared view (zero-copy).
+    pub zero_copy_sends: usize,
 }
 
 /// Instrumented view over an inner communicator.
@@ -47,19 +69,23 @@ impl<'a, C: Communicator + ?Sized> CountingComm<'a, C> {
         CountingComm { inner, log: Mutex::new(Vec::new()) }
     }
 
+    fn record(&self, rec: SentRecord) {
+        self.log.lock().expect("log lock").push(rec);
+    }
+
     /// Snapshot of the send log, in send order.
     pub fn log(&self) -> Vec<SentRecord> {
-        self.log.lock().clone()
+        self.log.lock().expect("log lock").clone()
     }
 
     /// Clear the log (e.g. between measured iterations).
     pub fn reset(&self) {
-        self.log.lock().clear();
+        self.log.lock().expect("log lock").clear();
     }
 
     /// Totals over the current log.
     pub fn stats(&self) -> CommStats {
-        let log = self.log.lock();
+        let log = self.log.lock().expect("log lock");
         CommStats {
             messages: log.len(),
             bytes: log.iter().map(|r| r.len).sum(),
@@ -68,13 +94,39 @@ impl<'a, C: Communicator + ?Sized> CountingComm<'a, C> {
 
     /// Totals restricted to one tag (= one algorithm step, by convention).
     pub fn stats_for_tag(&self, tag: Tag) -> CommStats {
-        let log = self.log.lock();
+        let log = self.log.lock().expect("log lock");
         let mut s = CommStats::default();
         for r in log.iter().filter(|r| r.tag == tag) {
             s.messages += 1;
             s.bytes += r.len;
         }
         s
+    }
+
+    /// Copy-discipline totals over the current log.
+    pub fn copy_stats(&self) -> CopyStats {
+        let log = self.log.lock().expect("log lock");
+        let mut s = CopyStats::default();
+        for r in log.iter() {
+            if r.copied {
+                s.copied_sends += 1;
+                s.bytes_copied += r.len;
+            } else {
+                s.zero_copy_sends += 1;
+            }
+        }
+        s
+    }
+
+    /// Payload bytes that took the compat (copying) send path.
+    pub fn bytes_copied(&self) -> usize {
+        self.copy_stats().bytes_copied
+    }
+
+    /// Per-message send-side allocations (= compat-path sends; `send_buf`
+    /// allocates nothing).
+    pub fn send_allocs(&self) -> usize {
+        self.copy_stats().copied_sends
     }
 }
 
@@ -87,10 +139,23 @@ impl<C: Communicator + ?Sized> Communicator for CountingComm<'_, C> {
         self.inner.size()
     }
 
-    fn send(&self, dest: usize, tag: Tag, data: &[u8]) -> CommResult<()> {
-        self.inner.send(dest, tag, data)?;
-        self.log.lock().push(SentRecord { dest, tag, len: data.len() });
+    fn send_buf(&self, dest: usize, tag: Tag, buf: MsgBuf) -> CommResult<()> {
+        let len = buf.len();
+        self.inner.send_buf(dest, tag, buf)?;
+        self.record(SentRecord { dest, tag, len, copied: false });
         Ok(())
+    }
+
+    fn send(&self, dest: usize, tag: Tag, data: &[u8]) -> CommResult<()> {
+        // Forward the compat path to the inner compat path (a wrapped
+        // communicator may instrument it too); record the pack it implies.
+        self.inner.send(dest, tag, data)?;
+        self.record(SentRecord { dest, tag, len: data.len(), copied: true });
+        Ok(())
+    }
+
+    fn recv_buf(&self, src: usize, tag: Tag) -> CommResult<MsgBuf> {
+        self.inner.recv_buf(src, tag)
     }
 
     fn recv(&self, src: usize, tag: Tag) -> CommResult<Vec<u8>> {
@@ -130,13 +195,34 @@ mod tests {
             assert_eq!(
                 log,
                 vec![
-                    SentRecord { dest: 1 - rank, tag: 1, len: 10 },
-                    SentRecord { dest: 1 - rank, tag: 2, len: 20 },
+                    SentRecord { dest: 1 - rank, tag: 1, len: 10, copied: true },
+                    SentRecord { dest: 1 - rank, tag: 2, len: 20, copied: true },
                 ]
             );
             assert_eq!(stats, CommStats { messages: 2, bytes: 30 });
             assert_eq!(tag2, CommStats { messages: 1, bytes: 20 });
         }
+    }
+
+    #[test]
+    fn copy_stats_distinguish_the_two_send_paths() {
+        ThreadComm::run(1, |comm| {
+            let counting = CountingComm::new(comm);
+            counting.send(0, 0, &[1, 2, 3]).unwrap(); // compat: one pack copy
+            let region = MsgBuf::from_vec(vec![0u8; 100]);
+            counting.send_buf(0, 1, region.slice(..40)).unwrap(); // zero-copy
+            counting.send_buf(0, 1, region.slice(40..)).unwrap(); // zero-copy
+            counting.recv(0, 0).unwrap();
+            counting.recv_buf(0, 1).unwrap();
+            counting.recv_buf(0, 1).unwrap();
+            assert_eq!(
+                counting.copy_stats(),
+                CopyStats { copied_sends: 1, bytes_copied: 3, zero_copy_sends: 2 }
+            );
+            assert_eq!(counting.bytes_copied(), 3);
+            assert_eq!(counting.send_allocs(), 1);
+            assert_eq!(counting.stats(), CommStats { messages: 3, bytes: 103 });
+        });
     }
 
     #[test]
@@ -148,6 +234,7 @@ mod tests {
             assert_eq!(counting.stats().messages, 1);
             counting.reset();
             assert_eq!(counting.stats(), CommStats::default());
+            assert_eq!(counting.copy_stats(), CopyStats::default());
         });
     }
 

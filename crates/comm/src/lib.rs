@@ -37,6 +37,7 @@ mod communicator;
 mod counting;
 mod error;
 mod mailbox;
+mod msgbuf;
 mod plan;
 mod reduce;
 mod subcomm;
@@ -45,8 +46,9 @@ mod vector;
 
 pub use chaos::ChaosComm;
 pub use communicator::{Communicator, RecvReq, RESERVED_TAG_BASE};
-pub use counting::{CommStats, CountingComm, SentRecord};
+pub use counting::{CommStats, CopyStats, CountingComm, SentRecord};
 pub use error::{CommError, CommResult};
+pub use msgbuf::MsgBuf;
 pub use plan::ExchangePlan;
 pub use reduce::ReduceOp;
 pub use subcomm::{SubComm, SUBCOMM_MAX_TAG};

@@ -8,25 +8,42 @@
 //! Matching preserves MPI's **non-overtaking** rule: two messages from the
 //! same source with the same tag are received in the order they were sent,
 //! because each `(source, tag)` key maps to a FIFO queue.
+//!
+//! Messages are stored as [`MsgBuf`] views, so a queued message shares its
+//! backing region with the sender's pack buffer — the deposit is a
+//! reference-count bump, not a copy.
 
-use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
 
-use crate::Tag;
+use crate::{MsgBuf, Tag};
 
 /// Per-(source, tag) FIFO queues of undelivered messages.
-type MatchQueues = HashMap<(usize, Tag), VecDeque<Vec<u8>>>;
+type MatchQueues = HashMap<(usize, Tag), VecDeque<MsgBuf>>;
 
 /// A single rank's incoming-message store.
 ///
 /// Locking is coarse (one mutex per rank) which is the right trade-off here:
 /// contention on a mailbox is between exactly one receiver (the owning rank)
-/// and its current senders, and critical sections only move a `Vec<u8>`.
+/// and its current senders, and critical sections only move a [`MsgBuf`]
+/// (three words).
 #[derive(Default)]
 pub(crate) struct Mailbox {
     queues: Mutex<MatchQueues>,
     arrived: Condvar,
+}
+
+/// Pop the front of the `(src, tag)` queue, removing the key when the queue
+/// drains so the map never accumulates dead entries across thousands of
+/// fixpoint iterations. Every pop path must go through here.
+fn pop_and_trim(queues: &mut MatchQueues, src: usize, tag: Tag) -> Option<MsgBuf> {
+    let q = queues.get_mut(&(src, tag))?;
+    let msg = q.pop_front();
+    if q.is_empty() {
+        queues.remove(&(src, tag));
+    }
+    msg
 }
 
 impl Mailbox {
@@ -34,31 +51,50 @@ impl Mailbox {
         Self::default()
     }
 
-    /// Deposit a message from `src` with `tag`. Never blocks.
-    pub(crate) fn push(&self, src: usize, tag: Tag, data: Vec<u8>) {
-        let mut queues = self.queues.lock();
+    /// A mailbox outlives any single rank's panic; recover the map rather
+    /// than cascading poison panics across every other rank's shutdown path.
+    fn lock(&self) -> MutexGuard<'_, MatchQueues> {
+        self.queues.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Deposit a message from `src` with `tag`. Never blocks, never copies.
+    pub(crate) fn push(&self, src: usize, tag: Tag, data: MsgBuf) {
+        let mut queues = self.lock();
         queues.entry((src, tag)).or_default().push_back(data);
         // notify_all: several receives with distinct (src, tag) keys can be
         // parked on the same condvar (collectives never do this, but user
         // code running helper threads may).
         self.arrived.notify_all();
+        drop(queues);
     }
 
     /// Pop the oldest message matching `(src, tag)`, blocking until present.
-    pub(crate) fn pop(&self, src: usize, tag: Tag) -> Vec<u8> {
-        let mut queues = self.queues.lock();
+    pub(crate) fn pop(&self, src: usize, tag: Tag) -> MsgBuf {
+        let mut queues = self.lock();
         loop {
-            if let Some(q) = queues.get_mut(&(src, tag)) {
-                if let Some(msg) = q.pop_front() {
-                    if q.is_empty() {
-                        // Keep the map from accumulating dead keys across
-                        // thousands of fixpoint iterations.
-                        queues.remove(&(src, tag));
-                    }
-                    return msg;
-                }
+            if let Some(msg) = pop_and_trim(&mut queues, src, tag) {
+                return msg;
             }
-            self.arrived.wait(&mut queues);
+            queues = self.arrived.wait(queues).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Like [`Mailbox::pop`], but refuses (without consuming the message) if
+    /// the matching message is longer than `cap` bytes: `Err(message_len)`.
+    ///
+    /// This is what makes `recv_into` truncation non-destructive — the check
+    /// happens under the lock *before* the message leaves the queue, so a
+    /// caller that retries with a bigger buffer still observes the message.
+    pub(crate) fn pop_bounded(&self, src: usize, tag: Tag, cap: usize) -> Result<MsgBuf, usize> {
+        let mut queues = self.lock();
+        loop {
+            if let Some(front) = queues.get(&(src, tag)).and_then(VecDeque::front) {
+                if front.len() > cap {
+                    return Err(front.len());
+                }
+                return Ok(pop_and_trim(&mut queues, src, tag).expect("front exists"));
+            }
+            queues = self.arrived.wait(queues).unwrap_or_else(|p| p.into_inner());
         }
     }
 
@@ -68,38 +104,46 @@ impl Mailbox {
         src: usize,
         tag: Tag,
         timeout: std::time::Duration,
-    ) -> Option<Vec<u8>> {
+    ) -> Option<MsgBuf> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut queues = self.queues.lock();
+        let mut queues = self.lock();
         loop {
-            if let Some(q) = queues.get_mut(&(src, tag)) {
-                if let Some(msg) = q.pop_front() {
-                    if q.is_empty() {
-                        queues.remove(&(src, tag));
-                    }
-                    return Some(msg);
-                }
+            if let Some(msg) = pop_and_trim(&mut queues, src, tag) {
+                return Some(msg);
             }
             let now = std::time::Instant::now();
             if now >= deadline {
                 return None;
             }
-            if self.arrived.wait_until(&mut queues, deadline).timed_out() {
+            let (guard, timed_out) = self
+                .arrived
+                .wait_timeout(queues, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            queues = guard;
+            if timed_out.timed_out() {
                 // One last check: the message may have raced the timeout.
-                return queues.get_mut(&(src, tag)).and_then(|q| q.pop_front());
+                // (Goes through pop_and_trim like every other pop, so a
+                // race-won pop cannot strand an empty dead key in the map.)
+                return pop_and_trim(&mut queues, src, tag);
             }
         }
     }
 
     /// Non-blocking probe: the byte length of the next matching message.
     pub(crate) fn probe(&self, src: usize, tag: Tag) -> Option<usize> {
-        let queues = self.queues.lock();
-        queues.get(&(src, tag)).and_then(|q| q.front()).map(Vec::len)
+        let queues = self.lock();
+        queues.get(&(src, tag)).and_then(VecDeque::front).map(MsgBuf::len)
     }
 
     /// Number of undelivered messages (diagnostics / leak tests).
     pub(crate) fn pending(&self) -> usize {
-        self.queues.lock().values().map(VecDeque::len).sum()
+        self.lock().values().map(VecDeque::len).sum()
+    }
+
+    /// Number of match-map keys whose queue is empty. Must always be 0: every
+    /// pop path trims drained keys. Exposed for leak tests.
+    pub(crate) fn dead_keys(&self) -> usize {
+        self.lock().values().filter(|q| q.is_empty()).count()
     }
 }
 
@@ -107,17 +151,35 @@ impl Mailbox {
 mod tests {
     use super::*;
     use std::sync::Arc;
+    use std::time::Duration;
+
+    fn buf(bytes: &[u8]) -> MsgBuf {
+        MsgBuf::copy_from_slice(bytes)
+    }
 
     #[test]
     fn push_pop_fifo_per_key() {
         let mb = Mailbox::new();
-        mb.push(0, 7, vec![1]);
-        mb.push(0, 7, vec![2]);
-        mb.push(1, 7, vec![9]);
+        mb.push(0, 7, buf(&[1]));
+        mb.push(0, 7, buf(&[2]));
+        mb.push(1, 7, buf(&[9]));
         assert_eq!(mb.pop(0, 7), vec![1]);
         assert_eq!(mb.pop(0, 7), vec![2]);
         assert_eq!(mb.pop(1, 7), vec![9]);
         assert_eq!(mb.pending(), 0);
+        assert_eq!(mb.dead_keys(), 0);
+    }
+
+    #[test]
+    fn push_is_a_refcount_bump_not_a_copy() {
+        let mb = Mailbox::new();
+        let region = MsgBuf::from_vec((0u8..64).collect());
+        let ptr = region.as_slice().as_ptr();
+        mb.push(0, 1, region.slice(16..32));
+        let got = mb.pop(0, 1);
+        // The queued message aliases the sender's region.
+        assert_eq!(got.as_slice().as_ptr(), unsafe { ptr.add(16) });
+        assert_eq!(got, region.slice(16..32));
     }
 
     #[test]
@@ -125,8 +187,8 @@ mod tests {
         let mb = Arc::new(Mailbox::new());
         let mb2 = Arc::clone(&mb);
         let t = std::thread::spawn(move || mb2.pop(3, 11));
-        std::thread::sleep(std::time::Duration::from_millis(20));
-        mb.push(3, 11, vec![42]);
+        std::thread::sleep(Duration::from_millis(20));
+        mb.push(3, 11, buf(&[42]));
         assert_eq!(t.join().unwrap(), vec![42]);
     }
 
@@ -134,21 +196,64 @@ mod tests {
     fn probe_reports_length_without_consuming() {
         let mb = Mailbox::new();
         assert_eq!(mb.probe(0, 0), None);
-        mb.push(0, 0, vec![0; 17]);
+        mb.push(0, 0, buf(&[0; 17]));
         assert_eq!(mb.probe(0, 0), Some(17));
         assert_eq!(mb.pop(0, 0).len(), 17);
     }
 
     #[test]
+    fn pop_bounded_rejects_without_consuming() {
+        let mb = Mailbox::new();
+        mb.push(2, 5, buf(&[7; 16]));
+        assert_eq!(mb.pop_bounded(2, 5, 4), Err(16));
+        assert_eq!(mb.pending(), 1, "rejected message must stay queued");
+        let got = mb.pop_bounded(2, 5, 16).unwrap();
+        assert_eq!(got, vec![7; 16]);
+        assert_eq!(mb.pending(), 0);
+        assert_eq!(mb.dead_keys(), 0);
+    }
+
+    #[test]
     fn distinct_tags_do_not_match() {
         let mb = Arc::new(Mailbox::new());
-        mb.push(0, 1, vec![1]);
+        mb.push(0, 1, buf(&[1]));
         let mb2 = Arc::clone(&mb);
         let t = std::thread::spawn(move || mb2.pop(0, 2));
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        std::thread::sleep(Duration::from_millis(20));
         assert!(!t.is_finished(), "pop(0,2) must not match tag 1");
-        mb.push(0, 2, vec![2]);
+        mb.push(0, 2, buf(&[2]));
         assert_eq!(t.join().unwrap(), vec![2]);
         assert_eq!(mb.pop(0, 1), vec![1]);
+    }
+
+    #[test]
+    fn pop_timeout_race_leaves_no_dead_keys() {
+        // Regression test for the race-path pop that used to bypass key
+        // cleanup: hammer pushes that land right around the timeout deadline
+        // and assert the match map never strands an empty queue.
+        let mb = Arc::new(Mailbox::new());
+        for round in 0..200u64 {
+            let mb2 = Arc::clone(&mb);
+            let pusher = std::thread::spawn(move || {
+                // Jitter the push across the receiver's deadline window.
+                std::thread::sleep(Duration::from_micros(round % 120));
+                mb2.push(1, 3, buf(&[round as u8]));
+            });
+            let got = mb.pop_timeout(1, 3, Duration::from_micros(60));
+            pusher.join().unwrap();
+            if got.is_none() {
+                // Push lost the race: drain it so the next round starts clean.
+                assert_eq!(mb.pop(1, 3), vec![round as u8]);
+            }
+            assert_eq!(mb.dead_keys(), 0, "round {round} stranded an empty key");
+        }
+        assert_eq!(mb.pending(), 0);
+    }
+
+    #[test]
+    fn pop_timeout_returns_none_when_nothing_arrives() {
+        let mb = Mailbox::new();
+        assert!(mb.pop_timeout(0, 0, Duration::from_millis(5)).is_none());
+        assert_eq!(mb.dead_keys(), 0);
     }
 }

@@ -7,7 +7,7 @@
 //! context id into the message tag, the same role MPI's communicator
 //! contexts play.
 
-use crate::{CommError, CommResult, Communicator, Tag};
+use crate::{CommError, CommResult, Communicator, MsgBuf, Tag};
 
 /// Bits of the tag reserved for the subcommunicator context.
 const CTX_SHIFT: u32 = 24;
@@ -99,6 +99,16 @@ impl<C: Communicator + ?Sized> Communicator for SubComm<'_, C> {
 
     fn size(&self) -> usize {
         self.members.len()
+    }
+
+    fn send_buf(&self, dest: usize, tag: Tag, buf: MsgBuf) -> CommResult<()> {
+        self.check_rank(dest)?;
+        self.parent.send_buf(self.members[dest], self.map_tag(tag)?, buf)
+    }
+
+    fn recv_buf(&self, src: usize, tag: Tag) -> CommResult<MsgBuf> {
+        self.check_rank(src)?;
+        self.parent.recv_buf(self.members[src], self.map_tag(tag)?)
     }
 
     fn send(&self, dest: usize, tag: Tag, data: &[u8]) -> CommResult<()> {

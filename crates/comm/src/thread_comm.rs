@@ -2,13 +2,13 @@
 //!
 //! One OS thread per rank ("MPI everywhere": the paper maps one MPI rank per
 //! core; we map one rank per thread). All ranks share a [`World`] holding the
-//! per-rank mailboxes; a send is a single allocation + queue push into the
-//! destination's mailbox.
+//! per-rank mailboxes; a send is a queue push of a shared [`MsgBuf`] view into
+//! the destination's mailbox — a reference-count bump, not a payload copy.
 
 use std::sync::Arc;
 
 use crate::mailbox::Mailbox;
-use crate::{CommError, CommResult, Communicator, Tag};
+use crate::{CommError, CommResult, Communicator, MsgBuf, Tag};
 
 /// Shared state of one communicator: the mailboxes of all ranks.
 pub struct World {
@@ -31,6 +31,12 @@ impl World {
     /// SPMD region completes; used by leak tests).
     pub fn pending_messages(&self) -> usize {
         self.mailboxes.iter().map(Mailbox::pending).sum()
+    }
+
+    /// Match-map keys with drained queues across all ranks (must always be 0;
+    /// used by leak tests).
+    pub fn dead_match_keys(&self) -> usize {
+        self.mailboxes.iter().map(Mailbox::dead_keys).sum()
     }
 }
 
@@ -106,6 +112,16 @@ impl ThreadComm {
         tag: Tag,
         timeout: std::time::Duration,
     ) -> CommResult<Option<Vec<u8>>> {
+        Ok(self.recv_buf_timeout(src, tag, timeout)?.map(MsgBuf::into_vec))
+    }
+
+    /// Zero-copy [`ThreadComm::recv_timeout`].
+    pub fn recv_buf_timeout(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: std::time::Duration,
+    ) -> CommResult<Option<MsgBuf>> {
         self.check_rank(src)?;
         Ok(self.world.mailboxes[self.rank].pop_timeout(src, tag, timeout))
     }
@@ -120,28 +136,31 @@ impl Communicator for ThreadComm {
         self.world.size()
     }
 
-    fn send(&self, dest: usize, tag: Tag, data: &[u8]) -> CommResult<()> {
+    fn send_buf(&self, dest: usize, tag: Tag, buf: MsgBuf) -> CommResult<()> {
         self.check_rank(dest)?;
-        self.world.mailboxes[dest].push(self.rank, tag, data.to_vec());
+        self.world.mailboxes[dest].push(self.rank, tag, buf);
         Ok(())
     }
 
-    fn recv(&self, src: usize, tag: Tag) -> CommResult<Vec<u8>> {
+    fn recv_buf(&self, src: usize, tag: Tag) -> CommResult<MsgBuf> {
         self.check_rank(src)?;
         Ok(self.world.mailboxes[self.rank].pop(src, tag))
     }
 
     fn recv_into(&self, src: usize, tag: Tag, buf: &mut [u8]) -> CommResult<usize> {
         self.check_rank(src)?;
-        let msg = self.world.mailboxes[self.rank].pop(src, tag);
-        if msg.len() > buf.len() {
-            // Put it back at the *front* so retry semantics hold; simplest
-            // correct behaviour is to error loudly — truncation is a bug in
-            // the caller, and the algorithms never hit it.
-            return Err(CommError::Truncated { message_len: msg.len(), buffer_len: buf.len() });
+        // pop_bounded checks the length under the mailbox lock *before*
+        // consuming, so a Truncated error leaves the message at the front of
+        // its queue and a retry with a bigger buffer still sees it.
+        match self.world.mailboxes[self.rank].pop_bounded(src, tag, buf.len()) {
+            Ok(msg) => {
+                buf[..msg.len()].copy_from_slice(&msg);
+                Ok(msg.len())
+            }
+            Err(message_len) => {
+                Err(CommError::Truncated { message_len, buffer_len: buf.len() })
+            }
         }
-        buf[..msg.len()].copy_from_slice(&msg);
-        Ok(msg.len())
     }
 
     fn probe(&self, src: usize, tag: Tag) -> CommResult<Option<usize>> {
@@ -181,14 +200,40 @@ mod tests {
     }
 
     #[test]
-    fn truncated_recv_errors() {
+    fn send_buf_transfers_the_view_without_copying() {
+        let ptrs = ThreadComm::run(2, |comm| {
+            if comm.rank() == 0 {
+                let region = MsgBuf::from_vec((0u8..64).collect());
+                let ptr = region.as_slice().as_ptr() as usize;
+                comm.send_buf(1, 0, region.slice(16..48)).unwrap();
+                (ptr, 0)
+            } else {
+                let got = comm.recv_buf(0, 0).unwrap();
+                assert_eq!(got, (16u8..48).collect::<Vec<u8>>());
+                (0, got.as_slice().as_ptr() as usize)
+            }
+        });
+        // The receiver's view aliases the sender's packed region.
+        assert_eq!(ptrs[0].0 + 16, ptrs[1].1);
+    }
+
+    #[test]
+    fn truncated_recv_is_non_destructive() {
+        // Regression test: recv_into used to pop-then-error, silently
+        // dropping the message it claimed to leave queued.
         ThreadComm::run(2, |comm| {
             if comm.rank() == 0 {
-                comm.send(1, 0, &[0u8; 16]).unwrap();
+                comm.send(1, 0, &(0u8..16).collect::<Vec<u8>>()).unwrap();
             } else {
                 let mut small = [0u8; 4];
                 let err = comm.recv_into(0, 0, &mut small).unwrap_err();
                 assert_eq!(err, CommError::Truncated { message_len: 16, buffer_len: 4 });
+                // The message must still be there: retry with room succeeds.
+                let mut big = [0u8; 16];
+                let n = comm.recv_into(0, 0, &mut big).unwrap();
+                assert_eq!(n, 16);
+                assert_eq!(big.to_vec(), (0u8..16).collect::<Vec<u8>>());
+                assert_eq!(comm.world().pending_messages(), 0);
             }
         });
     }
@@ -341,5 +386,6 @@ mod tests {
         });
         // Every message sent by the collectives must have been consumed.
         assert_eq!(world.pending_messages(), 0);
+        assert_eq!(world.dead_match_keys(), 0);
     }
 }

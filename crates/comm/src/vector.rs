@@ -1,7 +1,7 @@
 //! Vector collectives: variable-length gather/scatter/allgather, provided as
 //! a blanket extension trait over any [`Communicator`].
 
-use crate::{CommError, CommResult, Communicator, Tag, RESERVED_TAG_BASE};
+use crate::{CommError, CommResult, Communicator, MsgBuf, Tag, RESERVED_TAG_BASE};
 
 const TAG_ALLGATHERV: Tag = RESERVED_TAG_BASE + 16;
 const TAG_SCATTERV: Tag = RESERVED_TAG_BASE + 17;
@@ -10,24 +10,41 @@ const TAG_REDUCE: Tag = RESERVED_TAG_BASE + 18;
 /// Variable-length collectives (`MPI_Allgatherv`, `MPI_Scatterv`,
 /// `MPI_Reduce`-to-root), available on every communicator.
 pub trait VectorCollectives: Communicator {
-    /// Ring allgather of variable-length byte payloads; result indexed by
-    /// rank. The v-collective behind "share every rank's counts/metadata".
-    fn allgatherv_bytes(&self, data: &[u8]) -> CommResult<Vec<Vec<u8>>> {
+    /// Ring allgather of variable-length payload views; result indexed by
+    /// rank. Zero-copy forwarding: each step hands the just-received view to
+    /// the right neighbour, so a payload crosses the ring without ever being
+    /// re-packed (the originator's region serves all `P − 1` deliveries).
+    fn allgatherv_bufs(&self, data: MsgBuf) -> CommResult<Vec<MsgBuf>> {
         let p = self.size();
         let me = self.rank();
-        let mut out: Vec<Vec<u8>> = vec![Vec::new(); p];
-        out[me] = data.to_vec();
+        let mut out: Vec<MsgBuf> = vec![MsgBuf::new(); p];
         if p == 1 {
+            out[me] = data;
             return Ok(out);
         }
+        out[me] = data.clone();
         let right = (me + 1) % p;
         let left = (me + p - 1) % p;
-        let mut carry = data.to_vec();
+        let mut carry = data;
         for s in 0..p - 1 {
-            carry = self.sendrecv(right, TAG_ALLGATHERV + s as Tag, &carry, left, TAG_ALLGATHERV + s as Tag)?;
+            carry = self.sendrecv_buf(
+                right,
+                TAG_ALLGATHERV + s as Tag,
+                carry,
+                left,
+                TAG_ALLGATHERV + s as Tag,
+            )?;
             out[(me + p - s - 1) % p] = carry.clone();
         }
         Ok(out)
+    }
+
+    /// Ring allgather of variable-length byte payloads; result indexed by
+    /// rank. The v-collective behind "share every rank's counts/metadata".
+    /// Compat wrapper over [`VectorCollectives::allgatherv_bufs`].
+    fn allgatherv_bytes(&self, data: &[u8]) -> CommResult<Vec<Vec<u8>>> {
+        let bufs = self.allgatherv_bufs(MsgBuf::copy_from_slice(data))?;
+        Ok(bufs.into_iter().map(MsgBuf::into_vec).collect())
     }
 
     /// Scatter per-rank payloads from `root`; non-roots pass `None`.

@@ -9,7 +9,7 @@
 //! exchange is needed even for ragged payloads — the same
 //! metadata-coupling idea as two-phase Bruck, one message earlier.
 
-use bruck_comm::{CommError, CommResult, Communicator};
+use bruck_comm::{CommError, CommResult, Communicator, MsgBuf};
 
 use crate::common::{add_mod, ceil_log2, sub_mod, uniform_step_tag};
 
@@ -52,7 +52,13 @@ pub fn bruck_allgatherv<C: Communicator + ?Sized>(
             }
             &run[..at]
         };
-        let got = comm.sendrecv(dest, uniform_step_tag(k), send_slice, src, uniform_step_tag(k))?;
+        let got = comm.sendrecv_buf(
+            dest,
+            uniform_step_tag(k),
+            MsgBuf::copy_from_slice(send_slice),
+            src,
+            uniform_step_tag(k),
+        )?;
         run.extend_from_slice(&got);
         have = count_frames(&run)?;
     }

@@ -16,7 +16,7 @@
 //! congested short-message exchanges on shared-memory nodes, poor for large
 //! loads (the trade-off §6 describes).
 
-use bruck_comm::{CommError, CommResult, Communicator};
+use bruck_comm::{CommError, CommResult, Communicator, MsgBuf};
 
 use super::validate_v;
 use crate::common::{HIER_GATHER_TAG, HIER_LEADER_TAG, HIER_SCATTER_TAG};
@@ -72,9 +72,9 @@ pub fn hierarchical_alltoallv<C: Communicator + ?Sized>(
         for dst in 0..p {
             msg.extend_from_slice(&sendbuf[sdispls[dst]..sdispls[dst] + sendcounts[dst]]);
         }
-        comm.send(my_leader, HIER_GATHER_TAG, &msg)?;
+        comm.send_buf(my_leader, HIER_GATHER_TAG, MsgBuf::from_vec(msg))?;
         // ---- Phase 3 (member side): receive own blocks in src order ----
-        let flat = comm.recv(my_leader, HIER_SCATTER_TAG)?;
+        let flat = comm.recv_buf(my_leader, HIER_SCATTER_TAG)?;
         let mut at = 0;
         for src in 0..p {
             let want = recvcounts[src];
@@ -87,10 +87,11 @@ pub fn hierarchical_alltoallv<C: Communicator + ?Sized>(
         return Ok(());
     }
 
-    // Leader: collect every member's counts row and packed data.
+    // Leader: collect every member's counts row and packed data. Each
+    // member's data stays a view of its gather message — never re-copied.
     let members: Vec<usize> = group_members(my_group, group, p).collect();
     let mut member_counts: Vec<Vec<usize>> = Vec::with_capacity(members.len());
-    let mut member_data: Vec<Vec<u8>> = Vec::with_capacity(members.len());
+    let mut member_data: Vec<MsgBuf> = Vec::with_capacity(members.len());
     for &m in &members {
         if m == me {
             let mut packed = Vec::with_capacity(sendcounts.iter().sum());
@@ -98,9 +99,9 @@ pub fn hierarchical_alltoallv<C: Communicator + ?Sized>(
                 packed.extend_from_slice(&sendbuf[sdispls[dst]..sdispls[dst] + sendcounts[dst]]);
             }
             member_counts.push(sendcounts.to_vec());
-            member_data.push(packed);
+            member_data.push(MsgBuf::from_vec(packed));
         } else {
-            let msg = comm.recv(m, HIER_GATHER_TAG)?;
+            let msg = comm.recv_buf(m, HIER_GATHER_TAG)?;
             if msg.len() < 8 * p {
                 return Err(CommError::BadArgument("gather payload too short"));
             }
@@ -109,7 +110,7 @@ pub fn hierarchical_alltoallv<C: Communicator + ?Sized>(
                 .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte count")) as usize)
                 .collect();
             member_counts.push(counts);
-            member_data.push(msg[8 * p..].to_vec());
+            member_data.push(msg.slice(8 * p..));
         }
     }
     // Packed offset of member i's block for global destination `dst`.
@@ -135,15 +136,15 @@ pub fn hierarchical_alltoallv<C: Communicator + ?Sized>(
                 msg.extend_from_slice(&member_data[i][at..at + member_counts[i][d]]);
             }
         }
-        comm.isend(h * group, HIER_LEADER_TAG, &msg)?;
+        comm.isend_buf(h * group, HIER_LEADER_TAG, MsgBuf::from_vec(msg))?;
     }
     // Incoming: per source group, the (s, d) size matrix and blocks.
-    // incoming[src_rank][local_dst_index] = block bytes.
-    let mut incoming: Vec<Vec<Vec<u8>>> = vec![Vec::new(); p];
+    // incoming[src_rank][local_dst_index] = a view of the leader message.
+    let mut incoming: Vec<Vec<MsgBuf>> = vec![Vec::new(); p];
     for off in 1..n_groups {
         let h = (my_group + n_groups - off) % n_groups;
         let src_members: Vec<usize> = group_members(h, group, p).collect();
-        let msg = comm.recv(h * group, HIER_LEADER_TAG)?;
+        let msg = comm.recv_buf(h * group, HIER_LEADER_TAG)?;
         let header = src_members.len() * members.len() * 4;
         if msg.len() < header {
             return Err(CommError::BadArgument("leader payload too short"));
@@ -156,7 +157,7 @@ pub fn hierarchical_alltoallv<C: Communicator + ?Sized>(
             let mut per_dst = Vec::with_capacity(members.len());
             for _ in 0..members.len() {
                 let sz = sizes.next().expect("size matrix entry");
-                per_dst.push(msg[at..at + sz].to_vec());
+                per_dst.push(msg.slice(at..at + sz));
                 at += sz;
             }
             incoming[s] = per_dst;
@@ -171,7 +172,7 @@ pub fn hierarchical_alltoallv<C: Communicator + ?Sized>(
             .iter()
             .map(|&d| {
                 let at = member_displ(i, d);
-                member_data[i][at..at + member_counts[i][d]].to_vec()
+                member_data[i].slice(at..at + member_counts[i][d])
             })
             .collect();
         incoming[s] = per_dst;
@@ -189,7 +190,7 @@ pub fn hierarchical_alltoallv<C: Communicator + ?Sized>(
             for per_dst in &incoming {
                 flat.extend_from_slice(&per_dst[di]);
             }
-            comm.send(d, HIER_SCATTER_TAG, &flat)?;
+            comm.send_buf(d, HIER_SCATTER_TAG, MsgBuf::from_vec(flat))?;
         }
     }
     Ok(())

@@ -2,7 +2,7 @@
 //! all-to-all instead of our Bruck — the ablation baseline that isolates how
 //! much of padded Bruck's win comes from the Bruck exchange itself.
 
-use bruck_comm::{CommResult, Communicator, ReduceOp};
+use bruck_comm::{CommResult, Communicator, MsgBuf, ReduceOp};
 
 use super::validate_v;
 use crate::common::{add_mod, sub_mod, SPREAD_TAG};
@@ -37,16 +37,18 @@ pub fn padded_alltoall<C: Communicator + ?Sized>(
     let mut padded_recv = vec![0u8; p * n_max];
 
     // Vendor-style uniform exchange (throttled pairwise, window as in
-    // `vendor_alltoallv`).
+    // `vendor_alltoallv`). The padded region is the packed send buffer:
+    // every message is a disjoint slice of it.
     padded_recv[me * n_max..(me + 1) * n_max]
         .copy_from_slice(&padded_send[me * n_max..(me + 1) * n_max]);
+    let packed = MsgBuf::from_vec(padded_send);
     let window = super::VENDOR_WINDOW;
     let mut next = 1usize;
     while next < p {
         let batch_end = (next + window).min(p);
         for i in next..batch_end {
             let dest = add_mod(me, i, p);
-            comm.isend(dest, SPREAD_TAG, &padded_send[dest * n_max..(dest + 1) * n_max])?;
+            comm.isend_buf(dest, SPREAD_TAG, packed.slice(dest * n_max..(dest + 1) * n_max))?;
         }
         for i in next..batch_end {
             let src = sub_mod(me, i, p);

@@ -1,11 +1,15 @@
 //! Pairwise oracle `alltoallv` used to validate every other variant.
 
-use bruck_comm::{CommResult, Communicator};
+use bruck_comm::{CommResult, Communicator, MsgBuf};
 
 use super::validate_v;
 use crate::common::{add_mod, sub_mod, SPREAD_TAG};
 
 /// Blocking pairwise exchange, structurally unlike the Bruck family.
+///
+/// Zero-copy send path: the user's send buffer is packed once into a shared
+/// region and each peer receives a disjoint slice of it — no per-message
+/// allocation.
 #[allow(clippy::too_many_arguments)]
 pub fn reference_alltoallv<C: Communicator + ?Sized>(
     comm: &C,
@@ -21,13 +25,19 @@ pub fn reference_alltoallv<C: Communicator + ?Sized>(
 
     recvbuf[rdispls[me]..rdispls[me] + recvcounts[me]]
         .copy_from_slice(&sendbuf[sdispls[me]..sdispls[me] + sendcounts[me]]);
+    if p == 1 {
+        return Ok(());
+    }
+    let packed = MsgBuf::copy_from_slice(sendbuf); // the one pack copy
     for i in 1..p {
         let dest = add_mod(me, i, p);
         let src = sub_mod(me, i, p);
-        let n = comm.sendrecv_into(
+        comm.send_buf(
             dest,
             SPREAD_TAG,
-            &sendbuf[sdispls[dest]..sdispls[dest] + sendcounts[dest]],
+            packed.slice(sdispls[dest]..sdispls[dest] + sendcounts[dest]),
+        )?;
+        let n = comm.recv_into(
             src,
             SPREAD_TAG,
             &mut recvbuf[rdispls[src]..rdispls[src] + recvcounts[src]],

@@ -9,13 +9,16 @@
 //!    size-of-combined-buffer exchange — costing an extra pack on the sender
 //!    and an unpack on the receiver (two-phase Bruck decouples them instead).
 //! 2. **Two-layer buffer management**: intermediate blocks live in a pointer
-//!    array of individually sized allocations (two-phase Bruck's monolithic
-//!    `W` has neither the pointer array nor the per-step allocations).
+//!    array of individually sized views (two-phase Bruck's monolithic `W`
+//!    has neither the pointer array nor the per-step indirection). With the
+//!    `MsgBuf` transport the views are reference-counted slices of each
+//!    step's received region rather than fresh allocations, but the
+//!    pointer-chasing layout §6.1 criticizes is preserved.
 //! 3. **Final scan**: blocks are keyed by Bruck *offset* and only copied to
 //!    their destination positions in a final scan over all `P` blocks
 //!    (two-phase Bruck preempts final locations and delivers in place).
 
-use bruck_comm::{CommError, CommResult, Communicator};
+use bruck_comm::{CommError, CommResult, Communicator, MsgBuf};
 
 use super::validate_v;
 use crate::common::{add_mod, ceil_log2, data_tag, meta_tag, step_rel_indices, sub_mod};
@@ -37,7 +40,7 @@ pub fn sloav_alltoallv<C: Communicator + ?Sized>(
     // Two-layer intermediate storage: temp[i] holds the block currently at
     // Bruck offset i, if it has been received; otherwise the block is still
     // the original send-buffer block for destination (me + i) % P.
-    let mut temp: Vec<Option<Vec<u8>>> = vec![None; p];
+    let mut temp: Vec<Option<MsgBuf>> = vec![None; p];
     let mut sizes: Vec<usize> = (0..p).map(|i| sendcounts[add_mod(me, i, p)]).collect();
 
     for k in 0..ceil_log2(p) {
@@ -64,24 +67,34 @@ pub fn sloav_alltoallv<C: Communicator + ?Sized>(
         }
 
         // Meta phase: announce the combined-buffer size; data phase: send it.
+        // Both travel as `MsgBuf`s — the pack above is the only copy.
         let total = (combined.len() as u64).to_le_bytes();
-        let their_total = comm.sendrecv(dest, meta_tag(k), &total, src, meta_tag(k))?;
-        let their_total =
-            u64::from_le_bytes(their_total.try_into().expect("8-byte size header")) as usize;
-        let got = comm.sendrecv(dest, data_tag(k), &combined, src, data_tag(k))?;
+        let their_total = comm.sendrecv_buf(
+            dest,
+            meta_tag(k),
+            MsgBuf::copy_from_slice(&total),
+            src,
+            meta_tag(k),
+        )?;
+        let their_total = u64::from_le_bytes(
+            their_total.as_slice().try_into().expect("8-byte size header"),
+        ) as usize;
+        let got =
+            comm.sendrecv_buf(dest, data_tag(k), MsgBuf::from_vec(combined), src, data_tag(k))?;
         if got.len() != their_total {
             return Err(CommError::BadArgument("combined buffer length mismatch"));
         }
 
         // Unpack: split metadata from data, then re-slice each block into the
-        // pointer array (a fresh allocation per block — SLOAV's layout).
+        // pointer array (a refcounted view per block — SLOAV's two-layer
+        // layout without the per-block allocations).
         let meta_len = offsets.len() * 4;
         let mut at = meta_len;
         for (idx, &i) in offsets.iter().enumerate() {
             let sz = u32::from_le_bytes(
                 got[idx * 4..idx * 4 + 4].try_into().expect("4-byte metadata entry"),
             ) as usize;
-            temp[i] = Some(got[at..at + sz].to_vec());
+            temp[i] = Some(got.slice(at..at + sz));
             sizes[i] = sz;
             at += sz;
         }

@@ -1,6 +1,6 @@
 //! Spread-out `alltoallv`: non-blocking point-to-point, all pairs in flight.
 
-use bruck_comm::{CommResult, Communicator};
+use bruck_comm::{CommResult, Communicator, MsgBuf};
 
 use super::validate_v;
 use crate::common::{add_mod, sub_mod, SPREAD_TAG};
@@ -8,6 +8,10 @@ use crate::common::{add_mod, sub_mod, SPREAD_TAG};
 /// The linear-complexity baseline (§4.1's `Spread-out`): post every send with
 /// `MPI_Isend` semantics, then drain every receive. Peers are offset-ordered
 /// so that rank `p` talks to `p±i` at round `i`, spreading load.
+///
+/// Zero-copy send path: the user's send buffer is packed once into a shared
+/// region; the `P − 1` in-flight messages are disjoint slices of it, so
+/// posting a send allocates and copies nothing.
 #[allow(clippy::too_many_arguments)]
 pub fn spread_out_alltoallv<C: Communicator + ?Sized>(
     comm: &C,
@@ -23,10 +27,18 @@ pub fn spread_out_alltoallv<C: Communicator + ?Sized>(
 
     recvbuf[rdispls[me]..rdispls[me] + recvcounts[me]]
         .copy_from_slice(&sendbuf[sdispls[me]..sdispls[me] + sendcounts[me]]);
+    if p == 1 {
+        return Ok(());
+    }
 
+    let packed = MsgBuf::copy_from_slice(sendbuf); // the one pack copy
     for i in 1..p {
         let dest = add_mod(me, i, p);
-        comm.isend(dest, SPREAD_TAG, &sendbuf[sdispls[dest]..sdispls[dest] + sendcounts[dest]])?;
+        comm.isend_buf(
+            dest,
+            SPREAD_TAG,
+            packed.slice(sdispls[dest]..sdispls[dest] + sendcounts[dest]),
+        )?;
     }
     for i in 1..p {
         let src = sub_mod(me, i, p);

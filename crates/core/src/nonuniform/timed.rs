@@ -4,7 +4,7 @@
 
 use std::time::{Duration, Instant};
 
-use bruck_comm::{CommError, CommResult, Communicator, ReduceOp};
+use bruck_comm::{CommError, CommResult, Communicator, MsgBuf, ReduceOp};
 
 use super::validate_v;
 use crate::common::{add_mod, ceil_log2, data_tag, meta_tag, rotation_index, step_rel_indices, sub_mod};
@@ -66,8 +66,6 @@ pub fn two_phase_bruck_timed<C: Communicator + ?Sized>(
     t.local_copy += copy_start.elapsed();
 
     let mut slots: Vec<usize> = Vec::with_capacity(p.div_ceil(2));
-    let mut meta_wire: Vec<u8> = Vec::new();
-    let mut data_wire: Vec<u8> = Vec::new();
 
     for k in 0..ceil_log2(p) {
         let hop = 1usize << k;
@@ -78,17 +76,18 @@ pub fn two_phase_bruck_timed<C: Communicator + ?Sized>(
         slots.extend(step_rel_indices(p, k).map(|i| add_mod(i, me, p)));
 
         let meta_start = Instant::now();
-        meta_wire.clear();
+        let mut meta_wire: Vec<u8> = Vec::with_capacity(slots.len() * 4);
         for &j in &slots {
             let sz = u32::try_from(cur_size[j])
                 .map_err(|_| CommError::BadArgument("block size exceeds u32 metadata"))?;
             meta_wire.extend_from_slice(&sz.to_le_bytes());
         }
-        let meta_got = comm.sendrecv(dest, meta_tag(k), &meta_wire, src, meta_tag(k))?;
+        let meta_got =
+            comm.sendrecv_buf(dest, meta_tag(k), MsgBuf::from_vec(meta_wire), src, meta_tag(k))?;
         t.meta_comm += meta_start.elapsed();
 
         let pack_start = Instant::now();
-        data_wire.clear();
+        let mut data_wire: Vec<u8> = Vec::new();
         for &j in &slots {
             let sz = cur_size[j];
             if in_working[j] {
@@ -101,7 +100,8 @@ pub fn two_phase_bruck_timed<C: Communicator + ?Sized>(
         t.local_copy += pack_start.elapsed();
 
         let data_start = Instant::now();
-        let data_got = comm.sendrecv(dest, data_tag(k), &data_wire, src, data_tag(k))?;
+        let data_got =
+            comm.sendrecv_buf(dest, data_tag(k), MsgBuf::from_vec(data_wire), src, data_tag(k))?;
         t.data_comm += data_start.elapsed();
 
         let unpack_start = Instant::now();
@@ -141,7 +141,7 @@ pub fn sloav_alltoallv_timed<C: Communicator + ?Sized>(
     let me = comm.rank();
     let mut t = NonuniformPhases::default();
 
-    let mut temp: Vec<Option<Vec<u8>>> = vec![None; p];
+    let mut temp: Vec<Option<MsgBuf>> = vec![None; p];
     let mut sizes: Vec<usize> = (0..p).map(|i| sendcounts[add_mod(me, i, p)]).collect();
 
     for k in 0..ceil_log2(p) {
@@ -170,12 +170,19 @@ pub fn sloav_alltoallv_timed<C: Communicator + ?Sized>(
 
         let meta_start = Instant::now();
         let total = (combined.len() as u64).to_le_bytes();
-        let their_total = comm.sendrecv(dest, meta_tag(k), &total, src, meta_tag(k))?;
-        let _ = u64::from_le_bytes(their_total.try_into().expect("8-byte size header"));
+        let their_total = comm.sendrecv_buf(
+            dest,
+            meta_tag(k),
+            MsgBuf::copy_from_slice(&total),
+            src,
+            meta_tag(k),
+        )?;
+        let _ = u64::from_le_bytes(their_total.as_slice().try_into().expect("8-byte size header"));
         t.meta_comm += meta_start.elapsed();
 
         let data_start = Instant::now();
-        let got = comm.sendrecv(dest, data_tag(k), &combined, src, data_tag(k))?;
+        let got =
+            comm.sendrecv_buf(dest, data_tag(k), MsgBuf::from_vec(combined), src, data_tag(k))?;
         t.data_comm += data_start.elapsed();
 
         let unpack_start = Instant::now();
@@ -184,7 +191,7 @@ pub fn sloav_alltoallv_timed<C: Communicator + ?Sized>(
             let sz = u32::from_le_bytes(
                 got[idx * 4..idx * 4 + 4].try_into().expect("4-byte metadata entry"),
             ) as usize;
-            temp[i] = Some(got[at..at + sz].to_vec());
+            temp[i] = Some(got.slice(at..at + sz));
             sizes[i] = sz;
             at += sz;
         }

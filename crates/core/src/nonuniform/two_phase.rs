@@ -15,7 +15,7 @@
 //! received directly into its final position in the user's receive buffer —
 //! no rotation and no final scan.
 
-use bruck_comm::{CommError, CommResult, Communicator, ReduceOp};
+use bruck_comm::{CommError, CommResult, Communicator, MsgBuf, ReduceOp};
 
 use super::validate_v;
 use crate::common::{add_mod, ceil_log2, data_tag, meta_tag, rotation_index, step_rel_indices, sub_mod};
@@ -58,8 +58,6 @@ pub fn two_phase_bruck<C: Communicator + ?Sized>(
     let mut in_working = vec![false; p];
 
     let mut slots: Vec<usize> = Vec::with_capacity(p.div_ceil(2));
-    let mut meta_wire: Vec<u8> = Vec::new();
-    let mut data_wire: Vec<u8> = Vec::new();
 
     for k in 0..ceil_log2(p) {
         let hop = 1usize << k;
@@ -71,20 +69,23 @@ pub fn two_phase_bruck<C: Communicator + ?Sized>(
         slots.extend(step_rel_indices(p, k).map(|i| add_mod(i, me, p)));
 
         // Lines 11–13 + 16: metadata — the sizes of the outgoing blocks.
-        meta_wire.clear();
+        // The wire buffers are handed to the transport as `MsgBuf`s (the
+        // per-step pack is the only copy; the send itself moves the region).
+        let mut meta_wire: Vec<u8> = Vec::with_capacity(slots.len() * 4);
         for &j in &slots {
             let sz = u32::try_from(cur_size[j])
                 .map_err(|_| CommError::BadArgument("block size exceeds u32 metadata"))?;
             meta_wire.extend_from_slice(&sz.to_le_bytes());
         }
-        let meta_got = comm.sendrecv(dest, meta_tag(k), &meta_wire, src, meta_tag(k))?;
+        let meta_got =
+            comm.sendrecv_buf(dest, meta_tag(k), MsgBuf::from_vec(meta_wire), src, meta_tag(k))?;
         if meta_got.len() != slots.len() * 4 {
             return Err(CommError::BadArgument("metadata length mismatch"));
         }
 
         // Lines 17–23: pack outgoing blocks — from W if previously received,
         // else from the user's send buffer through the rotation index.
-        data_wire.clear();
+        let mut data_wire: Vec<u8> = Vec::new();
         for &j in &slots {
             let sz = cur_size[j];
             if in_working[j] {
@@ -96,7 +97,8 @@ pub fn two_phase_bruck<C: Communicator + ?Sized>(
         }
 
         // Line 24 + lines 25–33: coupled data exchange and scatter.
-        let data_got = comm.sendrecv(dest, data_tag(k), &data_wire, src, data_tag(k))?;
+        let data_got =
+            comm.sendrecv_buf(dest, data_tag(k), MsgBuf::from_vec(data_wire), src, data_tag(k))?;
         let mut at = 0;
         for (idx, &j) in slots.iter().enumerate() {
             let sz = u32::from_le_bytes(

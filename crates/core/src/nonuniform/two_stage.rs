@@ -10,7 +10,7 @@
 //! and 2(P−1) messages. The baseline the paper contrasts with log-time
 //! approaches.
 
-use bruck_comm::{CommError, CommResult, Communicator};
+use bruck_comm::{CommError, CommResult, Communicator, MsgBuf};
 
 use super::validate_v;
 use crate::common::{add_mod, sub_mod, RANKA_STAGE1_TAG, RANKA_STAGE2_TAG};
@@ -59,19 +59,17 @@ pub fn ranka_two_stage_alltoallv<C: Communicator + ?Sized>(
     };
     for off in 1..p {
         let i = add_mod(me, off, p);
-        comm.isend(i, RANKA_STAGE1_TAG, &build_stage1(i))?;
+        comm.isend_buf(i, RANKA_STAGE1_TAG, MsgBuf::from_vec(build_stage1(i)))?;
     }
 
-    // held[s] = (counts row of s, piece `me` of each of s's blocks, packed).
-    let mut held: Vec<(Vec<usize>, Vec<u8>)> = (0..p).map(|_| (Vec::new(), Vec::new())).collect();
-    {
-        let own = build_stage1(me);
-        held[me] = parse_stage1(&own, p)?;
-    }
+    // held[s] = (counts row of s, piece `me` of each of s's blocks, packed —
+    // kept as a view of the stage-1 message, never re-copied).
+    let mut held: Vec<(Vec<usize>, MsgBuf)> = (0..p).map(|_| (Vec::new(), MsgBuf::new())).collect();
+    held[me] = parse_stage1(MsgBuf::from_vec(build_stage1(me)), p)?;
     for off in 1..p {
         let s = sub_mod(me, off, p);
-        let msg = comm.recv(s, RANKA_STAGE1_TAG)?;
-        held[s] = parse_stage1(&msg, p)?;
+        let msg = comm.recv_buf(s, RANKA_STAGE1_TAG)?;
+        held[s] = parse_stage1(msg, p)?;
     }
 
     // ---- Stage 2: forward pieces to final destinations ------------------
@@ -86,7 +84,7 @@ pub fn ranka_two_stage_alltoallv<C: Communicator + ?Sized>(
     };
     for off in 1..p {
         let d = add_mod(me, off, p);
-        comm.isend(d, RANKA_STAGE2_TAG, &build_stage2(d))?;
+        comm.isend_buf(d, RANKA_STAGE2_TAG, MsgBuf::from_vec(build_stage2(d)))?;
     }
 
     // Receive from every intermediate; scatter pieces into place.
@@ -110,14 +108,14 @@ pub fn ranka_two_stage_alltoallv<C: Communicator + ?Sized>(
     }
     for off in 1..p {
         let i = sub_mod(me, off, p);
-        let msg = comm.recv(i, RANKA_STAGE2_TAG)?;
+        let msg = comm.recv_buf(i, RANKA_STAGE2_TAG)?;
         place(i, &msg)?;
     }
     Ok(())
 }
 
-/// Split a stage-1 message into (counts row, packed pieces).
-fn parse_stage1(msg: &[u8], p: usize) -> CommResult<(Vec<usize>, Vec<u8>)> {
+/// Split a stage-1 message into (counts row, packed-pieces view).
+fn parse_stage1(msg: MsgBuf, p: usize) -> CommResult<(Vec<usize>, MsgBuf)> {
     if msg.len() < 4 * p {
         return Err(CommError::BadArgument("stage-1 payload too short"));
     }
@@ -125,7 +123,8 @@ fn parse_stage1(msg: &[u8], p: usize) -> CommResult<(Vec<usize>, Vec<u8>)> {
         .chunks_exact(4)
         .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte count")) as usize)
         .collect();
-    Ok((counts, msg[4 * p..].to_vec()))
+    let pieces = msg.slice(4 * p..);
+    Ok((counts, pieces))
 }
 
 #[cfg(test)]

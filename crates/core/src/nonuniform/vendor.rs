@@ -7,7 +7,7 @@
 //! reproduce that: the `P − 1` pairwise exchanges proceed in windows of
 //! [`VENDOR_WINDOW`] outstanding sends/receives.
 
-use bruck_comm::{CommResult, Communicator};
+use bruck_comm::{CommResult, Communicator, MsgBuf};
 
 use super::validate_v;
 use crate::common::{add_mod, sub_mod, SPREAD_TAG};
@@ -33,16 +33,21 @@ pub fn vendor_alltoallv<C: Communicator + ?Sized>(
 
     recvbuf[rdispls[me]..rdispls[me] + recvcounts[me]]
         .copy_from_slice(&sendbuf[sdispls[me]..sdispls[me] + sendcounts[me]]);
+    if p == 1 {
+        return Ok(());
+    }
 
+    // One pack copy; every windowed send is a disjoint slice of the region.
+    let packed = MsgBuf::copy_from_slice(sendbuf);
     let mut next = 1usize;
     while next < p {
         let batch_end = (next + VENDOR_WINDOW).min(p);
         for i in next..batch_end {
             let dest = add_mod(me, i, p);
-            comm.isend(
+            comm.isend_buf(
                 dest,
                 SPREAD_TAG,
-                &sendbuf[sdispls[dest]..sdispls[dest] + sendcounts[dest]],
+                packed.slice(sdispls[dest]..sdispls[dest] + sendcounts[dest]),
             )?;
         }
         for i in next..batch_end {

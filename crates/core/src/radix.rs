@@ -12,7 +12,7 @@
 //! for both the uniform Zero Rotation Bruck and the non-uniform two-phase
 //! Bruck, and the bench suite ablates the radix.
 
-use bruck_comm::{CommError, CommResult, Communicator, ReduceOp};
+use bruck_comm::{CommError, CommResult, Communicator, MsgBuf, ReduceOp};
 
 use crate::common::{add_mod, data_tag, meta_tag, rotation_index, sub_mod, uniform_step_tag};
 use crate::nonuniform::validate_v;
@@ -69,13 +69,12 @@ pub fn zero_rotation_bruck_radix<C: Communicator + ?Sized>(
     let me = comm.rank();
     let rot = rotation_index(me, p);
     let mut received = vec![false; p];
-    let mut wire = Vec::new();
 
     for (idx, weight, d) in radix_schedule(p, radix) {
         let hop = (d * weight) % p;
         let dest = sub_mod(me, hop, p);
         let src = add_mod(me, hop, p);
-        wire.clear();
+        let mut wire = Vec::new();
         for i in radix_step_rel_indices(p, weight, d, radix) {
             let abs = add_mod(i, me, p);
             let from = if received[abs] {
@@ -86,7 +85,13 @@ pub fn zero_rotation_bruck_radix<C: Communicator + ?Sized>(
             };
             wire.extend_from_slice(from);
         }
-        let got = comm.sendrecv(dest, uniform_step_tag(idx), &wire, src, uniform_step_tag(idx))?;
+        let got = comm.sendrecv_buf(
+            dest,
+            uniform_step_tag(idx),
+            MsgBuf::from_vec(wire),
+            src,
+            uniform_step_tag(idx),
+        )?;
         let mut at = 0;
         for i in radix_step_rel_indices(p, weight, d, radix) {
             let abs = add_mod(i, me, p);
@@ -130,8 +135,6 @@ pub fn two_phase_bruck_radix<C: Communicator + ?Sized>(
     let mut in_working = vec![false; p];
 
     let mut slots: Vec<usize> = Vec::new();
-    let mut meta_wire: Vec<u8> = Vec::new();
-    let mut data_wire: Vec<u8> = Vec::new();
 
     for (idx, weight, d) in radix_schedule(p, radix) {
         let hop = (d * weight) % p;
@@ -141,18 +144,19 @@ pub fn two_phase_bruck_radix<C: Communicator + ?Sized>(
         slots.clear();
         slots.extend(radix_step_rel_indices(p, weight, d, radix).map(|i| add_mod(i, me, p)));
 
-        meta_wire.clear();
+        let mut meta_wire: Vec<u8> = Vec::with_capacity(slots.len() * 4);
         for &j in &slots {
             let sz = u32::try_from(cur_size[j])
                 .map_err(|_| CommError::BadArgument("block size exceeds u32 metadata"))?;
             meta_wire.extend_from_slice(&sz.to_le_bytes());
         }
-        let meta_got = comm.sendrecv(dest, meta_tag(idx), &meta_wire, src, meta_tag(idx))?;
+        let meta_got =
+            comm.sendrecv_buf(dest, meta_tag(idx), MsgBuf::from_vec(meta_wire), src, meta_tag(idx))?;
         if meta_got.len() != slots.len() * 4 {
             return Err(CommError::BadArgument("metadata length mismatch"));
         }
 
-        data_wire.clear();
+        let mut data_wire: Vec<u8> = Vec::new();
         for &j in &slots {
             let sz = cur_size[j];
             if in_working[j] {
@@ -162,7 +166,8 @@ pub fn two_phase_bruck_radix<C: Communicator + ?Sized>(
                 data_wire.extend_from_slice(&sendbuf[dd..dd + sz]);
             }
         }
-        let data_got = comm.sendrecv(dest, data_tag(idx), &data_wire, src, data_tag(idx))?;
+        let data_got =
+            comm.sendrecv_buf(dest, data_tag(idx), MsgBuf::from_vec(data_wire), src, data_tag(idx))?;
 
         // A block is home after this sub-step iff all its digits above the
         // current position are zero: rel < radix^(k+1) = weight·radix.

@@ -13,7 +13,7 @@
 //! datatype engine's bookkeeping on every step and, as the paper's Figure 2
 //! observes, ends up the slowest variant for small blocks.
 
-use bruck_comm::{CommResult, Communicator};
+use bruck_comm::{CommResult, Communicator, MsgBuf};
 use bruck_datatype::IndexedBlocks;
 
 use super::validate_uniform;
@@ -78,7 +78,13 @@ pub fn zero_copy_bruck_dt<C: Communicator + ?Sized>(
         let recv_layout = IndexedBlocks::new(recv_blocks).expect("in-bounds recv layout");
         let mut wire = vec![0u8; send_layout.packed_len()];
         send_layout.pack_into(&w, &mut wire).expect("pack step blocks");
-        let got = comm.sendrecv(dest, uniform_step_tag(k), &wire, src, uniform_step_tag(k))?;
+        let got = comm.sendrecv_buf(
+            dest,
+            uniform_step_tag(k),
+            MsgBuf::from_vec(wire),
+            src,
+            uniform_step_tag(k),
+        )?;
         recv_layout.unpack_from(&got, &mut w).expect("unpack step blocks");
     }
 

@@ -9,7 +9,7 @@
 //! staged in the receive buffer itself (slot `j` is its own final home for
 //! uniform loads) and re-sent from there.
 
-use bruck_comm::{CommResult, Communicator};
+use bruck_comm::{CommResult, Communicator, MsgBuf};
 
 use super::validate_uniform;
 use crate::common::{add_mod, ceil_log2, rotation_index, step_rel_indices, sub_mod, uniform_step_tag};
@@ -44,12 +44,13 @@ pub fn zero_rotation_bruck_timed<C: Communicator + ?Sized>(
         // received[j]: slot j's current data lives in recvbuf (it has been
         // received in an earlier step) rather than in sendbuf[I[j]].
         let mut received = vec![false; p];
-        let mut wire = Vec::new();
         for k in 0..ceil_log2(p) {
             let hop = 1usize << k;
             let dest = sub_mod(me, hop, p);
             let src = add_mod(me, hop, p);
-            wire.clear();
+            // Per-step pack is the only copy; the wire region moves to the
+            // transport as a `MsgBuf` without another allocation.
+            let mut wire = Vec::new();
             for i in step_rel_indices(p, k) {
                 let abs = add_mod(i, me, p);
                 let from = if received[abs] {
@@ -60,7 +61,13 @@ pub fn zero_rotation_bruck_timed<C: Communicator + ?Sized>(
                 };
                 wire.extend_from_slice(from);
             }
-            let got = comm.sendrecv(dest, uniform_step_tag(k), &wire, src, uniform_step_tag(k))?;
+            let got = comm.sendrecv_buf(
+                dest,
+                uniform_step_tag(k),
+                MsgBuf::from_vec(wire),
+                src,
+                uniform_step_tag(k),
+            )?;
             let mut at = 0;
             for i in step_rel_indices(p, k) {
                 let abs = add_mod(i, me, p);

@@ -1,65 +1,75 @@
 //! Property tests for the derived-datatype layout engine.
+//!
+//! Seeded-random (SplitMix64) rather than `proptest`-driven: the workspace
+//! builds hermetically with zero external crates, so each property runs a
+//! fixed number of deterministic random cases instead of shrinking searches.
 
 use bruck_datatype::IndexedBlocks;
-use proptest::prelude::*;
+use bruck_workload::SplitMix64;
 
-/// Generate non-overlapping, in-bounds blocks over a buffer of `buf_len`
-/// bytes, then shuffle their order (layouts need not be monotone).
-fn blocks_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
-    (1usize..256).prop_flat_map(|buf_len| {
-        let max_blocks = 8usize;
-        (
-            Just(buf_len),
-            prop::collection::vec((0usize..buf_len, 0usize..32), 0..max_blocks),
-        )
-            .prop_map(|(buf_len, raw)| {
-                // Clip lengths to stay in bounds; overlap is allowed for
-                // packing (gather) but NOT for unpacking, so we keep two
-                // variants in the tests below.
-                let blocks: Vec<(usize, usize)> =
-                    raw.into_iter().map(|(d, l)| (d, l.min(buf_len - d))).collect();
-                (buf_len, blocks)
-            })
-    })
+const CASES: u64 = 64;
+
+/// Generate in-bounds blocks over a buffer of `buf_len` bytes; overlap is
+/// allowed (fine for packing/gather, not for unpacking — see the disjoint
+/// generator below).
+fn random_blocks(rng: &mut SplitMix64) -> (usize, Vec<(usize, usize)>) {
+    let buf_len = rng.next_range(1, 256) as usize;
+    let n_blocks = rng.next_usize(8);
+    let blocks: Vec<(usize, usize)> = (0..n_blocks)
+        .map(|_| {
+            let d = rng.next_usize(buf_len);
+            let l = rng.next_usize(32).min(buf_len - d);
+            (d, l)
+        })
+        .collect();
+    (buf_len, blocks)
 }
 
-/// Non-overlapping blocks: carve the buffer into disjoint chunks.
-fn disjoint_blocks_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
-    (1usize..256, prop::collection::vec(1usize..16, 0..10), any::<u64>()).prop_map(
-        |(gap_seed, lens, shuffle_seed)| {
-            let mut blocks = Vec::new();
-            let mut at = gap_seed % 3;
-            for (i, len) in lens.iter().enumerate() {
-                blocks.push((at, *len));
-                at += len + (i % 3); // small gaps between blocks
-            }
-            // Deterministic pseudo-shuffle so sequence order != address order.
-            let n = blocks.len();
-            if n > 1 {
-                for i in 0..n {
-                    let j = (shuffle_seed as usize).wrapping_mul(31).wrapping_add(i * 17) % n;
-                    blocks.swap(i, j);
-                }
-            }
-            (at.max(1), blocks)
-        },
-    )
+/// Non-overlapping blocks: carve the buffer into disjoint chunks, then
+/// pseudo-shuffle so sequence order != address order.
+fn random_disjoint_blocks(rng: &mut SplitMix64) -> (usize, Vec<(usize, usize)>) {
+    let gap_seed = rng.next_range(1, 256) as usize;
+    let n_blocks = rng.next_usize(10);
+    let shuffle_seed = rng.next_u64();
+    let mut blocks = Vec::new();
+    let mut at = gap_seed % 3;
+    for i in 0..n_blocks {
+        let len = 1 + rng.next_usize(15);
+        blocks.push((at, len));
+        at += len + (i % 3); // small gaps between blocks
+    }
+    let n = blocks.len();
+    if n > 1 {
+        for i in 0..n {
+            let j = (shuffle_seed as usize).wrapping_mul(31).wrapping_add(i * 17) % n;
+            blocks.swap(i, j);
+        }
+    }
+    (at.max(1), blocks)
 }
 
-proptest! {
-    /// pack never reads outside the buffer and produces exactly packed_len bytes.
-    #[test]
-    fn pack_len_is_packed_len((buf_len, blocks) in blocks_strategy()) {
+/// pack never reads outside the buffer and produces exactly packed_len bytes.
+#[test]
+fn pack_len_is_packed_len() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xDA7A ^ case);
+        let (buf_len, blocks) = random_blocks(&mut rng);
         let ty = IndexedBlocks::new(blocks).unwrap();
-        prop_assume!(ty.extent() <= buf_len);
+        if ty.extent() > buf_len {
+            continue;
+        }
         let src: Vec<u8> = (0..buf_len).map(|i| i as u8).collect();
         let packed = ty.pack(&src).unwrap();
-        prop_assert_eq!(packed.len(), ty.packed_len());
+        assert_eq!(packed.len(), ty.packed_len(), "case {case}");
     }
+}
 
-    /// pack followed by unpack restores exactly the described bytes.
-    #[test]
-    fn pack_unpack_roundtrip((buf_len, blocks) in disjoint_blocks_strategy()) {
+/// pack followed by unpack restores exactly the described bytes.
+#[test]
+fn pack_unpack_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x0DD5 ^ case);
+        let (buf_len, blocks) = random_disjoint_blocks(&mut rng);
         let ty = IndexedBlocks::new(blocks).unwrap();
         let buf_len = buf_len.max(ty.extent());
         let src: Vec<u8> = (0..buf_len).map(|i| (i * 7 + 3) as u8).collect();
@@ -68,32 +78,43 @@ proptest! {
         ty.unpack_from(&packed, &mut dst).unwrap();
         // Described bytes must match the source...
         for &(d, l) in ty.blocks() {
-            prop_assert_eq!(&dst[d..d + l], &src[d..d + l]);
+            assert_eq!(&dst[d..d + l], &src[d..d + l], "case {case}");
         }
         // ...and re-packing the unpacked buffer is a fixed point.
-        prop_assert_eq!(ty.pack(&dst).unwrap(), packed);
+        assert_eq!(ty.pack(&dst).unwrap(), packed, "case {case}");
     }
+}
 
-    /// Packed size equals the sum of block lengths; extent equals the max end.
-    #[test]
-    fn size_and_extent_invariants((_buf_len, blocks) in blocks_strategy()) {
+/// Packed size equals the sum of block lengths; extent equals the max end.
+#[test]
+fn size_and_extent_invariants() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x51E5 ^ case);
+        let (_buf_len, blocks) = random_blocks(&mut rng);
         let ty = IndexedBlocks::new(blocks.clone()).unwrap();
         let sum: usize = blocks.iter().map(|&(_, l)| l).sum();
         let extent = blocks.iter().map(|&(d, l)| d + l).max().unwrap_or(0);
-        prop_assert_eq!(ty.packed_len(), sum);
-        prop_assert_eq!(ty.extent(), extent);
+        assert_eq!(ty.packed_len(), sum, "case {case}");
+        assert_eq!(ty.extent(), extent, "case {case}");
     }
+}
 
-    /// from_lengths_displs agrees with new() on zipped inputs.
-    #[test]
-    fn constructors_agree(lens in prop::collection::vec(0usize..32, 0..8)) {
-        let displs: Vec<usize> = lens.iter().scan(0, |acc, &l| {
-            let d = *acc;
-            *acc += l + 1;
-            Some(d)
-        }).collect();
+/// from_lengths_displs agrees with new() on zipped inputs.
+#[test]
+fn constructors_agree() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xC095 ^ case);
+        let lens: Vec<usize> = (0..rng.next_usize(8)).map(|_| rng.next_usize(32)).collect();
+        let displs: Vec<usize> = lens
+            .iter()
+            .scan(0, |acc, &l| {
+                let d = *acc;
+                *acc += l + 1;
+                Some(d)
+            })
+            .collect();
         let a = IndexedBlocks::from_lengths_displs(&lens, &displs).unwrap();
         let b = IndexedBlocks::new(displs.into_iter().zip(lens).collect()).unwrap();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
 }

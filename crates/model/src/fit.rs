@@ -9,8 +9,7 @@
 //! `beta_pair`) to minimize the mean squared *log* error — log error because
 //! the sweep spans four orders of magnitude and we care about relative fit.
 
-use rayon::prelude::*;
-
+use crate::par::par_map;
 use crate::{predict, MachineModel, NonuniformAlgo};
 use bruck_workload::Distribution;
 
@@ -29,15 +28,12 @@ pub struct FitSample {
 
 /// Mean squared log error of `machine` against the samples.
 pub fn fit_error(samples: &[FitSample], dist: Distribution, seed: u64, machine: &MachineModel) -> f64 {
-    let total: f64 = samples
-        .par_iter()
-        .map(|s| {
-            let predicted = predict(s.algo, dist, seed, s.p, s.n, machine).max(1e-12);
-            let e = (predicted / s.seconds.max(1e-12)).ln();
-            e * e
-        })
-        .sum();
-    total / samples.len().max(1) as f64
+    let errors = par_map(samples, |s| {
+        let predicted = predict(s.algo, dist, seed, s.p, s.n, machine).max(1e-12);
+        let e = (predicted / s.seconds.max(1e-12)).ln();
+        e * e
+    });
+    errors.iter().sum::<f64>() / samples.len().max(1) as f64
 }
 
 /// Fit `alpha0`, `inject` (+unthrottled, scaled together), `beta`, and

@@ -28,6 +28,7 @@
 
 mod fit;
 mod machine;
+mod par;
 mod radix;
 mod source;
 mod sweep;
@@ -35,6 +36,7 @@ mod trace;
 mod tracegen;
 
 pub use fit::{calibrate, fit_error, FitSample};
+pub use par::par_map;
 pub use machine::MachineModel;
 pub use radix::{
     radix_schedule as radix_trace_schedule, two_phase_radix_trace, zero_rotation_radix_trace,

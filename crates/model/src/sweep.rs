@@ -1,8 +1,7 @@
 //! Parameter sweeps and crossover extraction (Figures 6–10, 13 and the
 //! empirical performance model of Figure 9).
 
-use rayon::prelude::*;
-
+use crate::par::par_map;
 use crate::{nonuniform_trace, DistSource, MachineModel, NonuniformAlgo, RankSample};
 use bruck_workload::Distribution;
 
@@ -32,8 +31,8 @@ pub struct SweepPoint {
     pub seconds: f64,
 }
 
-/// Evaluate `algos × ps × ns` in parallel (rayon); output is sorted by
-/// `(p, n, algo order)` for stable figure rendering.
+/// Evaluate `algos × ps × ns` in parallel (scoped threads via [`par_map`]);
+/// output is sorted by `(p, n, algo order)` for stable figure rendering.
 pub fn sweep(
     algos: &[NonuniformAlgo],
     dist: Distribution,
@@ -42,17 +41,15 @@ pub fn sweep(
     ns: &[usize],
     machine: &MachineModel,
 ) -> Vec<SweepPoint> {
-    let mut points: Vec<(usize, SweepPoint)> = ps
+    let grid: Vec<(usize, usize, usize, NonuniformAlgo)> = ps
         .iter()
         .flat_map(|&p| ns.iter().map(move |&n| (p, n)))
         .flat_map(|(p, n)| algos.iter().enumerate().map(move |(ai, &algo)| (p, n, ai, algo)))
-        .collect::<Vec<_>>()
-        .into_par_iter()
-        .map(|(p, n, ai, algo)| {
-            let seconds = predict(algo, dist, seed, p, n, machine);
-            (ai, SweepPoint { p, n, algo, seconds })
-        })
         .collect();
+    let mut points: Vec<(usize, SweepPoint)> = par_map(&grid, |&(p, n, ai, algo)| {
+        let seconds = predict(algo, dist, seed, p, n, machine);
+        (ai, SweepPoint { p, n, algo, seconds })
+    });
     points.sort_by_key(|(ai, a)| (a.p, a.n, *ai));
     points.into_iter().map(|(_, sp)| sp).collect()
 }
@@ -68,10 +65,9 @@ pub fn crossover_n(
     n_grid: &[usize],
     machine: &MachineModel,
 ) -> Option<usize> {
-    let wins: Vec<(usize, bool)> = n_grid
-        .par_iter()
-        .map(|&n| (n, predict(a, dist, seed, p, n, machine) < predict(b, dist, seed, p, n, machine)))
-        .collect();
+    let wins: Vec<(usize, bool)> = par_map(n_grid, |&n| {
+        (n, predict(a, dist, seed, p, n, machine) < predict(b, dist, seed, p, n, machine))
+    });
     wins.into_iter().filter(|&(_, w)| w).map(|(n, _)| n).max()
 }
 

@@ -21,8 +21,10 @@
 
 mod distribution;
 mod matrix;
+mod rng;
 mod stats;
 
 pub use distribution::{rank_block_sizes, Distribution};
 pub use matrix::SizeMatrix;
+pub use rng::{splitmix64, SplitMix64};
 pub use stats::{histogram, DistStats};

@@ -1,89 +1,102 @@
-//! Property tests for the workload generators.
+//! Property tests for the workload generators, driven by seeded SplitMix64
+//! case generation (std-only; see the hermetic-build policy in DESIGN.md).
 
-use bruck_workload::{histogram, DistStats, Distribution, SizeMatrix};
-use proptest::prelude::*;
+use bruck_workload::{histogram, DistStats, Distribution, SizeMatrix, SplitMix64};
 
-fn any_distribution() -> impl Strategy<Value = Distribution> {
-    prop_oneof![
-        Just(Distribution::Uniform),
-        (0u32..=100).prop_map(|r| Distribution::Windowed { r }),
-        Just(Distribution::Normal),
-        Just(Distribution::POWER_LAW_STEEP),
-        Just(Distribution::POWER_LAW_HEAVY),
-        (1u32..16, 1u32..64)
-            .prop_map(|(spacing, damping)| Distribution::Hotspot { spacing, damping }),
-    ]
+const CASES: u64 = 48;
+
+fn any_distribution(rng: &mut SplitMix64) -> Distribution {
+    match rng.next_usize(6) {
+        0 => Distribution::Uniform,
+        1 => Distribution::Windowed { r: rng.next_below(101) as u32 },
+        2 => Distribution::Normal,
+        3 => Distribution::POWER_LAW_STEEP,
+        4 => Distribution::POWER_LAW_HEAVY,
+        _ => Distribution::Hotspot {
+            spacing: rng.next_range(1, 16) as u32,
+            damping: rng.next_range(1, 64) as u32,
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Sizes are always within [0, N] and deterministic in (seed, src, dst).
-    #[test]
-    fn sizes_bounded_and_deterministic(
-        dist in any_distribution(),
-        seed in any::<u64>(),
-        p in 1usize..64,
-        n_max in 0usize..4096,
-    ) {
+/// Sizes are always within [0, N] and deterministic in (seed, src, dst).
+#[test]
+fn sizes_bounded_and_deterministic() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xB0DD ^ case);
+        let dist = any_distribution(&mut rng);
+        let seed = rng.next_u64();
+        let p = rng.next_range(1, 64) as usize;
+        let n_max = rng.next_usize(4096);
         let src = seed as usize % p;
         let row = dist.sample_row(seed, src, p, n_max);
-        prop_assert_eq!(row.len(), p);
+        assert_eq!(row.len(), p);
         for (dst, &s) in row.iter().enumerate() {
-            prop_assert!(s <= n_max, "{}: size {s} > {n_max}", dist.label());
-            prop_assert_eq!(s, dist.block_size(seed, src, dst, p, n_max));
+            assert!(s <= n_max, "{}: size {s} > {n_max}", dist.label());
+            assert_eq!(s, dist.block_size(seed, src, dst, p, n_max));
         }
     }
+}
 
-    /// Windowed distributions respect their lower bound.
-    #[test]
-    fn windowed_lower_bound(
-        seed in any::<u64>(),
-        r in 0u32..=100,
-        n_max in 1usize..2048,
-    ) {
+/// Windowed distributions respect their lower bound.
+#[test]
+fn windowed_lower_bound() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x71D0 ^ case);
+        let seed = rng.next_u64();
+        let r = rng.next_below(101) as u32;
+        let n_max = rng.next_range(1, 2048) as usize;
         let lo = (n_max as f64 * f64::from(100 - r) / 100.0).round() as usize;
         let row = Distribution::Windowed { r }.sample_row(seed, 0, 64, n_max);
         // Allow the rounding boundary itself.
-        prop_assert!(row.iter().all(|&s| s + 1 >= lo), "lo={lo} min={:?}", row.iter().min());
+        assert!(row.iter().all(|&s| s + 1 >= lo), "lo={lo} min={:?}", row.iter().min());
     }
+}
 
-    /// Matrix accessors agree: row/col sums, totals, and the global max.
-    #[test]
-    fn matrix_invariants(
-        dist in any_distribution(),
-        seed in any::<u64>(),
-        p in 1usize..24,
-        n_max in 0usize..512,
-    ) {
+/// Matrix accessors agree: row/col sums, totals, and the global max.
+#[test]
+fn matrix_invariants() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x3A7C ^ case);
+        let dist = any_distribution(&mut rng);
+        let seed = rng.next_u64();
+        let p = rng.next_range(1, 24) as usize;
+        let n_max = rng.next_usize(512);
         let m = SizeMatrix::generate(dist, seed, p, n_max);
         let total_rows: usize = (0..p).map(|r| m.bytes_sent(r)).sum();
         let total_cols: usize = (0..p).map(|c| m.bytes_received(c)).sum();
-        prop_assert_eq!(total_rows, m.total_bytes());
-        prop_assert_eq!(total_cols, m.total_bytes());
-        prop_assert!(m.global_max() <= n_max);
+        assert_eq!(total_rows, m.total_bytes());
+        assert_eq!(total_cols, m.total_bytes());
+        assert!(m.global_max() <= n_max);
         let stats = DistStats::of_matrix(&m);
-        prop_assert_eq!(stats.total, m.total_bytes());
-        prop_assert_eq!(stats.count, p * p);
+        assert_eq!(stats.total, m.total_bytes());
+        assert_eq!(stats.count, p * p);
     }
+}
 
-    /// Histograms partition the population.
-    #[test]
-    fn histogram_partitions(
-        sizes in prop::collection::vec(0usize..1000, 0..200),
-        bins in 1usize..20,
-    ) {
+/// Histograms partition the population.
+#[test]
+fn histogram_partitions() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x4157 ^ case);
+        let len = rng.next_usize(200);
+        let sizes: Vec<usize> = (0..len).map(|_| rng.next_usize(1000)).collect();
+        let bins = rng.next_range(1, 20) as usize;
         let h = histogram(&sizes, 1000, bins);
-        prop_assert_eq!(h.len(), bins);
-        prop_assert_eq!(h.iter().sum::<usize>(), sizes.len());
+        assert_eq!(h.len(), bins);
+        assert_eq!(h.iter().sum::<usize>(), sizes.len());
     }
+}
 
-    /// Different seeds decorrelate rows (statistically: not identical for
-    /// non-trivial sizes).
-    #[test]
-    fn seeds_change_the_workload(seed in any::<u64>()) {
+/// Different seeds decorrelate rows (statistically: not identical for
+/// non-trivial sizes).
+#[test]
+fn seeds_change_the_workload() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x5EED ^ case);
+        let seed = rng.next_u64();
         let a = Distribution::Uniform.sample_row(seed, 0, 256, 1024);
         let b = Distribution::Uniform.sample_row(seed.wrapping_add(1), 0, 256, 1024);
-        prop_assert_ne!(a, b);
+        assert_ne!(a, b);
     }
 }

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Offline build + test gate. The workspace is hermetic (zero external
+# crates), so this must pass with no network access from a fresh checkout.
+set -eu
+cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE=true
+cargo build --workspace --release
+cargo test --workspace -q

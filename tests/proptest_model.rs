@@ -1,24 +1,29 @@
 //! Property tests for the cost model: conservation and symmetry invariants
 //! of the trace generators over randomized size matrices.
+//!
+//! Seeded-random (SplitMix64) rather than `proptest`-driven: the workspace
+//! builds hermetically with zero external crates, so each property runs a
+//! fixed number of deterministic random cases instead of shrinking searches.
 
-use bruck_model::{nonuniform_trace, MatrixSource, NonuniformAlgo, RankSample, SizeSource, StepKind};
-use bruck_workload::SizeMatrix;
-use proptest::prelude::*;
+use bruck_model::{nonuniform_trace, MatrixSource, NonuniformAlgo, RankSample, StepKind};
+use bruck_workload::{SizeMatrix, SplitMix64};
 
-fn size_matrix() -> impl Strategy<Value = SizeMatrix> {
-    (2usize..14).prop_flat_map(|p| {
-        prop::collection::vec(prop::collection::vec(0usize..500, p), p)
-            .prop_map(SizeMatrix::from_rows)
-    })
+const CASES: u64 = 24;
+
+fn random_matrix(rng: &mut SplitMix64) -> SizeMatrix {
+    let p = rng.next_range(2, 14) as usize;
+    let rows: Vec<Vec<usize>> =
+        (0..p).map(|_| (0..p).map(|_| rng.next_usize(500)).collect()).collect();
+    SizeMatrix::from_rows(rows)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Within every wire step, global bytes-out equals global bytes-in
-    /// (every byte sent is received by some covered rank).
-    #[test]
-    fn per_step_flow_conservation(m in size_matrix()) {
+/// Within every wire step, global bytes-out equals global bytes-in
+/// (every byte sent is received by some covered rank).
+#[test]
+fn per_step_flow_conservation() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xF10C ^ case);
+        let m = random_matrix(&mut rng);
         let p = m.p();
         let src = MatrixSource(&m);
         for algo in NonuniformAlgo::ALL {
@@ -29,16 +34,20 @@ proptest! {
                 }
                 let out: u64 = step.loads.iter().map(|(_, l)| l.bytes_out).sum();
                 let inb: u64 = step.loads.iter().map(|(_, l)| l.bytes_in).sum();
-                prop_assert_eq!(out, inb, "{} step {:?}", algo.name(), step.kind);
+                assert_eq!(out, inb, "case {case}: {} step {:?}", algo.name(), step.kind);
             }
         }
     }
+}
 
-    /// Bruck-family data steps conserve total payload: each block crosses the
-    /// wire once per set bit (binary) of its offset; the padded variants move
-    /// exactly count·N per step.
-    #[test]
-    fn two_phase_payload_matches_popcount_routing(m in size_matrix()) {
+/// Bruck-family data steps conserve total payload: each block crosses the
+/// wire once per set bit (binary) of its offset; the padded variants move
+/// exactly count·N per step.
+#[test]
+fn two_phase_payload_matches_popcount_routing() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x2BA5 ^ case);
+        let m = random_matrix(&mut rng);
         let p = m.p();
         let src = MatrixSource(&m);
         let trace = nonuniform_trace(NonuniformAlgo::TwoPhaseBruck, &src, &RankSample::all(p));
@@ -55,12 +64,16 @@ proptest! {
                 expect += (m.get(s, d) as u64) * u64::from(offset.count_ones());
             }
         }
-        prop_assert_eq!(data, expect);
+        assert_eq!(data, expect, "case {case}");
     }
+}
 
-    /// The spread-out trace moves exactly the matrix, minus self blocks.
-    #[test]
-    fn spread_out_moves_exactly_the_matrix(m in size_matrix()) {
+/// The spread-out trace moves exactly the matrix, minus self blocks.
+#[test]
+fn spread_out_moves_exactly_the_matrix() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x59E4 ^ case);
+        let m = random_matrix(&mut rng);
         let p = m.p();
         let src = MatrixSource(&m);
         let trace = nonuniform_trace(NonuniformAlgo::Vendor, &src, &RankSample::all(p));
@@ -70,13 +83,17 @@ proptest! {
             .filter(|&(s, d)| s != d)
             .map(|(s, d)| m.get(s, d) as u64)
             .sum();
-        prop_assert_eq!(wire, expect);
+        assert_eq!(wire, expect, "case {case}");
     }
+}
 
-    /// Time predictions are finite, non-negative, and monotone in the
-    /// machine's beta.
-    #[test]
-    fn predictions_are_sane(m in size_matrix()) {
+/// Time predictions are finite, non-negative, and monotone in the
+/// machine's beta.
+#[test]
+fn predictions_are_sane() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x5A9E ^ case);
+        let m = random_matrix(&mut rng);
         let p = m.p();
         let src = MatrixSource(&m);
         let fast = bruck_model::MachineModel::theta_like();
@@ -87,8 +104,8 @@ proptest! {
             let trace = nonuniform_trace(algo, &src, &RankSample::all(p));
             let tf = trace.time(&fast);
             let ts = trace.time(&slow);
-            prop_assert!(tf.is_finite() && tf >= 0.0);
-            prop_assert!(ts >= tf, "{}: slower beta must not be faster", algo.name());
+            assert!(tf.is_finite() && tf >= 0.0);
+            assert!(ts >= tf, "case {case}: {}: slower beta must not be faster", algo.name());
         }
     }
 }
