@@ -9,7 +9,8 @@
 //! * **Model prediction** — `bruck-model` trace sweeps up to P = 32768
 //!   (driven from `src/bin/figures.rs`).
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod harness;
 

@@ -26,7 +26,8 @@
 //! assert!(totals.iter().all(|&t| t == totals[0] && t > 0));
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 mod cc;
 pub mod datalog;

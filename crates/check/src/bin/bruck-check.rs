@@ -1,0 +1,29 @@
+//! Protocol-verification gate: run the full algorithm × workload matrix
+//! through the symbolic executor and analysis passes.
+//!
+//! Exit status 0 iff every case is clean. `scripts/verify.sh` runs this as a
+//! tier-1 stage.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let reports = bruck_check::matrix::run_full_matrix();
+    let total = reports.len();
+    let mut dirty = 0usize;
+    for report in &reports {
+        if !report.is_clean() {
+            dirty += 1;
+            eprintln!("FAIL {}", report.name);
+            for finding in &report.findings {
+                eprintln!("  - {finding}");
+            }
+        }
+    }
+    if dirty == 0 {
+        println!("bruck-check: {total} cases clean (no deadlock cycles, tag collisions, conservation violations, or unmatched sends)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bruck-check: {dirty}/{total} cases with findings");
+        ExitCode::FAILURE
+    }
+}

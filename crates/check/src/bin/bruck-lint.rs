@@ -1,0 +1,34 @@
+//! Source-lint gate: scan workspace sources for banned patterns, modulo the
+//! audited allowlist at `crates/check/lint-allow.txt`.
+//!
+//! Exit status 0 iff there are zero unallowlisted findings. `scripts/verify.sh`
+//! runs this as a tier-1 stage.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = bruck_check::lint::repo_root();
+    let report = match bruck_check::lint::run_lint(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bruck-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for warning in &report.warnings {
+        eprintln!("warning: {warning}");
+    }
+    if report.is_clean() {
+        println!(
+            "bruck-lint: clean ({} audited finding(s) within allowlist budgets)",
+            report.suppressed
+        );
+        ExitCode::SUCCESS
+    } else {
+        for finding in &report.violations {
+            eprintln!("{finding}");
+        }
+        eprintln!("bruck-lint: {} unallowlisted finding(s)", report.violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,29 @@
+//! # bruck-check — communication-protocol verifier and repo lint gate
+//!
+//! Three layers of static assurance over the workspace, all std-only:
+//!
+//! 1. **Schedule extraction** ([`model`]) — [`model::ModelComm`] symbolically
+//!    executes any `Communicator`-generic algorithm on a single thread,
+//!    recording every send/recv/probe (collectives included — they are trait
+//!    default methods) into vector-clocked per-rank event logs. Unlike a
+//!    threaded run, it terminates on deadlocks and reports them.
+//! 2. **Protocol analysis** ([`analysis`]) — passes over the extracted
+//!    [`bruck_comm::Schedule`]: wait-for-graph deadlock cycles, unmatched
+//!    sends, orphaned receives, tag collisions, per-step byte conservation,
+//!    and counts/displacement layout checks.
+//! 3. **Source lint** ([`lint`]) — `bruck-lint` scans crate sources for
+//!    banned patterns with an explicit, counted allowlist.
+//!
+//! The [`matrix`] module wires layers 1–2 across every algorithm × workload
+//! combination; `scripts/verify.sh` runs both binaries as tier-1 gates.
+//!
+//! The verifier's model, guarantees, and non-guarantees are documented in
+//! DESIGN.md §8.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod analysis;
+pub mod lint;
+pub mod matrix;
+pub mod model;

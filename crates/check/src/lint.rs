@@ -1,0 +1,457 @@
+//! `bruck-lint`: a std-only source scanner for repo-banned patterns.
+//!
+//! This is deliberately a *line* linter, not a parser: every rule here is a
+//! textual invariant chosen so that false positives are rare and every true
+//! positive is worth a human decision. Violations that are audited and
+//! intentional live in `crates/check/lint-allow.txt` — an explicit,
+//! counted budget per `(rule, file)`, so a *new* violation in an allowlisted
+//! file still fails the gate.
+//!
+//! ## Rules
+//!
+//! * `no-direct-mailbox` — code outside `crates/comm` mentioning mailboxes:
+//!   algorithms must go through the [`Communicator`] trait, never the
+//!   runtime's delivery structures.
+//! * `no-unwrap` / `no-expect` — `.unwrap()` / `.expect(` in non-test library
+//!   code: library errors must propagate as `CommResult`.
+//! * `no-relaxed-ordering` — any `Ordering::Relaxed`: relaxed atomics on
+//!   flags that gate memory publication are unsound, so every relaxed use
+//!   must be audited into the allowlist.
+//! * `no-relaxed-rmw` — a `.load(Ordering::Relaxed)` followed shortly by a
+//!   `.store(` on the same receiver: a non-atomic read-modify-write (the
+//!   exact lost-update bug once present in `ChaosComm::jitter`); use
+//!   `fetch_update`/`fetch_add` instead.
+//! * `no-unsafe` — the `unsafe` keyword anywhere: the workspace is safe Rust
+//!   except the audited block(s) listed in the allowlist and DESIGN.md.
+//!
+//! Test code (`#[cfg(test)]` regions, tracked by brace depth) is exempt from
+//! the unwrap/expect/relaxed rules; `unsafe` is flagged even in tests.
+//!
+//! [`Communicator`]: bruck_comm::Communicator
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lint hit.
+#[derive(Debug, Clone)]
+pub struct LintFinding {
+    /// Rule id (e.g. `no-unwrap`).
+    pub rule: &'static str,
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}:{}: {}", self.rule, self.path, self.line, self.snippet)
+    }
+}
+
+/// The outcome of a lint run after applying the allowlist.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings in `(rule, file)` groups that exceeded their budget. These
+    /// fail the gate.
+    pub violations: Vec<LintFinding>,
+    /// Findings absorbed by allowlist budgets.
+    pub suppressed: usize,
+    /// Allowlist lines whose budget exceeds the actual count (candidates for
+    /// tightening) or whose syntax was bad.
+    pub warnings: Vec<String>,
+}
+
+impl LintReport {
+    /// Zero unallowlisted findings?
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The workspace root, derived from this crate's manifest directory so the
+/// binaries work from any working directory.
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+/// Run every rule over the workspace sources under `root` and apply the
+/// allowlist at `crates/check/lint-allow.txt`.
+pub fn run_lint(root: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    for entry in fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let text = fs::read_to_string(file)?;
+        scan_file(&rel, &text, &mut findings);
+    }
+
+    let allow = load_allowlist(&root.join("crates").join("check").join("lint-allow.txt"));
+    Ok(apply_allowlist(findings, allow))
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Blank out string-literal contents and strip `//` comments, preserving
+/// column positions of the surviving code. This is what makes the linter
+/// robust to rule patterns appearing in messages, docs, and its own source.
+fn sanitize(line: &str) -> String {
+    let bytes = line.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    let mut in_str = false;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if in_str {
+            if c == b'\\' && i + 1 < bytes.len() {
+                out.extend([b' ', b' ']);
+                i += 2;
+                continue;
+            }
+            if c == b'"' {
+                in_str = false;
+                out.push(b'"');
+            } else {
+                out.push(b' ');
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            b'"' => {
+                in_str = true;
+                out.push(b'"');
+                i += 1;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break, // comment
+            b'\'' => {
+                // Char literal vs lifetime: a literal closes within a few
+                // bytes; a lifetime has no closing quote.
+                if i + 2 < bytes.len() && bytes[i + 1] == b'\\' {
+                    let mut j = i + 2;
+                    while j < bytes.len() && bytes[j] != b'\'' {
+                        j += 1;
+                    }
+                    out.extend(std::iter::repeat(b' ').take(j.saturating_sub(i) + 1));
+                    i = j + 1;
+                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                    out.extend([b' ', b' ', b' ']);
+                    i += 3;
+                } else {
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn brace_delta(sanitized: &str) -> i64 {
+    let mut d = 0;
+    for b in sanitized.bytes() {
+        match b {
+            b'{' => d += 1,
+            b'}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// The `X` in `X.load(...)`: the longest trailing receiver expression made of
+/// identifier characters and dots (e.g. `self.state`).
+fn receiver_before(sanitized: &str, call_pos: usize) -> &str {
+    let head = &sanitized[..call_pos];
+    let start = head
+        .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.'))
+        .map_or(0, |i| i + 1);
+    &head[start..]
+}
+
+fn scan_file(rel: &str, text: &str, out: &mut Vec<LintFinding>) {
+    let in_comm = rel.starts_with("crates/comm/");
+    // Whole-file test modules (`#[cfg(test)] mod foo_tests;` in the crate
+    // root) carry the cfg on the *declaration*, invisible from the file
+    // itself; go by the naming convention.
+    let test_file = rel.ends_with("_tests.rs") || rel.ends_with("/tests.rs");
+    let lines: Vec<&str> = text.lines().collect();
+    let sanitized: Vec<String> = lines.iter().map(|l| sanitize(l)).collect();
+
+    // Track #[cfg(test)] { ... } regions by brace depth.
+    let mut in_test = false;
+    let mut test_depth: i64 = 0;
+    let mut awaiting_test_item = false;
+
+    for (idx, (raw, san)) in lines.iter().zip(&sanitized).enumerate() {
+        let lineno = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let mut test_code = in_test || test_file;
+        if !in_test {
+            if san.contains("#[cfg(test)]") {
+                awaiting_test_item = true;
+                test_code = true;
+            }
+            if awaiting_test_item && san.contains('{') {
+                awaiting_test_item = false;
+                in_test = true;
+                test_depth = brace_delta(san);
+                test_code = true;
+                if test_depth <= 0 {
+                    in_test = false;
+                }
+            }
+        } else {
+            test_depth += brace_delta(san);
+            if test_depth <= 0 {
+                in_test = false;
+            }
+        }
+
+        let mut push = |rule: &'static str| {
+            out.push(LintFinding {
+                rule,
+                path: rel.to_string(),
+                line: lineno,
+                snippet: trimmed.to_string(),
+            });
+        };
+
+        // unsafe: everywhere, token-bounded so `unsafe_code` doesn't match.
+        for (pos, _) in san.match_indices("unsafe") {
+            let after = san[pos + "unsafe".len()..].chars().next();
+            let before = san[..pos].chars().next_back();
+            let boundary = |c: Option<char>| {
+                c.is_none_or(|c| !(c.is_ascii_alphanumeric() || c == '_'))
+            };
+            if boundary(after) && boundary(before) {
+                push("no-unsafe");
+            }
+        }
+
+        if !in_comm && san.to_ascii_lowercase().contains("mailbox") && !test_code {
+            push("no-direct-mailbox");
+        }
+
+        if !test_code {
+            for _ in san.match_indices(".unwrap()") {
+                push("no-unwrap");
+            }
+            for _ in san.match_indices(".expect(") {
+                push("no-expect");
+            }
+            for _ in san.match_indices("Ordering::Relaxed") {
+                push("no-relaxed-ordering");
+            }
+            // Non-atomic RMW: `recv.load(Ordering::Relaxed)` with a
+            // `recv.store(` within the next few lines.
+            if let Some(pos) = san.find(".load(Ordering::Relaxed)") {
+                let recv = receiver_before(san, pos).to_string();
+                if !recv.is_empty() {
+                    let store_pat = format!("{recv}.store(");
+                    let window_end = (idx + 8).min(sanitized.len());
+                    if sanitized[idx..window_end].iter().any(|l| l.contains(&store_pat)) {
+                        push("no-relaxed-rmw");
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn load_allowlist(path: &Path) -> BTreeMap<(String, String), usize> {
+    let mut allow = BTreeMap::new();
+    let Ok(text) = fs::read_to_string(path) else { return allow };
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if let (Some(rule), Some(file), Some(count)) = (parts.next(), parts.next(), parts.next()) {
+            if let Ok(n) = count.parse::<usize>() {
+                allow.insert((rule.to_string(), file.to_string()), n);
+            }
+        }
+    }
+    allow
+}
+
+fn apply_allowlist(
+    findings: Vec<LintFinding>,
+    allow: BTreeMap<(String, String), usize>,
+) -> LintReport {
+    let mut by_group: BTreeMap<(String, String), Vec<LintFinding>> = BTreeMap::new();
+    for f in findings {
+        by_group.entry((f.rule.to_string(), f.path.clone())).or_default().push(f);
+    }
+    let mut report = LintReport::default();
+    for (key, group) in &by_group {
+        let budget = allow.get(key).copied().unwrap_or(0);
+        if group.len() > budget {
+            report.violations.extend(group.iter().cloned());
+            if budget > 0 {
+                report.warnings.push(format!(
+                    "{} {}: {} findings exceed allowlisted budget of {budget}",
+                    key.0,
+                    key.1,
+                    group.len()
+                ));
+            }
+        } else {
+            report.suppressed += group.len();
+            if group.len() < budget {
+                report.warnings.push(format!(
+                    "stale allowlist entry: {} {} budgets {budget} but only {} found",
+                    key.0,
+                    key.1,
+                    group.len()
+                ));
+            }
+        }
+    }
+    for ((rule, file), budget) in &allow {
+        if !by_group.contains_key(&(rule.clone(), file.clone())) && *budget > 0 {
+            report.warnings.push(format!(
+                "stale allowlist entry: {rule} {file} budgets {budget} but nothing found"
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_str(rel: &str, text: &str) -> Vec<LintFinding> {
+        let mut out = Vec::new();
+        scan_file(rel, text, &mut out);
+        out
+    }
+
+    #[test]
+    fn detects_unwrap_outside_tests_only() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn g() { y.unwrap(); }\n}\nfn h() { z.unwrap(); }\n";
+        let hits = scan_str("crates/core/src/a.rs", src);
+        let unwraps: Vec<_> = hits.iter().filter(|f| f.rule == "no-unwrap").collect();
+        assert_eq!(unwraps.len(), 2, "{hits:?}");
+        assert_eq!(unwraps[0].line, 1);
+        assert_eq!(unwraps[1].line, 6);
+    }
+
+    #[test]
+    fn detects_relaxed_rmw_pair() {
+        let src = "fn f(&self) {\n    let s = self.state.load(Ordering::Relaxed);\n    let s2 = mix(s);\n    self.state.store(s2, Ordering::Relaxed);\n}\n";
+        let hits = scan_str("crates/comm/src/a.rs", src);
+        assert!(hits.iter().any(|f| f.rule == "no-relaxed-rmw" && f.line == 2), "{hits:?}");
+        // The two bare Relaxed uses are also individually flagged.
+        assert_eq!(hits.iter().filter(|f| f.rule == "no-relaxed-ordering").count(), 2);
+    }
+
+    #[test]
+    fn load_without_store_is_not_rmw() {
+        let src = "fn f(&self) { let s = self.state.load(Ordering::Relaxed); use_it(s); }\n";
+        let hits = scan_str("crates/comm/src/a.rs", src);
+        assert!(!hits.iter().any(|f| f.rule == "no-relaxed-rmw"), "{hits:?}");
+    }
+
+    #[test]
+    fn mailbox_flagged_outside_comm_only() {
+        let src = "fn f(w: &World) { let m = &w.mailboxes[0]; }\n";
+        assert!(scan_str("crates/core/src/a.rs", src).iter().any(|f| f.rule == "no-direct-mailbox"));
+        assert!(scan_str("crates/comm/src/a.rs", src)
+            .iter()
+            .all(|f| f.rule != "no-direct-mailbox"));
+    }
+
+    #[test]
+    fn strings_comments_and_attributes_do_not_match() {
+        let src = "#![forbid(unsafe_code)]\nfn f() { log(\".unwrap() in a string\"); } // .unwrap() in a comment\n";
+        let hits = scan_str("crates/core/src/a.rs", src);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn unsafe_keyword_flagged_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn g() { let p = unsafe { danger() }; }\n}\n";
+        let hits = scan_str("crates/core/src/a.rs", src);
+        assert!(hits.iter().any(|f| f.rule == "no-unsafe" && f.line == 3), "{hits:?}");
+    }
+
+    #[test]
+    fn allowlist_budget_suppresses_exact_count() {
+        let f = |n: usize| LintFinding {
+            rule: "no-expect",
+            path: "crates/x/src/a.rs".into(),
+            line: n,
+            snippet: String::new(),
+        };
+        let mut allow = BTreeMap::new();
+        allow.insert(("no-expect".to_string(), "crates/x/src/a.rs".to_string()), 2);
+        let report = apply_allowlist(vec![f(1), f(2)], allow.clone());
+        assert!(report.is_clean());
+        assert_eq!(report.suppressed, 2);
+        let report = apply_allowlist(vec![f(1), f(2), f(3)], allow);
+        assert!(!report.is_clean());
+        assert_eq!(report.violations.len(), 3);
+    }
+
+    #[test]
+    fn workspace_lint_gate_is_clean() {
+        // The same invocation `scripts/verify.sh` gates on: the tree plus the
+        // audited allowlist must produce zero unallowlisted findings.
+        let report = run_lint(&repo_root()).expect("lint walks the workspace");
+        assert!(
+            report.is_clean(),
+            "unallowlisted lint findings:\n{}",
+            report
+                .violations
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

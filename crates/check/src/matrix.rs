@@ -1,0 +1,301 @@
+//! The checkable matrix: every algorithm × workload combination the verifier
+//! sweeps.
+//!
+//! Each case symbolically executes one collective (uniform all-to-all,
+//! non-uniform all-to-allv, a negotiated [`ExchangePlan`] execution, or a
+//! vector allgatherv) under [`crate::model::extract`], verifies the output
+//! bytes against the deterministic workload pattern, and runs the full
+//! analysis suite from [`crate::analysis`] over the extracted schedule.
+//!
+//! ## Adding an algorithm to the matrix
+//!
+//! New `bruck-core` variants are picked up automatically when added to
+//! `AlltoallAlgorithm::ALL` / `AlltoallvAlgorithm::ALL`. An algorithm outside
+//! those enums needs one new `CaseReport` constructor here: build
+//! deterministic per-rank inputs, call the algorithm inside `extract`, push a
+//! [`Finding::WrongOutput`] on any output mismatch, and `analyze` the
+//! extraction. Keep `p` small (≤ 12): symbolic execution replays each rank's
+//! body once per blocking receive.
+
+use std::sync::Mutex;
+
+use bruck_comm::{Communicator, ExchangePlan, VectorCollectives};
+use bruck_core::{alltoall, alltoallv, packed_displs, AlltoallAlgorithm, AlltoallvAlgorithm};
+use bruck_workload::{Distribution, SizeMatrix};
+
+use crate::analysis::{analyze, check_layout, Finding};
+use crate::model::extract;
+
+/// One verified case: a label and whatever findings it produced.
+#[derive(Debug)]
+pub struct CaseReport {
+    /// Human-readable case id, e.g. `"alltoallv/Two-phase Bruck/normal/p=8"`.
+    pub name: String,
+    /// All findings from output verification and schedule analysis.
+    pub findings: Vec<Finding>,
+}
+
+impl CaseReport {
+    /// No findings at all?
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Deterministic pattern byte for (source, destination, offset-in-block) —
+/// same convention as the `bruck-core` test utilities, so a `WrongOutput`
+/// here reproduces under `cargo test` too.
+fn pattern(src: usize, dst: usize, idx: usize) -> u8 {
+    (src.wrapping_mul(167) ^ dst.wrapping_mul(59) ^ idx.wrapping_mul(13)) as u8
+}
+
+/// Communicator sizes the matrix sweeps: powers of two, odd, prime, one.
+const MATRIX_SIZES: [usize; 5] = [1, 3, 4, 5, 8];
+
+/// Workload generators the non-uniform cases sweep.
+fn matrix_distributions() -> Vec<Distribution> {
+    vec![
+        Distribution::Uniform,
+        Distribution::Windowed { r: 25 },
+        Distribution::Normal,
+        Distribution::POWER_LAW_STEEP,
+        Distribution::Hotspot { spacing: 3, damping: 4 },
+    ]
+}
+
+/// Verify one uniform algorithm at one size/block.
+pub fn check_uniform(algo: AlltoallAlgorithm, p: usize, block: usize) -> CaseReport {
+    let name = format!("alltoall/{}/p={p}/block={block}", algo.name());
+    let wrong: Mutex<Vec<Finding>> = Mutex::new(Vec::new());
+    let ext = extract(p, |comm| {
+        let me = comm.rank();
+        let mut sendbuf = vec![0u8; p * block];
+        for dst in 0..p {
+            for idx in 0..block {
+                sendbuf[dst * block + idx] = pattern(me, dst, idx);
+            }
+        }
+        let mut recvbuf = vec![0u8; p * block];
+        alltoall(algo, comm, &sendbuf, &mut recvbuf, block)?;
+        // This tail runs exactly once per rank: the body only reaches it on
+        // the attempt that completes, after which the rank is never re-run.
+        for src in 0..p {
+            for idx in 0..block {
+                let got = recvbuf[src * block + idx];
+                let want = pattern(src, me, idx);
+                if got != want {
+                    wrong.lock().unwrap_or_else(|e| e.into_inner()).push(Finding::WrongOutput {
+                        rank: me,
+                        detail: format!(
+                            "byte {idx} of block from rank {src}: got {got:#04x}, want {want:#04x}"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+        Ok(())
+    });
+    let mut findings = wrong.into_inner().unwrap_or_else(|e| e.into_inner());
+    findings.extend(analyze(&ext));
+    CaseReport { name, findings }
+}
+
+/// Verify one non-uniform algorithm against one size matrix.
+pub fn check_alltoallv(algo: AlltoallvAlgorithm, m: &SizeMatrix, label: &str) -> CaseReport {
+    let p = m.p();
+    let name = format!("alltoallv/{}/{label}/p={p}", algo.name());
+    let wrong: Mutex<Vec<Finding>> = Mutex::new(Vec::new());
+    let ext = extract(p, |comm| {
+        let me = comm.rank();
+        let sendcounts = m.sendcounts(me);
+        let sdispls = packed_displs(&sendcounts);
+        let mut sendbuf = vec![0u8; sendcounts.iter().sum()];
+        for dst in 0..p {
+            for idx in 0..sendcounts[dst] {
+                sendbuf[sdispls[dst] + idx] = pattern(me, dst, idx);
+            }
+        }
+        let recvcounts = m.recvcounts(me);
+        let rdispls = packed_displs(&recvcounts);
+        let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+        alltoallv(algo, comm, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts, &rdispls)?;
+        verify_v(me, m, &recvbuf, &rdispls, &wrong);
+        Ok(())
+    });
+    let mut findings = wrong.into_inner().unwrap_or_else(|e| e.into_inner());
+    findings.extend(analyze(&ext));
+    CaseReport { name, findings }
+}
+
+/// Verify a negotiated-plan execution: `ExchangePlan::negotiate` from send
+/// counts only, layout-check the plan's displacements, then run `algo` with
+/// the plan's arrays.
+pub fn check_plan(algo: AlltoallvAlgorithm, m: &SizeMatrix, label: &str) -> CaseReport {
+    let p = m.p();
+    let name = format!("plan/{}/{label}/p={p}", algo.name());
+    let wrong: Mutex<Vec<Finding>> = Mutex::new(Vec::new());
+    let ext = extract(p, |comm| {
+        let me = comm.rank();
+        let plan = ExchangePlan::negotiate(comm, m.sendcounts(me))?;
+        let mut sendbuf = vec![0u8; plan.send_bytes()];
+        for dst in 0..p {
+            for idx in 0..plan.sendcounts()[dst] {
+                sendbuf[plan.sdispls()[dst] + idx] = pattern(me, dst, idx);
+            }
+        }
+        let mut recvbuf = plan.alloc_recvbuf();
+        {
+            let mut w = wrong.lock().unwrap_or_else(|e| e.into_inner());
+            w.extend(check_layout(
+                &format!("rank {me} plan sdispls"),
+                plan.sendcounts(),
+                plan.sdispls(),
+                sendbuf.len(),
+            ));
+            w.extend(check_layout(
+                &format!("rank {me} plan rdispls"),
+                plan.recvcounts(),
+                plan.rdispls(),
+                recvbuf.len(),
+            ));
+        }
+        alltoallv(
+            algo,
+            comm,
+            &sendbuf,
+            plan.sendcounts(),
+            plan.sdispls(),
+            &mut recvbuf,
+            plan.recvcounts(),
+            plan.rdispls(),
+        )?;
+        verify_v(me, m, &recvbuf, plan.rdispls(), &wrong);
+        Ok(())
+    });
+    let mut findings = wrong.into_inner().unwrap_or_else(|e| e.into_inner());
+    findings.extend(analyze(&ext));
+    CaseReport { name, findings }
+}
+
+/// Verify the ring allgatherv from `bruck-comm`'s [`VectorCollectives`].
+pub fn check_allgatherv(p: usize) -> CaseReport {
+    let name = format!("allgatherv/ring/p={p}");
+    let wrong: Mutex<Vec<Finding>> = Mutex::new(Vec::new());
+    let ext = extract(p, |comm| {
+        let me = comm.rank();
+        // Variable-length payload: rank r contributes r+1 pattern bytes.
+        let mine: Vec<u8> = (0..me + 1).map(|i| pattern(me, me, i)).collect();
+        let all = comm.allgatherv_bufs(bruck_comm::MsgBuf::from_vec(mine))?;
+        for (src, got) in all.iter().enumerate() {
+            let want: Vec<u8> = (0..src + 1).map(|i| pattern(src, src, i)).collect();
+            if got.as_slice() != want.as_slice() {
+                wrong.lock().unwrap_or_else(|e| e.into_inner()).push(Finding::WrongOutput {
+                    rank: me,
+                    detail: format!("allgatherv slot {src}: got {got:?}, want {want:?}"),
+                });
+            }
+        }
+        Ok(())
+    });
+    let mut findings = wrong.into_inner().unwrap_or_else(|e| e.into_inner());
+    findings.extend(analyze(&ext));
+    CaseReport { name, findings }
+}
+
+/// Run the full verification matrix. This is what `bruck-check` (the binary)
+/// and `scripts/verify.sh` gate on.
+pub fn run_full_matrix() -> Vec<CaseReport> {
+    let mut reports = Vec::new();
+    // Uniform algorithms: every size, a small and an odd block (block = 0 is
+    // the degenerate all-empty exchange and must also be deadlock-free).
+    for &p in &MATRIX_SIZES {
+        for block in [0, 3] {
+            for algo in AlltoallAlgorithm::ALL {
+                reports.push(check_uniform(algo, p, block));
+            }
+        }
+    }
+    // Non-uniform algorithms: every generator at every size. Seeds vary with
+    // (p, distribution index) so cases don't share matrices.
+    for (di, dist) in matrix_distributions().into_iter().enumerate() {
+        for &p in &MATRIX_SIZES {
+            let m = SizeMatrix::generate(dist, 0xC0FFEE + di as u64 * 31 + p as u64, p, 16);
+            for algo in AlltoallvAlgorithm::ALL {
+                reports.push(check_alltoallv(algo, &m, &dist.label()));
+            }
+        }
+    }
+    // Negotiated plans: the counts handshake composes with every variant.
+    for &p in &[3usize, 8] {
+        let m = SizeMatrix::generate(Distribution::POWER_LAW_STEEP, 0xBEEF + p as u64, p, 16);
+        for algo in AlltoallvAlgorithm::ALL {
+            reports.push(check_plan(algo, &m, "powerlaw"));
+        }
+    }
+    // Vector collectives.
+    for &p in &MATRIX_SIZES {
+        reports.push(check_allgatherv(p));
+    }
+    reports
+}
+
+fn verify_v(
+    me: usize,
+    m: &SizeMatrix,
+    recvbuf: &[u8],
+    rdispls: &[usize],
+    wrong: &Mutex<Vec<Finding>>,
+) {
+    for src in 0..m.p() {
+        let len = m.get(src, me);
+        for idx in 0..len {
+            let got = recvbuf[rdispls[src] + idx];
+            let want = pattern(src, me, idx);
+            if got != want {
+                wrong.lock().unwrap_or_else(|e| e.into_inner()).push(Finding::WrongOutput {
+                    rank: me,
+                    detail: format!(
+                        "byte {idx} of block from rank {src} (len {len}): got {got:#04x}, want {want:#04x}"
+                    ),
+                });
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The full matrix runs in the `bruck-check` binary and the crate's
+    // integration test; here we spot-check one case per family so unit runs
+    // stay fast.
+
+    #[test]
+    fn one_uniform_case_is_clean() {
+        let r = check_uniform(AlltoallAlgorithm::ZeroRotationBruck, 5, 3);
+        assert!(r.is_clean(), "{}: {:?}", r.name, r.findings);
+    }
+
+    #[test]
+    fn one_alltoallv_case_is_clean() {
+        let m = SizeMatrix::generate(Distribution::Normal, 7, 5, 16);
+        let r = check_alltoallv(AlltoallvAlgorithm::TwoPhaseBruck, &m, "normal");
+        assert!(r.is_clean(), "{}: {:?}", r.name, r.findings);
+    }
+
+    #[test]
+    fn one_plan_case_is_clean() {
+        let m = SizeMatrix::generate(Distribution::Uniform, 11, 4, 16);
+        let r = check_plan(AlltoallvAlgorithm::Sloav, &m, "uniform");
+        assert!(r.is_clean(), "{}: {:?}", r.name, r.findings);
+    }
+
+    #[test]
+    fn allgatherv_case_is_clean() {
+        let r = check_allgatherv(6);
+        assert!(r.is_clean(), "{}: {:?}", r.name, r.findings);
+    }
+}

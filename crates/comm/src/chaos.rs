@@ -28,9 +28,17 @@ impl<'a, C: Communicator + ?Sized> ChaosComm<'a, C> {
     }
 
     fn jitter(&self) {
-        let mut s = self.state.load(Ordering::Relaxed);
-        s = splitmix(s);
-        self.state.store(s, Ordering::Relaxed);
+        // One atomic read-modify-write. A load/store pair here would be a
+        // lost-update race when the wrapper is shared: two threads could read
+        // the same state and advance the stream once instead of twice,
+        // breaking determinism-per-seed (`bruck-lint`'s `no-relaxed-rmw` rule
+        // exists to catch exactly that pattern). Relaxed suffices — the state
+        // gates no memory publication, it only feeds the spin count.
+        let s = match self.state.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+            Some(splitmix(s))
+        }) {
+            Ok(prev) | Err(prev) => splitmix(prev),
+        };
         let spins = (s % u64::from(self.max_spin)) as u32;
         for _ in 0..spins {
             std::thread::yield_now();
@@ -103,6 +111,33 @@ mod tests {
             });
             assert!(sums.iter().all(|&s| s == 21), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn shared_wrapper_advances_the_stream_atomically() {
+        // Regression test for the lost-update race: `jitter` used to be a
+        // load/store pair, so concurrent callers could advance the splitmix
+        // stream once instead of twice. With `fetch_update`, N jitter calls
+        // advance the state by exactly N splitmix steps regardless of how the
+        // callers interleave.
+        ThreadComm::run(1, |comm| {
+            let chaos = ChaosComm::new(comm, 42);
+            let start = chaos.state.load(Ordering::Relaxed);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        for _ in 0..250 {
+                            chaos.jitter();
+                        }
+                    });
+                }
+            });
+            let mut expect = start;
+            for _ in 0..1000 {
+                expect = splitmix(expect);
+            }
+            assert_eq!(chaos.state.load(Ordering::Relaxed), expect);
+        });
     }
 
     #[test]

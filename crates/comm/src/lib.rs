@@ -17,7 +17,9 @@
 //!   from point-to-point as default trait methods, so every backend shares
 //!   the exact same message schedule.
 //! * **Instrumentation** — [`CountingComm`] logs every outgoing message; the
-//!   cost model in `bruck-model` is validated against these logs.
+//!   cost model in `bruck-model` is validated against these logs. [`TraceComm`]
+//!   records full vector-clocked schedules for `bruck-check`'s protocol
+//!   analysis passes.
 //!
 //! ## Example
 //!
@@ -30,7 +32,7 @@
 //! assert_eq!(sums, vec![6, 6, 6, 6]);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod chaos;
 mod communicator;
@@ -42,6 +44,7 @@ mod plan;
 mod reduce;
 mod subcomm;
 mod thread_comm;
+mod trace;
 mod vector;
 
 pub use chaos::ChaosComm;
@@ -53,6 +56,9 @@ pub use plan::ExchangePlan;
 pub use reduce::ReduceOp;
 pub use subcomm::{SubComm, SUBCOMM_MAX_TAG};
 pub use thread_comm::{ThreadComm, World};
+pub use trace::{
+    BlockedOn, Event, EventKind, MsgRecord, Schedule, TraceComm, TraceState, VectorClock,
+};
 pub use vector::VectorCollectives;
 
 /// Message tag. Algorithms in this workspace tag data messages with their

@@ -20,14 +20,19 @@ pub struct ExchangePlan {
     rdispls: Vec<usize>,
 }
 
-fn packed(counts: &[usize]) -> Vec<usize> {
+/// Exclusive prefix sum with overflow checking: adversarial counts (e.g. two
+/// `usize::MAX / 2` blocks) must surface as an error, not a wrapped
+/// displacement that silently aliases earlier blocks.
+fn packed(counts: &[usize]) -> CommResult<Vec<usize>> {
     let mut displs = Vec::with_capacity(counts.len());
-    let mut at = 0;
+    let mut at = 0usize;
     for &c in counts {
         displs.push(at);
-        at += c;
+        at = at
+            .checked_add(c)
+            .ok_or(CommError::BadArgument("displacement prefix sum overflows usize"))?;
     }
-    displs
+    Ok(displs)
 }
 
 impl ExchangePlan {
@@ -41,14 +46,15 @@ impl ExchangePlan {
             return Err(CommError::BadArgument("sendcounts.len() != size"));
         }
         let recvcounts = comm.alltoall_counts(&sendcounts)?;
-        Ok(Self::from_counts(sendcounts, recvcounts))
+        Self::from_counts(sendcounts, recvcounts)
     }
 
-    /// Build a plan from already-known counts (no communication).
-    pub fn from_counts(sendcounts: Vec<usize>, recvcounts: Vec<usize>) -> Self {
-        let sdispls = packed(&sendcounts);
-        let rdispls = packed(&recvcounts);
-        ExchangePlan { sendcounts, sdispls, recvcounts, rdispls }
+    /// Build a plan from already-known counts (no communication). Errors if
+    /// either packed layout's total size overflows `usize`.
+    pub fn from_counts(sendcounts: Vec<usize>, recvcounts: Vec<usize>) -> CommResult<Self> {
+        let sdispls = packed(&sendcounts)?;
+        let rdispls = packed(&recvcounts)?;
+        Ok(ExchangePlan { sendcounts, sdispls, recvcounts, rdispls })
     }
 
     /// Send counts per destination.
@@ -123,10 +129,41 @@ mod tests {
 
     #[test]
     fn from_counts_is_pure() {
-        let plan = ExchangePlan::from_counts(vec![2, 0, 3], vec![1, 1, 1]);
+        let plan = ExchangePlan::from_counts(vec![2, 0, 3], vec![1, 1, 1]).unwrap();
         assert_eq!(plan.sdispls(), &[0, 2, 2]);
         assert_eq!(plan.rdispls(), &[0, 1, 2]);
         assert_eq!(plan.send_bytes(), 5);
         assert_eq!(plan.recv_bytes(), 3);
+    }
+
+    #[test]
+    fn displacement_invariants_hold() {
+        // The invariants every consumer (bruck-core's validate_v, the
+        // bruck-check layout pass) relies on: packed displacements start at
+        // zero, advance by exactly the preceding count (so blocks are
+        // adjacent and non-overlapping), and end at the total byte count.
+        let sendcounts = vec![3usize, 0, 7, 1, 0, 5];
+        let recvcounts = vec![2usize, 2, 2, 0, 9, 1];
+        let plan = ExchangePlan::from_counts(sendcounts.clone(), recvcounts.clone()).unwrap();
+        for (counts, displs, total) in [
+            (&sendcounts, plan.sdispls(), plan.send_bytes()),
+            (&recvcounts, plan.rdispls(), plan.recv_bytes()),
+        ] {
+            assert_eq!(displs[0], 0);
+            for i in 1..counts.len() {
+                assert_eq!(displs[i], displs[i - 1] + counts[i - 1], "block {i} adjacency");
+            }
+            assert_eq!(displs[counts.len() - 1] + counts[counts.len() - 1], total);
+        }
+    }
+
+    #[test]
+    fn overflowing_counts_are_rejected() {
+        let huge = vec![usize::MAX / 2 + 1, usize::MAX / 2 + 1];
+        assert!(ExchangePlan::from_counts(huge.clone(), vec![0, 0]).is_err());
+        assert!(ExchangePlan::from_counts(vec![0, 0], huge).is_err());
+        // A single maximal block is fine: the *sum past it* is what overflows.
+        assert!(ExchangePlan::from_counts(vec![usize::MAX, 0], vec![0, 0]).is_ok());
+        assert!(ExchangePlan::from_counts(vec![0, usize::MAX], vec![0, 0]).is_ok());
     }
 }

@@ -1,0 +1,455 @@
+//! Event tracing with vector clocks: the substrate of protocol verification.
+//!
+//! Protocol analysis (deadlock-freedom, tag disjointness, conservation — the
+//! passes in `bruck-check`) needs more than `CountingComm`'s send log: it
+//! needs *both* sides of every transfer, the matching between them, and a
+//! happens-before order so that questions like "could these two messages have
+//! been in flight at the same time under some legal schedule?" have answers
+//! independent of the interleaving that happened to occur.
+//!
+//! This module provides that layer:
+//!
+//! * [`VectorClock`] — the standard logical-clock construction: each rank
+//!   ticks its own component on every event and joins the sender's clock on
+//!   every receive, so `a.le(b)` decides happens-before for any two events.
+//! * [`Event`] / [`EventKind`] — one record per communicator operation.
+//! * [`MsgRecord`] — one record per message, linking its send event, its
+//!   receive event (if matched), the payload, and the sender's clock.
+//! * [`Schedule`] — the complete extracted history: per-rank event logs, the
+//!   message table, and each rank's final blocked state.
+//! * [`TraceComm`] — a transparent wrapper (like [`crate::CountingComm`])
+//!   that records a [`Schedule`] from a *real* run on any backend. All ranks'
+//!   wrappers share one [`TraceState`].
+//!
+//! A `TraceComm` schedule reflects the one interleaving that actually ran and
+//! cannot observe a deadlock (the run would simply hang); `bruck-check`'s
+//! `ModelComm` produces the same [`Schedule`] type from a single-threaded
+//! symbolic execution and can. The analysis passes accept either source.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::{CommResult, Communicator, MsgBuf, Tag};
+
+/// A vector logical clock over `P` ranks.
+///
+/// Maintained with the classic protocol: tick your own component before
+/// stamping an event, join the sender's clock on receive. For two stamped
+/// events `a` (on rank `ra`) and `b`, `a` happens-before `b` iff
+/// `a.clock.get(ra) <= b.clock.get(ra)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorClock(Vec<u64>);
+
+impl VectorClock {
+    /// The zero clock for `p` ranks.
+    pub fn new(p: usize) -> Self {
+        VectorClock(vec![0; p])
+    }
+
+    /// Advance `rank`'s own component by one.
+    pub fn tick(&mut self, rank: usize) {
+        self.0[rank] += 1;
+    }
+
+    /// Component-wise maximum with `other` (the receive-side join).
+    pub fn join(&mut self, other: &VectorClock) {
+        for (mine, theirs) in self.0.iter_mut().zip(&other.0) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// `rank`'s component.
+    pub fn get(&self, rank: usize) -> u64 {
+        self.0.get(rank).copied().unwrap_or(0)
+    }
+
+    /// Component-wise `<=` (the happens-before-or-equal partial order).
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+}
+
+/// What a recorded event did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// An eager send; `msg` indexes [`Schedule::messages`].
+    Send {
+        /// Destination rank.
+        dst: usize,
+        /// Message tag.
+        tag: Tag,
+        /// Payload bytes.
+        len: usize,
+        /// Index into the message table.
+        msg: usize,
+    },
+    /// A completed receive; `msg` indexes [`Schedule::messages`].
+    Recv {
+        /// Source rank.
+        src: usize,
+        /// Message tag.
+        tag: Tag,
+        /// Payload bytes.
+        len: usize,
+        /// Index into the message table.
+        msg: usize,
+    },
+    /// A probe and the answer it returned.
+    Probe {
+        /// Source rank probed.
+        src: usize,
+        /// Tag probed.
+        tag: Tag,
+        /// `Some(len)` if a matching message had arrived.
+        found: Option<usize>,
+    },
+}
+
+/// One recorded communicator operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// The operation.
+    pub kind: EventKind,
+    /// The acting rank's vector clock *after* ticking for this event.
+    pub clock: VectorClock,
+}
+
+/// One message's life in the schedule.
+#[derive(Debug, Clone)]
+pub struct MsgRecord {
+    /// Sending rank.
+    pub src: usize,
+    /// Destination rank.
+    pub dst: usize,
+    /// Message tag.
+    pub tag: Tag,
+    /// The payload (a shared view; cloning it never copies).
+    pub payload: MsgBuf,
+    /// The sender's clock at the send event.
+    pub send_clock: VectorClock,
+    /// `(rank, event index)` of the send in [`Schedule::events`].
+    pub send_event: (usize, usize),
+    /// `(rank, event index)` of the matching receive, if it happened.
+    pub recv_event: Option<(usize, usize)>,
+}
+
+/// A receive a rank is parked on (schedule extraction only; a traced real run
+/// either completes or hangs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockedOn {
+    /// Source rank of the unmatched receive.
+    pub src: usize,
+    /// Tag of the unmatched receive.
+    pub tag: Tag,
+}
+
+/// A complete extracted communication history for one SPMD region.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Number of ranks.
+    pub p: usize,
+    /// Per-rank event logs, in program order.
+    pub events: Vec<Vec<Event>>,
+    /// Every message sent in the region, in global send-commit order (FIFO
+    /// per `(src, dst, tag)` key by construction).
+    pub messages: Vec<MsgRecord>,
+    /// Per rank: the receive it was still parked on when extraction stopped
+    /// (`None` for ranks that ran to completion). Always all-`None` for
+    /// schedules recorded from real runs.
+    pub blocked: Vec<Option<BlockedOn>>,
+}
+
+impl Schedule {
+    /// An empty schedule for `p` ranks.
+    pub fn new(p: usize) -> Self {
+        Schedule {
+            p,
+            events: (0..p).map(|_| Vec::new()).collect(),
+            messages: Vec::new(),
+            blocked: vec![None; p],
+        }
+    }
+
+    /// Whether the send of `second` could have happened while `first` was
+    /// still in flight — i.e. `first`'s receive does **not** happen-before
+    /// `second`'s send (or `first` was never received at all).
+    ///
+    /// This is the vector-clock question behind tag-collision detection: two
+    /// same-`(src, dst, tag)` messages with this property are matched purely
+    /// by the runtime's non-overtaking guarantee, not by the protocol.
+    pub fn concurrent_in_flight(&self, first: usize, second: usize) -> bool {
+        let m1 = &self.messages[first];
+        let m2 = &self.messages[second];
+        let Some((recv_rank, recv_idx)) = m1.recv_event else {
+            return true; // never received: still in flight at m2's send
+        };
+        let recv_clock = &self.events[recv_rank][recv_idx].clock;
+        let send_clock = &self.events[m2.send_event.0][m2.send_event.1].clock;
+        // recv(m1) → send(m2) iff the receiver's component of the receive
+        // stamp is visible in the send stamp.
+        send_clock.get(recv_rank) < recv_clock.get(recv_rank)
+    }
+
+    /// Indices of messages never matched by a receive.
+    pub fn unmatched_messages(&self) -> Vec<usize> {
+        (0..self.messages.len()).filter(|&i| self.messages[i].recv_event.is_none()).collect()
+    }
+
+    /// Total events across all ranks.
+    pub fn event_count(&self) -> usize {
+        self.events.iter().map(Vec::len).sum()
+    }
+}
+
+/// Shared recording state behind every rank's [`TraceComm`] wrapper.
+pub struct TraceState {
+    p: usize,
+    inner: Mutex<TraceInner>,
+}
+
+struct TraceInner {
+    clocks: Vec<VectorClock>,
+    schedule: Schedule,
+    /// Sender clocks (by message id) awaiting their receive, FIFO per key —
+    /// mirrors the runtime's own non-overtaking matching.
+    inflight: HashMap<(usize, usize, Tag), VecDeque<usize>>,
+}
+
+impl TraceState {
+    /// Fresh shared state for a `p`-rank region.
+    pub fn new(p: usize) -> Arc<Self> {
+        Arc::new(TraceState {
+            p,
+            inner: Mutex::new(TraceInner {
+                clocks: vec![VectorClock::new(p); p],
+                schedule: Schedule::new(p),
+                inflight: HashMap::new(),
+            }),
+        })
+    }
+
+    /// Number of ranks.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Snapshot the recorded schedule (typically after the region completes).
+    pub fn schedule(&self) -> Schedule {
+        self.lock().schedule.clone()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, TraceInner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn record_send(&self, src: usize, dst: usize, tag: Tag, payload: &MsgBuf) {
+        let mut inner = self.lock();
+        inner.clocks[src].tick(src);
+        let clock = inner.clocks[src].clone();
+        let msg = inner.schedule.messages.len();
+        let event_idx = inner.schedule.events[src].len();
+        inner.schedule.messages.push(MsgRecord {
+            src,
+            dst,
+            tag,
+            payload: payload.clone(),
+            send_clock: clock.clone(),
+            send_event: (src, event_idx),
+            recv_event: None,
+        });
+        inner.schedule.events[src].push(Event {
+            kind: EventKind::Send { dst, tag, len: payload.len(), msg },
+            clock,
+        });
+        inner.inflight.entry((src, dst, tag)).or_default().push_back(msg);
+    }
+
+    fn record_recv(&self, dst: usize, src: usize, tag: Tag, len: usize) {
+        let mut inner = self.lock();
+        let msg = inner
+            .inflight
+            .get_mut(&(src, dst, tag))
+            .and_then(VecDeque::pop_front);
+        let Some(msg) = msg else {
+            // A receive the tracer never saw the send of (the wrapper was
+            // installed mid-conversation, or the peer bypassed its wrapper).
+            // Record nothing rather than corrupt the matching.
+            return;
+        };
+        let send_clock = inner.schedule.messages[msg].send_clock.clone();
+        inner.clocks[dst].tick(dst);
+        inner.clocks[dst].join(&send_clock);
+        let clock = inner.clocks[dst].clone();
+        let event_idx = inner.schedule.events[dst].len();
+        inner.schedule.messages[msg].recv_event = Some((dst, event_idx));
+        inner.schedule.events[dst].push(Event {
+            kind: EventKind::Recv { src, tag, len, msg },
+            clock,
+        });
+    }
+
+    fn record_probe(&self, rank: usize, src: usize, tag: Tag, found: Option<usize>) {
+        let mut inner = self.lock();
+        inner.clocks[rank].tick(rank);
+        let clock = inner.clocks[rank].clone();
+        inner.schedule.events[rank].push(Event { kind: EventKind::Probe { src, tag, found }, clock });
+    }
+}
+
+/// A transparent wrapper that records every operation of a real run into a
+/// shared [`TraceState`]. Construct one per rank over the same state.
+pub struct TraceComm<'a, C: Communicator + ?Sized> {
+    inner: &'a C,
+    state: Arc<TraceState>,
+}
+
+impl<'a, C: Communicator + ?Sized> TraceComm<'a, C> {
+    /// Wrap `inner`; `state` must be shared by every rank of the region and
+    /// sized for `inner.size()` ranks.
+    pub fn new(inner: &'a C, state: Arc<TraceState>) -> Self {
+        assert_eq!(state.p(), inner.size(), "TraceState sized for a different communicator");
+        TraceComm { inner, state }
+    }
+
+    /// The shared recording state.
+    pub fn state(&self) -> &Arc<TraceState> {
+        &self.state
+    }
+}
+
+impl<C: Communicator + ?Sized> Communicator for TraceComm<'_, C> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn send_buf(&self, dest: usize, tag: Tag, buf: MsgBuf) -> CommResult<()> {
+        // Record before forwarding so the matching receive (which can only
+        // complete after the runtime delivery) always finds the in-flight
+        // entry, even under real-thread interleaving.
+        self.check_rank(dest)?;
+        self.state.record_send(self.rank(), dest, tag, &buf);
+        self.inner.send_buf(dest, tag, buf)
+    }
+
+    fn recv_buf(&self, src: usize, tag: Tag) -> CommResult<MsgBuf> {
+        let got = self.inner.recv_buf(src, tag)?;
+        self.state.record_recv(self.rank(), src, tag, got.len());
+        Ok(got)
+    }
+
+    fn recv_into(&self, src: usize, tag: Tag, buf: &mut [u8]) -> CommResult<usize> {
+        let n = self.inner.recv_into(src, tag, buf)?;
+        // A truncation error returns above without consuming the message, so
+        // only successful receives are recorded.
+        self.state.record_recv(self.rank(), src, tag, n);
+        Ok(n)
+    }
+
+    fn probe(&self, src: usize, tag: Tag) -> CommResult<Option<usize>> {
+        let found = self.inner.probe(src, tag)?;
+        self.state.record_probe(self.rank(), src, tag, found);
+        Ok(found)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadComm;
+
+    #[test]
+    fn clock_ordering_basics() {
+        let mut a = VectorClock::new(3);
+        a.tick(0);
+        let mut b = a.clone();
+        b.tick(1);
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        let mut c = VectorClock::new(3);
+        c.tick(2);
+        assert!(!a.le(&c) && !c.le(&a), "independent events are concurrent");
+        b.join(&c);
+        assert!(c.le(&b));
+    }
+
+    #[test]
+    fn traced_run_matches_sends_to_recvs() {
+        let state = TraceState::new(2);
+        let st = Arc::clone(&state);
+        ThreadComm::run(2, move |comm| {
+            let traced = TraceComm::new(comm, Arc::clone(&st));
+            if traced.rank() == 0 {
+                traced.send(1, 7, &[1, 2, 3]).unwrap();
+                traced.send(1, 7, &[4, 5]).unwrap();
+            } else {
+                assert_eq!(traced.probe(0, 9).unwrap(), None);
+                assert_eq!(traced.recv(0, 7).unwrap(), vec![1, 2, 3]);
+                assert_eq!(traced.recv(0, 7).unwrap(), vec![4, 5]);
+            }
+        });
+        let schedule = state.schedule();
+        assert_eq!(schedule.messages.len(), 2);
+        assert!(schedule.unmatched_messages().is_empty());
+        // FIFO matching: first send pairs with first recv.
+        assert_eq!(schedule.messages[0].payload, vec![1u8, 2, 3]);
+        assert_eq!(schedule.messages[0].recv_event, Some((1, 1)));
+        assert_eq!(schedule.messages[1].recv_event, Some((1, 2)));
+        // Same-key back-to-back sends with no ack in between: the second was
+        // sent while the first could still be in flight.
+        assert!(schedule.concurrent_in_flight(0, 1));
+    }
+
+    #[test]
+    fn acknowledged_resend_is_not_concurrent() {
+        let state = TraceState::new(2);
+        let st = Arc::clone(&state);
+        ThreadComm::run(2, move |comm| {
+            let traced = TraceComm::new(comm, Arc::clone(&st));
+            if traced.rank() == 0 {
+                traced.send(1, 7, &[1]).unwrap();
+                traced.recv(1, 8).unwrap(); // ack: 1 received the first message
+                traced.send(1, 7, &[2]).unwrap();
+            } else {
+                traced.recv(0, 7).unwrap();
+                traced.send(0, 8, &[]).unwrap();
+                traced.recv(0, 7).unwrap();
+            }
+        });
+        let schedule = state.schedule();
+        // messages: [0→1 tag7 #1, 1→0 tag8 ack, 0→1 tag7 #2] in commit order.
+        let tag7: Vec<usize> =
+            (0..schedule.messages.len()).filter(|&i| schedule.messages[i].tag == 7).collect();
+        assert_eq!(tag7.len(), 2);
+        assert!(
+            !schedule.concurrent_in_flight(tag7[0], tag7[1]),
+            "the ack forces recv(first) to happen-before send(second)"
+        );
+    }
+
+    #[test]
+    fn unmatched_sends_are_visible() {
+        let state = TraceState::new(2);
+        let st = Arc::clone(&state);
+        ThreadComm::run(2, move |comm| {
+            let traced = TraceComm::new(comm, Arc::clone(&st));
+            if traced.rank() == 0 {
+                traced.send(1, 3, &[9]).unwrap();
+                traced.send(1, 4, &[8]).unwrap(); // never received
+            } else {
+                traced.recv(0, 3).unwrap();
+            }
+        });
+        let schedule = state.schedule();
+        let unmatched = schedule.unmatched_messages();
+        assert_eq!(unmatched.len(), 1);
+        assert_eq!(schedule.messages[unmatched[0]].tag, 4);
+    }
+}

@@ -54,7 +54,8 @@
 //! });
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 mod allgather;
 pub mod common;

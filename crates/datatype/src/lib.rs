@@ -16,7 +16,8 @@
 //! general datatype engine: they walk a block-descriptor tape per transfer
 //! rather than special-casing what a hand-written `memcpy` loop would fuse.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 mod combinators;
 mod layout;

@@ -24,7 +24,8 @@
 //! assert!(two_phase < vendor); // the paper's headline regime
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 mod fit;
 mod machine;

@@ -17,7 +17,8 @@
 //! ([`rank_block_sizes`]) or a full `P×P` [`SizeMatrix`] with
 //! `matrix[src][dst]` = bytes sent from `src` to `dst`.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 mod distribution;
 mod matrix;

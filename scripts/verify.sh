@@ -6,3 +6,8 @@ cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE=true
 cargo build --workspace --release
 cargo test --workspace -q
+# Static gates (DESIGN.md §8): source lint with audited allowlist, then the
+# protocol-analysis matrix (every algorithm × workload under the model
+# communicator). Both exit non-zero on any unallowlisted finding.
+cargo run --release -p bruck-check --bin bruck-lint
+cargo run --release -p bruck-check --bin bruck-check
