@@ -1,0 +1,86 @@
+//! `bruck-chaos`: fault-injection soak for the resilient alltoallv stack.
+//!
+//! Runs an algorithm × fault-plan × seed matrix, each cell on a fresh
+//! threaded world with `FaultComm` → `ReliableComm` → `resilient_alltoallv`
+//! layered, under a per-cell watchdog. Asserts the crash-only property:
+//! byte-identical completion or a typed error within the deadline — never a
+//! hang, never silent corruption.
+//!
+//! Usage:
+//!   bruck-chaos [--smoke] [--seeds 1,2,3]
+//!
+//! `--smoke` runs the CI-sized matrix (wired into scripts/verify.sh).
+//! Seeds come from `--seeds`, else the `BRUCK_CHAOS_SEEDS` environment
+//! variable (comma-separated), else built-in defaults.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use bruck_check::chaos::{run_matrix, seeds_from_env, ChaosConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut cli_seeds: Option<Vec<u64>> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--seeds" => {
+                i += 1;
+                let Some(list) = args.get(i) else {
+                    eprintln!("--seeds needs a comma-separated list");
+                    return ExitCode::from(2);
+                };
+                cli_seeds =
+                    Some(list.split(',').filter_map(|t| t.trim().parse().ok()).collect());
+            }
+            "--help" | "-h" => {
+                println!("usage: bruck-chaos [--smoke] [--seeds 1,2,3]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let seeds = match cli_seeds {
+        Some(s) if !s.is_empty() => s,
+        _ => seeds_from_env(&[1, 2]),
+    };
+    let cfg = if smoke { ChaosConfig::smoke(seeds) } else { ChaosConfig::full(seeds) };
+
+    println!(
+        "bruck-chaos: {} matrix, sizes {:?}, seeds {:?}, {} algorithms",
+        if smoke { "smoke" } else { "full" },
+        cfg.sizes,
+        cfg.seeds,
+        cfg.algorithms.len(),
+    );
+    let start = Instant::now();
+    let mut failures = 0usize;
+    let reports = run_matrix(&cfg, |r| {
+        match &r.violation {
+            None => println!("  PASS {:<40} {:>8.1?}", r.label, r.elapsed),
+            Some(v) => println!("  FAIL {:<40} {:>8.1?}  {v}", r.label, r.elapsed),
+        }
+    });
+    for r in &reports {
+        if r.violation.is_some() {
+            failures += 1;
+        }
+    }
+    println!(
+        "bruck-chaos: {} cells, {failures} failures, {:.1?} total",
+        reports.len(),
+        start.elapsed()
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

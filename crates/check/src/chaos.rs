@@ -1,0 +1,498 @@
+//! The `bruck-chaos` soak harness: algorithm × fault-plan matrix under a
+//! wall-clock bound, asserting the crash-only property.
+//!
+//! For every cell (algorithm, fault plan, seed) the harness runs a full
+//! non-uniform exchange on a fresh threaded world with the fault stack
+//! layered as production would: [`bruck_comm::FaultComm`] injecting the
+//! plan's faults, [`bruck_comm::ReliableComm`] repairing the transport, and
+//! [`bruck_core::resilient_alltoallv`] degrading gracefully. It then asserts,
+//! per rank:
+//!
+//! * **Never hang** — the whole cell runs under a watchdog; a cell that
+//!   exceeds its wall-clock bound fails (the worker is left to the OS — with
+//!   a rank deadlocked there is nothing safe to join).
+//! * **Never silent corruption** — every receive-buffer block the outcome
+//!   does *not* name as a hole must be byte-identical to the fault-free
+//!   pattern; errors must be the typed fault errors.
+//! * **Completion where promised** — plans without a crashed rank must end
+//!   lossless on every rank (the reliable layer's job); crash plans must end
+//!   with the dead rank failing typed and every survivor bounded.
+//!
+//! Determinism is checked by re-running selected cells with the identical
+//! seed and comparing verdicts and completed buffers. (Fault *decisions* are
+//! seed-deterministic by construction — see `fault.rs` — but outcome shapes
+//! on crash cells may differ across interleavings; verdicts must not.)
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use bruck_comm::{Communicator, FaultComm, FaultPlan, ReliableComm, ReliableConfig, ThreadComm};
+use bruck_core::{
+    packed_displs, resilient_alltoallv, AlltoallvAlgorithm, ExchangeOutcome, ResilientConfig,
+};
+use bruck_workload::{Distribution, SizeMatrix};
+
+/// Deterministic pattern byte for (source, destination, offset-in-block) —
+/// the same convention as bruck-core's test utilities (which are test-only
+/// and thus not linkable from here).
+fn pattern(src: usize, dst: usize, idx: usize) -> u8 {
+    (src.wrapping_mul(167) ^ dst.wrapping_mul(59) ^ idx.wrapping_mul(13)) as u8
+}
+
+/// What a fault plan entitles us to demand of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// No rank is scripted to die: every rank must finish lossless.
+    MustComplete,
+    /// A rank is scripted to crash: the dead rank must fail typed; survivors
+    /// must finish bounded with holes at most naming dead ranks' blocks.
+    MayDegrade {
+        /// The scripted-to-crash rank.
+        dead: usize,
+    },
+}
+
+/// A named fault plan plus what it entitles the harness to assert.
+pub struct PlannedFaults {
+    /// Display name for reports.
+    pub name: &'static str,
+    /// The injection plan.
+    pub plan: FaultPlan,
+    /// The verdict contract for this plan.
+    pub expect: Expectation,
+}
+
+/// The standard plan battery for a world of `p` ranks at `seed`.
+///
+/// Rates are chosen so that non-crash plans stay comfortably inside the
+/// reliable layer's retry budget (see [`reliable_config`]): the probability
+/// of a message exhausting 13 attempts at these rates is < 1e-6.
+pub fn plan_battery(p: usize, seed: u64) -> Vec<PlannedFaults> {
+    let mut plans = vec![
+        PlannedFaults {
+            name: "clean",
+            plan: FaultPlan::new(seed),
+            expect: Expectation::MustComplete,
+        },
+        PlannedFaults {
+            name: "drop",
+            plan: FaultPlan::new(seed).with_drop(0.08),
+            expect: Expectation::MustComplete,
+        },
+        PlannedFaults {
+            name: "duplicate",
+            plan: FaultPlan::new(seed).with_duplicate(0.12),
+            expect: Expectation::MustComplete,
+        },
+        PlannedFaults {
+            name: "corrupt",
+            plan: FaultPlan::new(seed).with_corrupt(0.08),
+            expect: Expectation::MustComplete,
+        },
+        PlannedFaults {
+            name: "lossy",
+            plan: FaultPlan::new(seed)
+                .with_drop(0.05)
+                .with_duplicate(0.05)
+                .with_corrupt(0.04)
+                .with_delay(0.2, 48),
+            expect: Expectation::MustComplete,
+        },
+    ];
+    if p > 1 {
+        plans.push(PlannedFaults {
+            name: "stall",
+            plan: FaultPlan::new(seed).with_stall(1 % p, 3, 120),
+            expect: Expectation::MustComplete,
+        });
+        plans.push(PlannedFaults {
+            name: "crash",
+            plan: FaultPlan::new(seed).with_crash(p - 1, 4),
+            expect: Expectation::MayDegrade { dead: p - 1 },
+        });
+    }
+    plans
+}
+
+/// Retry policy used by every cell: tight timeouts (the threaded transport
+/// delivers in microseconds; retransmissions are triggered by injected
+/// faults, not latency) with a budget deep enough that exhaustion on a live
+/// edge is out of reach.
+pub fn reliable_config() -> ReliableConfig {
+    ReliableConfig {
+        ack_timeout: Duration::from_millis(15),
+        max_retries: 12,
+        backoff_cap: Duration::from_millis(120),
+    }
+}
+
+fn resilient_config(algorithm: AlltoallvAlgorithm) -> ResilientConfig {
+    ResilientConfig {
+        algorithm,
+        deadline: Duration::from_secs(4),
+        commit_timeout: Duration::from_millis(700),
+        peer_timeout: Duration::from_millis(900),
+        epoch: 0,
+    }
+}
+
+/// How one rank ended, reduced to what determinism may compare.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RankVerdict {
+    /// Lossless finish with a byte-correct buffer (buffer retained).
+    Lossless(Vec<u8>),
+    /// Degraded finish; holes verified, hole list retained.
+    Holes(Vec<usize>),
+    /// Typed fault error (the crash-only permitted failure).
+    TypedError(String),
+}
+
+/// One cell's outcome: per-rank verdicts, or a crash-only violation.
+#[derive(Debug)]
+pub struct CellReport {
+    /// `algorithm/plan/seed` label.
+    pub label: String,
+    /// Violation description, if the cell failed.
+    pub violation: Option<String>,
+    /// Wall-clock the cell took.
+    pub elapsed: Duration,
+    /// Per-rank verdicts (empty on watchdog timeout).
+    pub verdicts: Vec<RankVerdict>,
+}
+
+/// Run one (algorithm, plan, seed) cell under `wall_bound`.
+///
+/// `p`/`n_max` shape the workload; the fault plan is applied beneath a
+/// reliable layer and the resilient driver, and the crash-only assertions
+/// from the [module docs](self) are checked on every rank.
+pub fn run_cell(
+    algorithm: AlltoallvAlgorithm,
+    p: usize,
+    n_max: usize,
+    planned: &PlannedFaults,
+    seed: u64,
+    wall_bound: Duration,
+) -> CellReport {
+    let label = format!("{}/{}/seed{}", algorithm.name(), planned.name, seed);
+    let start = Instant::now();
+    let matrix = SizeMatrix::generate(Distribution::Uniform, seed, p, n_max);
+    let plan = planned.plan.clone();
+    let expect = planned.expect;
+
+    let (tx, rx) = mpsc::channel();
+    let m = matrix.clone();
+    std::thread::spawn(move || {
+        let result = std::panic::catch_unwind(move || run_world(algorithm, &m, &plan))
+            .map_err(|_| "worker panicked".to_string());
+        // The watchdog may have given up; a dead receiver is fine.
+        let _ = tx.send(result);
+    });
+
+    let per_rank = match rx.recv_timeout(wall_bound) {
+        Ok(Ok(r)) => r,
+        Ok(Err(e)) => {
+            return CellReport {
+                label,
+                violation: Some(e),
+                elapsed: start.elapsed(),
+                verdicts: Vec::new(),
+            }
+        }
+        Err(_) => {
+            return CellReport {
+                label,
+                violation: Some(format!("HANG: exceeded wall bound {wall_bound:?}")),
+                elapsed: start.elapsed(),
+                verdicts: Vec::new(),
+            }
+        }
+    };
+
+    let mut violation = None;
+    let mut verdicts = Vec::with_capacity(p);
+    for (me, (outcome, recvbuf)) in per_rank.into_iter().enumerate() {
+        match classify_rank(me, &matrix, outcome, recvbuf, expect) {
+            Ok(v) => verdicts.push(v),
+            Err(e) => {
+                violation.get_or_insert(format!("rank {me}: {e}"));
+                verdicts.push(RankVerdict::TypedError("violation".to_string()));
+            }
+        }
+    }
+    if violation.is_none() {
+        if let Err(e) = check_world_shape(&verdicts, expect) {
+            violation = Some(e);
+        }
+    }
+    CellReport { label, violation, elapsed: start.elapsed(), verdicts }
+}
+
+type RankResult = (Result<ExchangeOutcome, bruck_comm::CommError>, Vec<u8>);
+
+/// Execute the exchange on a fresh world; returns per-rank (outcome, buffer).
+fn run_world(
+    algorithm: AlltoallvAlgorithm,
+    matrix: &SizeMatrix,
+    plan: &FaultPlan,
+) -> Vec<RankResult> {
+    let p = matrix.p();
+    let m = matrix.clone();
+    let plan = plan.clone();
+    ThreadComm::run(p, move |comm| {
+        let fc = FaultComm::new(comm, plan.clone());
+        let rc = ReliableComm::with_config(&fc, reliable_config());
+        let me = rc.rank();
+        let sendcounts = m.sendcounts(me);
+        let sdispls = packed_displs(&sendcounts);
+        let total: usize = sendcounts.iter().sum();
+        let mut sendbuf = vec![0u8; total];
+        for dst in 0..p {
+            for idx in 0..sendcounts[dst] {
+                sendbuf[sdispls[dst] + idx] = pattern(me, dst, idx);
+            }
+        }
+        let recvcounts = m.recvcounts(me);
+        let rdispls = packed_displs(&recvcounts);
+        let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+        let outcome = resilient_alltoallv(
+            &resilient_config(algorithm),
+            &rc,
+            &sendbuf,
+            &sendcounts,
+            &sdispls,
+            &mut recvbuf,
+            &recvcounts,
+            &rdispls,
+        );
+        // Service peers' retransmissions before leaving so a lost ack near
+        // the end cannot strand a survivor in its retry loop.
+        let _ = rc.quiesce(Duration::from_millis(150), Duration::from_secs(2));
+        (outcome, recvbuf)
+    })
+}
+
+/// Verify one rank's outcome against the crash-only contract.
+fn classify_rank(
+    me: usize,
+    matrix: &SizeMatrix,
+    outcome: Result<ExchangeOutcome, bruck_comm::CommError>,
+    recvbuf: Vec<u8>,
+    expect: Expectation,
+) -> Result<RankVerdict, String> {
+    let p = matrix.p();
+    let rdispls = packed_displs(&matrix.recvcounts(me));
+    let check_block = |src: usize, recvbuf: &[u8]| -> Result<(), String> {
+        let len = matrix.get(src, me);
+        for idx in 0..len {
+            let got = recvbuf[rdispls[src] + idx];
+            let want = pattern(src, me, idx);
+            if got != want {
+                return Err(format!(
+                    "SILENT CORRUPTION: block from {src} byte {idx}: got {got}, want {want}"
+                ));
+            }
+        }
+        Ok(())
+    };
+    match outcome {
+        Ok(out) if out.is_lossless() => {
+            for src in 0..p {
+                check_block(src, &recvbuf)?;
+            }
+            Ok(RankVerdict::Lossless(recvbuf))
+        }
+        Ok(ExchangeOutcome::Partial { report, .. }) => {
+            if let Expectation::MustComplete = expect {
+                return Err(format!("holes {:?} under a must-complete plan", report.missing_sources));
+            }
+            for src in (0..p).filter(|s| !report.missing_sources.contains(s)) {
+                check_block(src, &recvbuf)?;
+            }
+            Ok(RankVerdict::Holes(report.missing_sources))
+        }
+        Ok(_) => unreachable!("lossless outcomes are handled above"),
+        Err(
+            e @ (bruck_comm::CommError::Timeout { .. } | bruck_comm::CommError::RankFailed { .. }),
+        ) => {
+            if let Expectation::MustComplete = expect {
+                return Err(format!("typed error {e} under a must-complete plan"));
+            }
+            Ok(RankVerdict::TypedError(e.to_string()))
+        }
+        Err(e) => Err(format!("non-fault error {e}")),
+    }
+}
+
+/// Cross-rank shape checks that single-rank classification cannot see.
+fn check_world_shape(verdicts: &[RankVerdict], expect: Expectation) -> Result<(), String> {
+    match expect {
+        Expectation::MustComplete => Ok(()), // all-lossless already enforced per rank
+        Expectation::MayDegrade { dead } => {
+            // The dead rank must not claim a lossless world-view...
+            if matches!(verdicts.get(dead), Some(RankVerdict::Lossless(_))) {
+                // (possible only if it crashed after its last op — the crash
+                // op count is chosen low enough that this means a bug)
+                return Err(format!("scripted-dead rank {dead} reported lossless"));
+            }
+            // ...and at least one survivor must have produced a usable result.
+            let usable = verdicts
+                .iter()
+                .enumerate()
+                .any(|(r, v)| r != dead && !matches!(v, RankVerdict::TypedError(_)));
+            if !usable {
+                return Err("no survivor produced a usable outcome".to_string());
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Matrix configuration for [`run_matrix`].
+pub struct ChaosConfig {
+    /// World sizes to sweep.
+    pub sizes: Vec<usize>,
+    /// Fault seeds to sweep ([`seeds_from_env`] honors `BRUCK_CHAOS_SEEDS`).
+    pub seeds: Vec<u64>,
+    /// Algorithms to sweep.
+    pub algorithms: Vec<AlltoallvAlgorithm>,
+    /// Largest per-pair block size in the generated workload.
+    pub n_max: usize,
+    /// Watchdog bound per cell.
+    pub cell_wall_bound: Duration,
+    /// Re-run each `clean`/`lossy` cell with the same seed and require
+    /// identical verdicts and bytes (fault-sequence determinism, end to end).
+    pub rerun_determinism: bool,
+}
+
+impl ChaosConfig {
+    /// The CI-sized matrix (`bruck-chaos --smoke`): 2 algorithms × full plan
+    /// battery × the given seeds, ~half a minute.
+    pub fn smoke(seeds: Vec<u64>) -> Self {
+        ChaosConfig {
+            sizes: vec![5],
+            seeds,
+            algorithms: vec![AlltoallvAlgorithm::TwoPhaseBruck, AlltoallvAlgorithm::SpreadOut],
+            n_max: 48,
+            cell_wall_bound: Duration::from_secs(60),
+            rerun_determinism: true,
+        }
+    }
+
+    /// The soak-sized matrix (`bruck-chaos` without `--smoke`).
+    pub fn full(seeds: Vec<u64>) -> Self {
+        ChaosConfig {
+            sizes: vec![4, 7],
+            seeds,
+            algorithms: vec![
+                AlltoallvAlgorithm::TwoPhaseBruck,
+                AlltoallvAlgorithm::PaddedBruck,
+                AlltoallvAlgorithm::SpreadOut,
+                AlltoallvAlgorithm::Vendor,
+            ],
+            n_max: 96,
+            cell_wall_bound: Duration::from_secs(120),
+            rerun_determinism: true,
+        }
+    }
+}
+
+/// Seeds from `BRUCK_CHAOS_SEEDS` (comma-separated), or the defaults.
+pub fn seeds_from_env(default: &[u64]) -> Vec<u64> {
+    match std::env::var("BRUCK_CHAOS_SEEDS") {
+        Ok(s) => {
+            let parsed: Vec<u64> =
+                s.split(',').filter_map(|t| t.trim().parse().ok()).collect();
+            if parsed.is_empty() {
+                default.to_vec()
+            } else {
+                parsed
+            }
+        }
+        Err(_) => default.to_vec(),
+    }
+}
+
+/// Run the whole matrix; returns reports (one per cell, plus determinism
+/// re-run cells labelled `…/rerun`).
+pub fn run_matrix(cfg: &ChaosConfig, mut progress: impl FnMut(&CellReport)) -> Vec<CellReport> {
+    let mut reports = Vec::new();
+    for &p in &cfg.sizes {
+        for &seed in &cfg.seeds {
+            for planned in plan_battery(p, seed) {
+                for &algorithm in &cfg.algorithms {
+                    let report =
+                        run_cell(algorithm, p, cfg.n_max, &planned, seed, cfg.cell_wall_bound);
+                    let deterministic_plan = matches!(planned.name, "clean" | "lossy");
+                    let check_rerun = cfg.rerun_determinism
+                        && deterministic_plan
+                        && report.violation.is_none();
+                    progress(&report);
+                    if check_rerun {
+                        let mut rerun =
+                            run_cell(algorithm, p, cfg.n_max, &planned, seed, cfg.cell_wall_bound);
+                        rerun.label.push_str("/rerun");
+                        if rerun.violation.is_none() && rerun.verdicts != report.verdicts {
+                            rerun.violation = Some(
+                                "NONDETERMINISM: same seed produced different verdicts".to_string(),
+                            );
+                        }
+                        progress(&rerun);
+                        reports.push(report);
+                        reports.push(rerun);
+                    } else {
+                        reports.push(report);
+                    }
+                }
+            }
+        }
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_cell_passes() {
+        let battery = plan_battery(4, 1);
+        let clean = &battery[0];
+        assert_eq!(clean.name, "clean");
+        let r = run_cell(
+            AlltoallvAlgorithm::TwoPhaseBruck,
+            4,
+            32,
+            clean,
+            1,
+            Duration::from_secs(30),
+        );
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        assert!(r.verdicts.iter().all(|v| matches!(v, RankVerdict::Lossless(_))));
+    }
+
+    #[test]
+    fn crash_cell_degrades_within_bounds() {
+        let battery = plan_battery(4, 2);
+        let crash = battery.iter().find(|f| f.name == "crash").expect("battery has crash");
+        let r = run_cell(
+            AlltoallvAlgorithm::TwoPhaseBruck,
+            4,
+            32,
+            crash,
+            2,
+            Duration::from_secs(45),
+        );
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        // The scripted-dead rank must be a typed error.
+        assert!(matches!(r.verdicts[3], RankVerdict::TypedError(_)));
+    }
+
+    #[test]
+    fn seeds_env_parsing_falls_back() {
+        // Not set in the test environment (cargo does not set it).
+        let v = seeds_from_env(&[9, 10]);
+        if std::env::var("BRUCK_CHAOS_SEEDS").is_err() {
+            assert_eq!(v, vec![9, 10]);
+        }
+    }
+}

@@ -17,6 +17,11 @@
 //! The [`matrix`] module wires layers 1–2 across every algorithm × workload
 //! combination; `scripts/verify.sh` runs both binaries as tier-1 gates.
 //!
+//! A fourth, *dynamic* layer rides in the same crate: the [`chaos`] module
+//! (binary `bruck-chaos`) soaks the fault-tolerance stack — fault injection,
+//! reliable transport, resilient driver — across an algorithm × fault-plan
+//! matrix under a watchdog, asserting the crash-only property (DESIGN.md §9).
+//!
 //! The verifier's model, guarantees, and non-guarantees are documented in
 //! DESIGN.md §8.
 
@@ -24,6 +29,7 @@
 #![deny(missing_docs)]
 
 pub mod analysis;
+pub mod chaos;
 pub mod lint;
 pub mod matrix;
 pub mod model;

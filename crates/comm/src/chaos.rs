@@ -46,7 +46,7 @@ impl<'a, C: Communicator + ?Sized> ChaosComm<'a, C> {
     }
 }
 
-fn splitmix(mut z: u64) -> u64 {
+pub(crate) fn splitmix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -88,11 +88,26 @@ impl<C: Communicator + ?Sized> Communicator for ChaosComm<'_, C> {
     }
 
     fn probe(&self, src: usize, tag: Tag) -> CommResult<Option<usize>> {
+        // Perturb the nonblocking paths too: a probe that races a concurrent
+        // send must be allowed to answer either way, and algorithms polling
+        // probe/irecv must stay correct under any such answer.
+        self.jitter();
         self.inner.probe(src, tag)
     }
 
     fn irecv(&self, src: usize, tag: Tag) -> CommResult<RecvReq> {
+        self.jitter();
         self.inner.irecv(src, tag)
+    }
+
+    fn recv_buf_timeout(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: std::time::Duration,
+    ) -> CommResult<MsgBuf> {
+        self.jitter();
+        self.inner.recv_buf_timeout(src, tag, timeout)
     }
 }
 
@@ -137,6 +152,45 @@ mod tests {
                 expect = splitmix(expect);
             }
             assert_eq!(chaos.state.load(Ordering::Relaxed), expect);
+        });
+    }
+
+    #[test]
+    fn probe_and_irecv_advance_the_jitter_stream() {
+        // Regression test for the pure-passthrough nonblocking paths: probe
+        // and irecv must perturb the schedule (advance the seeded stream)
+        // exactly like the blocking operations do.
+        ThreadComm::run(1, |comm| {
+            let chaos = ChaosComm::new(comm, 7);
+            let before = chaos.state.load(Ordering::Relaxed);
+            chaos.probe(0, 1).unwrap();
+            let after_probe = chaos.state.load(Ordering::Relaxed);
+            assert_ne!(before, after_probe, "probe must jitter");
+            chaos.irecv(0, 1).unwrap();
+            let after_irecv = chaos.state.load(Ordering::Relaxed);
+            assert_ne!(after_probe, after_irecv, "irecv must jitter");
+        });
+    }
+
+    #[test]
+    fn polling_loops_survive_chaos() {
+        // A probe/irecv consumer loop under jitter still sees every message.
+        ThreadComm::run(2, |comm| {
+            let chaos = ChaosComm::new(comm, 11);
+            if chaos.rank() == 0 {
+                for i in 0..20u8 {
+                    chaos.send(1, 2, &[i]).unwrap();
+                }
+            } else {
+                let mut got = 0u8;
+                while got < 20 {
+                    if chaos.probe(0, 2).unwrap().is_some() {
+                        let req = chaos.irecv(0, 2).unwrap();
+                        assert_eq!(chaos.wait(req).unwrap(), vec![got]);
+                        got += 1;
+                    }
+                }
+            }
         });
     }
 

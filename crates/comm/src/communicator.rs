@@ -119,6 +119,58 @@ pub trait Communicator: Sync {
         self.recv_buf(req.src, req.tag)
     }
 
+    // ------------------------------------------------------------------
+    // Deadline-aware receives (fault detection).
+    // ------------------------------------------------------------------
+
+    /// Zero-copy receive with a deadline: [`CommError::Timeout`] if no
+    /// matching message arrives within `timeout`.
+    ///
+    /// The default implementation polls [`Communicator::probe`] with a yield
+    /// loop — correct on any backend, but backends with a parked-wait
+    /// primitive (the threaded mailbox) override it with a condition-variable
+    /// wait. Wrappers should forward to their inner communicator so the
+    /// efficient implementation is reached.
+    fn recv_buf_timeout(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: std::time::Duration,
+    ) -> CommResult<MsgBuf> {
+        let start = std::time::Instant::now();
+        loop {
+            if self.probe(src, tag)?.is_some() {
+                return self.recv_buf(src, tag);
+            }
+            let waited = start.elapsed();
+            if waited >= timeout {
+                return Err(CommError::Timeout { src, tag, waited });
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// [`Communicator::recv_buf_timeout`] returning an owned `Vec<u8>`.
+    fn recv_timeout(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: std::time::Duration,
+    ) -> CommResult<Vec<u8>> {
+        Ok(self.recv_buf_timeout(src, tag, timeout)?.into_vec())
+    }
+
+    /// Complete a posted receive with a deadline ([`CommError::Timeout`] on
+    /// expiry, like [`Communicator::recv_buf_timeout`]).
+    fn wait_buf_timeout(&self, req: RecvReq, timeout: std::time::Duration) -> CommResult<MsgBuf> {
+        self.recv_buf_timeout(req.src, req.tag, timeout)
+    }
+
+    /// [`Communicator::wait_buf_timeout`] returning an owned `Vec<u8>`.
+    fn wait_timeout(&self, req: RecvReq, timeout: std::time::Duration) -> CommResult<Vec<u8>> {
+        self.recv_timeout(req.src, req.tag, timeout)
+    }
+
     /// Combined send-then-receive (deadlock-free under the eager protocol),
     /// the workhorse of every Bruck communication step.
     fn sendrecv(

@@ -1,0 +1,162 @@
+//! [`DeadlineComm`]: a shared wall-clock budget over every blocking receive.
+//!
+//! Algorithms are written against blocking receives; fault tolerance needs
+//! every one of those receives to give up when the exchange's overall budget
+//! is spent. Rather than threading a deadline parameter through every
+//! algorithm, this wrapper fixes an [`Instant`] at construction and converts
+//! each blocking receive into a [`Communicator::recv_buf_timeout`] with the
+//! *remaining* budget — so one deadline covers the whole exchange, however
+//! many receives it takes, and an algorithm run under it either completes or
+//! returns [`crate::CommError::Timeout`] close to the deadline.
+//!
+//! Sends and probes pass straight through (they never block under the eager
+//! protocol). Note one semantic difference forced by the timeout path:
+//! [`Communicator::recv_into`] through this wrapper consumes the message
+//! before the size check, so a [`crate::CommError::Truncated`] receive is
+//! *destructive* here (the inner mailbox's non-destructive retry contract
+//! does not survive deadline conversion). Resilient drivers size their
+//! buffers from the negotiated counts, so this is acceptable in exchange for
+//! the bounded-wait guarantee.
+
+use std::time::{Duration, Instant};
+
+use crate::{CommError, CommResult, Communicator, MsgBuf, RecvReq, Tag};
+
+/// A deadline-enforcing wrapper: every blocking receive observes the same
+/// wall-clock budget fixed at construction.
+pub struct DeadlineComm<'a, C: Communicator + ?Sized> {
+    inner: &'a C,
+    deadline: Instant,
+}
+
+impl<'a, C: Communicator + ?Sized> DeadlineComm<'a, C> {
+    /// Wrap `inner` with a budget of `budget` from now.
+    pub fn new(inner: &'a C, budget: Duration) -> Self {
+        DeadlineComm { inner, deadline: Instant::now() + budget }
+    }
+
+    /// Wrap `inner` with an explicit absolute deadline (lets several wrappers
+    /// — or several phases — share one deadline).
+    pub fn until(inner: &'a C, deadline: Instant) -> Self {
+        DeadlineComm { inner, deadline }
+    }
+
+    /// Time left before the deadline (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.deadline.saturating_duration_since(Instant::now())
+    }
+
+    /// Whether the budget is already spent.
+    pub fn expired(&self) -> bool {
+        self.remaining() == Duration::ZERO
+    }
+}
+
+impl<C: Communicator + ?Sized> Communicator for DeadlineComm<'_, C> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn send_buf(&self, dest: usize, tag: Tag, buf: MsgBuf) -> CommResult<()> {
+        self.inner.send_buf(dest, tag, buf)
+    }
+
+    fn recv_buf(&self, src: usize, tag: Tag) -> CommResult<MsgBuf> {
+        let remaining = self.remaining();
+        if remaining == Duration::ZERO {
+            return Err(CommError::Timeout { src, tag, waited: Duration::ZERO });
+        }
+        self.inner.recv_buf_timeout(src, tag, remaining)
+    }
+
+    fn recv_buf_timeout(&self, src: usize, tag: Tag, timeout: Duration) -> CommResult<MsgBuf> {
+        // An explicit per-call timeout is still clipped to the shared budget.
+        let remaining = self.remaining();
+        if remaining == Duration::ZERO {
+            return Err(CommError::Timeout { src, tag, waited: Duration::ZERO });
+        }
+        self.inner.recv_buf_timeout(src, tag, timeout.min(remaining))
+    }
+
+    fn recv_into(&self, src: usize, tag: Tag, buf: &mut [u8]) -> CommResult<usize> {
+        // Destructive on truncation — see the module docs.
+        let msg = self.recv_buf(src, tag)?;
+        if msg.len() > buf.len() {
+            return Err(CommError::Truncated { message_len: msg.len(), buffer_len: buf.len() });
+        }
+        buf[..msg.len()].copy_from_slice(&msg);
+        Ok(msg.len())
+    }
+
+    fn probe(&self, src: usize, tag: Tag) -> CommResult<Option<usize>> {
+        self.inner.probe(src, tag)
+    }
+
+    fn irecv(&self, src: usize, tag: Tag) -> CommResult<RecvReq> {
+        self.inner.irecv(src, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadComm;
+
+    #[test]
+    fn completes_within_budget_passes_through() {
+        ThreadComm::run(2, |comm| {
+            let dc = DeadlineComm::new(comm, Duration::from_secs(5));
+            if dc.rank() == 0 {
+                dc.send(1, 1, &[1, 2, 3]).unwrap();
+            } else {
+                assert_eq!(dc.recv(0, 1).unwrap(), vec![1, 2, 3]);
+                assert!(!dc.expired());
+            }
+        });
+    }
+
+    #[test]
+    fn blocking_recv_becomes_timeout_at_the_deadline() {
+        ThreadComm::run(2, |comm| {
+            if comm.rank() == 0 {
+                let dc = DeadlineComm::new(comm, Duration::from_millis(40));
+                let start = Instant::now();
+                let err = dc.recv_buf(1, 7).unwrap_err();
+                assert!(matches!(err, CommError::Timeout { src: 1, tag: 7, .. }));
+                assert!(start.elapsed() >= Duration::from_millis(40));
+                assert!(dc.expired());
+            }
+        });
+    }
+
+    #[test]
+    fn budget_is_shared_across_receives() {
+        ThreadComm::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[0u8]).unwrap();
+            } else {
+                let dc = DeadlineComm::new(comm, Duration::from_millis(60));
+                // First receive succeeds and eats almost no budget...
+                dc.recv_buf(0, 1).unwrap();
+                // ...the second blocks until the SAME deadline, not 60ms more.
+                let start = Instant::now();
+                let err = dc.recv_buf(0, 2).unwrap_err();
+                assert!(matches!(err, CommError::Timeout { .. }));
+                assert!(start.elapsed() < Duration::from_millis(200));
+            }
+        });
+    }
+
+    #[test]
+    fn expired_budget_fails_immediately() {
+        ThreadComm::run(1, |comm| {
+            let dc = DeadlineComm::new(comm, Duration::ZERO);
+            let err = dc.recv_buf_timeout(0, 1, Duration::from_secs(10)).unwrap_err();
+            assert!(matches!(err, CommError::Timeout { waited: Duration::ZERO, .. }));
+        });
+    }
+}

@@ -1,14 +1,23 @@
 //! Error types for the message-passing runtime.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Errors raised by communicator operations.
 ///
-/// The runtime follows MPI's philosophy that communication errors are
-/// programming errors: well-formed SPMD programs never see these at runtime.
-/// They are surfaced as `Result`s (rather than panics) so that library users
-/// can still observe and report misuse cleanly.
+/// The runtime distinguishes two families. *Programming errors*
+/// ([`CommError::InvalidRank`], [`CommError::Truncated`],
+/// [`CommError::BadArgument`]) follow MPI's philosophy: well-formed SPMD
+/// programs never see them. *Runtime faults* ([`CommError::Timeout`],
+/// [`CommError::RankFailed`]) are different — they are expected outcomes on a
+/// lossy or partially-failed system, raised by the deadline-aware receives and
+/// by [`crate::ReliableComm`]'s bounded retry, and the resilient drivers in
+/// `bruck-core` branch on them to degrade gracefully instead of hanging.
+///
+/// The enum is `#[non_exhaustive]`: downstream matches must carry a wildcard
+/// arm, so future fault variants are not a breaking change.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CommError {
     /// A rank argument was outside `0..size`.
     InvalidRank {
@@ -42,6 +51,27 @@ pub enum CommError {
         /// Tag the unmatched receive was posted for.
         tag: crate::Tag,
     },
+    /// A deadline-aware receive found no matching message in time.
+    ///
+    /// Raised by [`crate::Communicator::recv_buf_timeout`] and friends. On a
+    /// healthy system this means the deadline was too tight; under fault
+    /// injection it is how a stalled or crashed peer is *detected*.
+    Timeout {
+        /// Source rank the receive was posted for.
+        src: usize,
+        /// Tag the receive was posted for.
+        tag: crate::Tag,
+        /// How long the receive actually waited before giving up.
+        waited: Duration,
+    },
+    /// A peer rank is considered failed: either this rank was scripted to
+    /// crash (every subsequent operation on it returns this), or
+    /// [`crate::ReliableComm`] exhausted its retransmission budget without an
+    /// acknowledgement from `rank`.
+    RankFailed {
+        /// The rank that failed (may be this rank itself on a crashed rank).
+        rank: usize,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -58,6 +88,15 @@ impl fmt::Display for CommError {
             CommError::WouldBlock { src, tag } => {
                 write!(f, "receive from rank {src} tag {tag} has no matching message yet")
             }
+            CommError::Timeout { src, tag, waited } => write!(
+                f,
+                "receive from rank {src} tag {tag} timed out after {waited:?} \
+                 (peer slow, stalled, or failed)"
+            ),
+            CommError::RankFailed { rank } => write!(
+                f,
+                "rank {rank} failed: crashed, or unacknowledged after bounded retransmission"
+            ),
         }
     }
 }
@@ -66,3 +105,17 @@ impl std::error::Error for CommError {}
 
 /// Convenience alias used across the runtime.
 pub type CommResult<T> = Result<T, CommError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_variant_display_is_actionable() {
+        let t = CommError::Timeout { src: 3, tag: 7, waited: Duration::from_millis(250) };
+        let msg = t.to_string();
+        assert!(msg.contains("rank 3") && msg.contains("tag 7") && msg.contains("250ms"), "{msg}");
+        let r = CommError::RankFailed { rank: 5 };
+        assert!(r.to_string().contains("rank 5"));
+    }
+}

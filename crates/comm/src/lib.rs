@@ -20,6 +20,13 @@
 //!   cost model in `bruck-model` is validated against these logs. [`TraceComm`]
 //!   records full vector-clocked schedules for `bruck-check`'s protocol
 //!   analysis passes.
+//! * **Fault tolerance** — [`FaultComm`] injects seeded message drop /
+//!   duplication / corruption / delay and scripted rank stall / crash;
+//!   [`ReliableComm`] repairs a lossy transport back to exactly-once in-order
+//!   delivery (sequence numbers + checksums + ack/retry with bounded
+//!   backoff); [`DeadlineComm`] bounds every blocking receive by a shared
+//!   wall-clock budget, surfacing [`CommError::Timeout`] /
+//!   [`CommError::RankFailed`] for graceful-degradation drivers.
 //!
 //! ## Example
 //!
@@ -37,10 +44,13 @@
 mod chaos;
 mod communicator;
 mod counting;
+mod deadline;
 mod error;
+mod fault;
 mod mailbox;
 mod msgbuf;
 mod plan;
+mod reliable;
 mod reduce;
 mod subcomm;
 mod thread_comm;
@@ -50,9 +60,12 @@ mod vector;
 pub use chaos::ChaosComm;
 pub use communicator::{Communicator, RecvReq, RESERVED_TAG_BASE};
 pub use counting::{CommStats, CopyStats, CountingComm, SentRecord};
+pub use deadline::DeadlineComm;
 pub use error::{CommError, CommResult};
+pub use fault::{EdgeFaults, FaultComm, FaultEvent, FaultKind, FaultPlan, ScriptedFault};
 pub use msgbuf::MsgBuf;
 pub use plan::ExchangePlan;
+pub use reliable::{ReliableComm, ReliableConfig};
 pub use reduce::ReduceOp;
 pub use subcomm::{SubComm, SUBCOMM_MAX_TAG};
 pub use thread_comm::{ThreadComm, World};

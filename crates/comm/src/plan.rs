@@ -8,8 +8,24 @@
 //! [`ExchangePlan::displs`] are derived packed offsets. Executing the plan is
 //! the caller's choice of algorithm (`bruck-core` takes the same arrays), so
 //! this type is algorithm-agnostic and lives with the runtime.
+//!
+//! ## Handshake hygiene
+//!
+//! Negotiation is a pairwise count exchange. Two things can poison it:
+//! a *stale* count message left over from an earlier negotiate that errored
+//! mid-handshake, and the *orphans* a failing negotiate itself leaves behind.
+//! [`ExchangePlan::negotiate_isolated`] addresses both — each plan instance
+//! runs its handshake on its own tag (so a new negotiation can never match an
+//! old instance's strays), and on error it drains whatever count messages for
+//! this instance have already arrived, so the failure does not strand
+//! messages for the next user of the communicator.
 
-use crate::{CommError, CommResult, Communicator};
+use crate::{CommError, CommResult, Communicator, MsgBuf, Tag, RESERVED_TAG_BASE};
+
+/// First tag of the reserved block used by per-instance plan handshakes.
+const PLAN_TAG_BASE: Tag = RESERVED_TAG_BASE + 0x1000;
+/// Number of distinct plan-instance tags before reuse wraps around.
+const PLAN_TAG_SPAN: u32 = 0x100;
 
 /// A reusable non-uniform exchange plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,16 +53,94 @@ fn packed(counts: &[usize]) -> CommResult<Vec<usize>> {
 
 impl ExchangePlan {
     /// Build a plan collectively: runs the counts handshake once so every
-    /// rank learns its receive counts.
+    /// rank learns its receive counts. Equivalent to
+    /// [`ExchangePlan::negotiate_isolated`] with instance 0.
     pub fn negotiate<C: Communicator + ?Sized>(
         comm: &C,
         sendcounts: Vec<usize>,
     ) -> CommResult<Self> {
+        Self::negotiate_isolated(comm, sendcounts, 0)
+    }
+
+    /// Build a plan collectively on a per-instance handshake tag.
+    ///
+    /// All ranks must pass the same `instance`. Distinct instances use
+    /// distinct tags (modulo a reuse window of 256), so a negotiation that
+    /// errored mid-handshake — leaving count messages in flight — cannot
+    /// poison a later negotiation that uses a fresh instance number. On any
+    /// handshake error this rank additionally drains already-arrived count
+    /// messages for *this* instance before returning, so they are not
+    /// stranded in the mailbox.
+    pub fn negotiate_isolated<C: Communicator + ?Sized>(
+        comm: &C,
+        sendcounts: Vec<usize>,
+        instance: u32,
+    ) -> CommResult<Self> {
         if sendcounts.len() != comm.size() {
             return Err(CommError::BadArgument("sendcounts.len() != size"));
         }
-        let recvcounts = comm.alltoall_counts(&sendcounts)?;
-        Self::from_counts(sendcounts, recvcounts)
+        let tag = PLAN_TAG_BASE + (instance % PLAN_TAG_SPAN);
+        match Self::handshake(comm, &sendcounts, tag) {
+            Ok(recvcounts) => Self::from_counts(sendcounts, recvcounts),
+            Err(e) => {
+                // WouldBlock is a transport-level "retry this op" signal, not
+                // a failed handshake: non-blocking communicators (the model
+                // verifier's commit-and-replay among them) surface it so the
+                // caller can re-issue the same op sequence. Draining here
+                // would consume messages a retry still needs.
+                if !matches!(e, CommError::WouldBlock { .. }) {
+                    Self::drain_instance(comm, tag);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// The pairwise count exchange on an instance tag (same schedule as
+    /// [`Communicator::alltoall_counts`]).
+    fn handshake<C: Communicator + ?Sized>(
+        comm: &C,
+        sendcounts: &[usize],
+        tag: Tag,
+    ) -> CommResult<Vec<usize>> {
+        let p = comm.size();
+        let me = comm.rank();
+        let mut recvcounts = vec![0usize; p];
+        recvcounts[me] = sendcounts[me];
+        for i in 1..p {
+            let dest = (me + i) % p;
+            let src = (me + p - i) % p;
+            comm.send_buf(
+                dest,
+                tag,
+                MsgBuf::from_vec((sendcounts[dest] as u64).to_le_bytes().to_vec()),
+            )?;
+            let got = comm.recv_buf(src, tag)?;
+            let bytes: [u8; 8] = got.as_slice().try_into().map_err(|_| {
+                CommError::BadArgument("malformed count message (stale or corrupt handshake)")
+            })?;
+            recvcounts[src] = u64::from_le_bytes(bytes) as usize;
+        }
+        Ok(recvcounts)
+    }
+
+    /// Best-effort drain of already-arrived count messages on this instance's
+    /// tag. Deliberately fallible-silent: we are already on an error path,
+    /// and a peer may legitimately not have sent yet (those messages are
+    /// unreachable until they arrive; the per-instance tag keeps them from
+    /// matching anyone else).
+    fn drain_instance<C: Communicator + ?Sized>(comm: &C, tag: Tag) {
+        let me = comm.rank();
+        for src in 0..comm.size() {
+            if src == me {
+                continue;
+            }
+            while let Ok(Some(_)) = comm.probe(src, tag) {
+                if comm.recv_buf(src, tag).is_err() {
+                    break;
+                }
+            }
+        }
     }
 
     /// Build a plan from already-known counts (no communication). Errors if
@@ -155,6 +249,66 @@ mod tests {
             }
             assert_eq!(displs[counts.len() - 1] + counts[counts.len() - 1], total);
         }
+    }
+
+    #[test]
+    fn stale_messages_cannot_poison_a_new_instance() {
+        // Regression: a count message stranded by an (aborted) instance-0
+        // negotiation must not be matched by a later negotiation that uses a
+        // fresh instance number.
+        ThreadComm::run(2, |comm| {
+            let me = comm.rank();
+            if me == 1 {
+                // Forge the orphan: an instance-0 count that nobody consumed.
+                comm.send(0, PLAN_TAG_BASE, &999u64.to_le_bytes()).unwrap();
+            }
+            comm.barrier().unwrap();
+            let plan =
+                ExchangePlan::negotiate_isolated(comm, vec![me + 1, me + 2], 1).unwrap();
+            if me == 0 {
+                assert_eq!(plan.recvcounts(), &[1, 2], "must not see the stale 999");
+                // The stale instance-0 message is still sitting there, intact.
+                assert_eq!(comm.recv(1, PLAN_TAG_BASE).unwrap(), 999u64.to_le_bytes());
+            } else {
+                assert_eq!(plan.recvcounts(), &[2, 3]);
+            }
+        });
+    }
+
+    #[test]
+    fn failed_negotiate_drains_its_instance_messages() {
+        // Regression: when the handshake errors mid-way, count messages for
+        // this instance that already arrived must be consumed, not stranded.
+        // Without the drain, rank 1's second message below would outlive the
+        // failed negotiation and the world would end dirty.
+        let world = crate::World::new(3);
+        let tag = PLAN_TAG_BASE + 7;
+        std::thread::scope(|s| {
+            let w = &world;
+            s.spawn(move || {
+                let comm = ThreadComm::new(w.clone(), 0);
+                comm.barrier().unwrap();
+                let err =
+                    ExchangePlan::negotiate_isolated(&comm, vec![1, 1, 1], 7).unwrap_err();
+                assert!(matches!(err, CommError::BadArgument(_)), "typed error, got {err:?}");
+            });
+            s.spawn(move || {
+                let comm = ThreadComm::new(w.clone(), 1);
+                // Garbage first (FIFO: this is what rank 0's handshake reads),
+                // then a valid count that only the error-path drain will eat.
+                comm.send(0, tag, &[1, 2, 3]).unwrap();
+                comm.send(0, tag, &42u64.to_le_bytes()).unwrap();
+                comm.barrier().unwrap();
+                comm.recv(0, tag).unwrap(); // rank 0's step-1 count send
+            });
+            s.spawn(move || {
+                let comm = ThreadComm::new(w.clone(), 2);
+                comm.send(0, tag, &7u64.to_le_bytes()).unwrap();
+                comm.barrier().unwrap();
+                comm.recv(0, tag).unwrap(); // rank 0's step-2 count send
+            });
+        });
+        assert_eq!(world.pending_messages(), 0, "drain must leave no orphans");
     }
 
     #[test]

@@ -102,29 +102,6 @@ impl ThreadComm {
     pub fn world(&self) -> &World {
         &self.world
     }
-
-    /// Receive with a deadline: `Ok(None)` if nothing matching `(src, tag)`
-    /// arrives within `timeout` — for tests and deadlock diagnosis, not for
-    /// algorithm control flow (MPI has no timed receive either).
-    pub fn recv_timeout(
-        &self,
-        src: usize,
-        tag: Tag,
-        timeout: std::time::Duration,
-    ) -> CommResult<Option<Vec<u8>>> {
-        Ok(self.recv_buf_timeout(src, tag, timeout)?.map(MsgBuf::into_vec))
-    }
-
-    /// Zero-copy [`ThreadComm::recv_timeout`].
-    pub fn recv_buf_timeout(
-        &self,
-        src: usize,
-        tag: Tag,
-        timeout: std::time::Duration,
-    ) -> CommResult<Option<MsgBuf>> {
-        self.check_rank(src)?;
-        Ok(self.world.mailboxes[self.rank].pop_timeout(src, tag, timeout))
-    }
 }
 
 impl Communicator for ThreadComm {
@@ -166,6 +143,22 @@ impl Communicator for ThreadComm {
     fn probe(&self, src: usize, tag: Tag) -> CommResult<Option<usize>> {
         self.check_rank(src)?;
         Ok(self.world.mailboxes[self.rank].probe(src, tag))
+    }
+
+    fn recv_buf_timeout(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: std::time::Duration,
+    ) -> CommResult<MsgBuf> {
+        self.check_rank(src)?;
+        let start = std::time::Instant::now();
+        // pop_timeout parks on the mailbox condvar (no polling), waking on
+        // arrival or deadline — this is the override the trait docs promise.
+        match self.world.mailboxes[self.rank].pop_timeout(src, tag, timeout) {
+            Some(msg) => Ok(msg),
+            None => Err(CommError::Timeout { src, tag, waited: start.elapsed() }),
+        }
     }
 }
 
@@ -247,16 +240,21 @@ mod tests {
     }
 
     #[test]
-    fn recv_timeout_returns_none_then_some() {
+    fn recv_timeout_errors_then_delivers() {
         use std::time::Duration;
         ThreadComm::run(2, |comm| {
             if comm.rank() == 0 {
-                // Nothing sent yet: times out.
-                let got = comm.recv_timeout(1, 9, Duration::from_millis(20)).unwrap();
-                assert!(got.is_none());
+                // Nothing sent yet: a typed Timeout naming (src, tag, waited).
+                let err = comm.recv_timeout(1, 9, Duration::from_millis(20)).unwrap_err();
+                match err {
+                    CommError::Timeout { src: 1, tag: 9, waited } => {
+                        assert!(waited >= Duration::from_millis(20));
+                    }
+                    other => panic!("expected Timeout, got {other:?}"),
+                }
                 comm.send(1, 1, &[0]).unwrap(); // release rank 1
                 let got = comm.recv_timeout(1, 9, Duration::from_secs(5)).unwrap();
-                assert_eq!(got, Some(vec![42]));
+                assert_eq!(got, vec![42]);
             } else {
                 comm.recv(0, 1).unwrap();
                 comm.send(0, 9, &[42]).unwrap();

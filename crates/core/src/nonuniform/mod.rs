@@ -13,6 +13,7 @@ mod hierarchical;
 mod padded;
 mod padded_alltoall;
 mod reference;
+mod resilient;
 mod sloav;
 mod spread_out;
 mod timed;
@@ -26,6 +27,7 @@ pub use hierarchical::{hierarchical_alltoallv, DEFAULT_GROUP_SIZE};
 pub use padded::padded_bruck;
 pub use padded_alltoall::padded_alltoall;
 pub use reference::reference_alltoallv;
+pub use resilient::{resilient_alltoallv, ExchangeOutcome, PartialExchange, ResilientConfig};
 pub use sloav::sloav_alltoallv;
 pub use spread_out::spread_out_alltoallv;
 pub use timed::{sloav_alltoallv_timed, two_phase_bruck_timed, NonuniformPhases};

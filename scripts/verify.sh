@@ -11,3 +11,7 @@ cargo test --workspace -q
 # communicator). Both exit non-zero on any unallowlisted finding.
 cargo run --release -p bruck-check --bin bruck-lint
 cargo run --release -p bruck-check --bin bruck-check
+# Dynamic fault-tolerance gate (DESIGN.md §9): the algorithm × fault-plan
+# soak matrix under a watchdog, asserting the crash-only property. Seeds can
+# be overridden with BRUCK_CHAOS_SEEDS=1,2,3.
+cargo run --release -p bruck-check --bin bruck-chaos -- --smoke

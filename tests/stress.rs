@@ -174,6 +174,96 @@ fn flood_from_one_rank() {
     }
 }
 
+/// `recv_timeout` honors its deadline even while the mailbox is being
+/// hammered by a full-matrix flood on other tags: the timed receive must
+/// neither return early nor be starved past deadline + ε by contention.
+#[test]
+fn recv_timeout_holds_deadline_under_full_matrix_load() {
+    use std::time::{Duration, Instant};
+    let p = 16;
+    let deadline = Duration::from_millis(100);
+    // Generous slack: CI boxes stall threads for tens of ms under load; the
+    // property under test is "bounded", not "tight".
+    let epsilon = Duration::from_millis(900);
+    ThreadComm::run(p, move |comm| {
+        let me = comm.rank();
+        // Flood: everyone sends bursts to everyone on tag 1...
+        for round in 0..20 {
+            for dest in 0..p {
+                if dest != me {
+                    comm.send(dest, 1, &[round as u8; 256]).unwrap();
+                }
+            }
+        }
+        // ...while every rank waits on a tag nobody ever sends.
+        let start = Instant::now();
+        let err = comm.recv_timeout((me + 1) % p, 77, deadline).unwrap_err();
+        let elapsed = start.elapsed();
+        match err {
+            bruck_comm::CommError::Timeout { src, tag, waited } => {
+                assert_eq!(src, (me + 1) % p);
+                assert_eq!(tag, 77);
+                assert!(waited >= deadline, "returned early: waited {waited:?}");
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert!(
+            elapsed < deadline + epsilon,
+            "rank {me}: timed receive starved: {elapsed:?} vs deadline {deadline:?}"
+        );
+        // Drain the flood so the world ends clean.
+        for _ in 0..20 {
+            for src in 0..p {
+                if src != me {
+                    comm.recv(src, 1).unwrap();
+                }
+            }
+        }
+    });
+}
+
+/// End-to-end fault-injection determinism: the same seed must produce the
+/// same per-rank fault sequence across whole-world runs, regardless of how
+/// the OS interleaves the threads (decisions are keyed on per-edge message
+/// indices, not arrival order).
+#[test]
+fn fault_injection_is_deterministic_across_runs() {
+    use bruck_comm::{FaultComm, FaultPlan};
+    let p = 4;
+    let run_once = |seed: u64| -> Vec<Vec<bruck_comm::FaultEvent>> {
+        ThreadComm::run(p, move |comm| {
+            let plan = FaultPlan::new(seed).with_drop(0.2).with_duplicate(0.2).with_corrupt(0.2);
+            let fc = FaultComm::new(comm, plan);
+            let me = fc.rank();
+            // Fixed traffic: every rank sends 25 messages to each peer, then
+            // drains whatever was actually delivered (drop/duplicate change
+            // delivery counts, so drain by probe, not by expected count).
+            for i in 0..25u8 {
+                for dest in 0..p {
+                    if dest != me {
+                        fc.send(dest, 3, &[i, me as u8]).unwrap();
+                    }
+                }
+            }
+            // Synchronize on the *underlying* comm (fault-free), then drain
+            // whatever the faulty edges actually delivered: eager sends have
+            // all landed before the barrier completes, so probe sees it all.
+            comm.barrier().unwrap();
+            for src in 0..p {
+                while comm.probe(src, 3).unwrap().is_some() {
+                    comm.recv(src, 3).unwrap();
+                }
+            }
+            fc.log()
+        })
+    };
+    let a = run_once(0xFA);
+    let b = run_once(0xFA);
+    assert_eq!(a, b, "same seed must inject the identical fault sequence");
+    let c = run_once(0xFB);
+    assert_ne!(a, c, "different seeds must diverge");
+}
+
 /// Every algorithm remains correct under adversarial schedule perturbation.
 #[test]
 fn all_algorithms_survive_chaos() {
