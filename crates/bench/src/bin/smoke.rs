@@ -1,0 +1,93 @@
+//! Bench smoke run with observability artifacts.
+//!
+//! Runs a small algorithm × workload matrix bare and under `MeteredComm`,
+//! then writes two artifacts:
+//!
+//! * `BENCH_PR4.json` — machine-readable per-cell report (bare vs metered
+//!   wall-clock, overhead ratio, channel totals, consistency-error count);
+//! * `BENCH_PR4.trace.json` — a chrome `trace_events` document of every
+//!   cell's per-rank phase timeline (open in `chrome://tracing`/Perfetto).
+//!
+//! Usage: `smoke [report.json [trace.json]]` (defaults above, written to the
+//! working directory). Exits non-zero if any rank's metered counters fail
+//! their internal consistency checks — metering drift is a bug, overhead is
+//! reported but advisory (wall-clock on shared CI is too noisy to gate on).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use bruck_bench::export::{
+    bench_report_json, chrome_trace_json, measure_metered, write_text,
+};
+use bruck_core::AlltoallvAlgorithm;
+use bruck_workload::{Distribution, SizeMatrix};
+
+const SEED: u64 = 2022;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let report_path = args.get(1).map_or("BENCH_PR4.json", String::as_str);
+    let trace_path = args.get(2).map_or("BENCH_PR4.trace.json", String::as_str);
+
+    let algos = [
+        AlltoallvAlgorithm::SpreadOut,
+        AlltoallvAlgorithm::Vendor,
+        AlltoallvAlgorithm::PaddedBruck,
+        AlltoallvAlgorithm::TwoPhaseBruck,
+    ];
+    let dists =
+        [(Distribution::Uniform, "uniform"), (Distribution::POWER_LAW_STEEP, "power-law-0.99")];
+    let (p, n, iters) = (16usize, 64usize, 7usize);
+
+    println!("bench smoke — P = {p}, N = {n}, {iters} iters per cell");
+    println!(
+        "{:>16} {:>16} | {:>10} {:>10} {:>8} | {:>12} {:>12} {:>6}",
+        "algorithm", "distribution", "bare ms", "meter ms", "ratio", "logical msg", "logical B", "drift"
+    );
+
+    let mut runs = Vec::new();
+    let mut cells = Vec::new();
+    let mut drift = 0usize;
+    for (dist, label) in dists {
+        let m = SizeMatrix::generate(dist, SEED, p, n);
+        for algo in algos {
+            let (run, timelines) = measure_metered(algo, &m, label, n, iters);
+            println!(
+                "{:>16} {:>16} | {:>10.3} {:>10.3} {:>8.3} | {:>12} {:>12} {:>6}",
+                run.algorithm,
+                run.distribution,
+                run.bare_s * 1e3,
+                run.metered_s * 1e3,
+                run.overhead_ratio(),
+                run.logical_msgs,
+                run.logical_bytes,
+                run.consistency_errors,
+            );
+            drift += run.consistency_errors;
+            cells.push((format!("{}/{}", run.algorithm, run.distribution), timelines));
+            runs.push(run);
+        }
+    }
+
+    let worst = runs
+        .iter()
+        .map(bruck_bench::export::MeteredRun::overhead_ratio)
+        .fold(f64::NAN, f64::max);
+    println!("worst metered/bare ratio: {worst:.3} (advisory; target <= 1.05)");
+
+    if let Err(e) = write_text(Path::new(report_path), &bench_report_json(&runs)) {
+        eprintln!("failed to write {report_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = write_text(Path::new(trace_path), &chrome_trace_json(&cells)) {
+        eprintln!("failed to write {trace_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {report_path} and {trace_path}");
+
+    if drift > 0 {
+        eprintln!("FAIL: {drift} metering consistency errors");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod export;
 pub mod harness;
 
 use std::time::Instant;

@@ -17,6 +17,10 @@
 //! * **Completion where promised** — plans without a crashed rank must end
 //!   lossless on every rank (the reliable layer's job); crash plans must end
 //!   with the dead rank failing typed and every survivor bounded.
+//! * **Never meter drift** — every cell runs with a [`bruck_comm::MeteredComm`]
+//!   layered over the reliable transport; a rank whose counter snapshot fails
+//!   its internal consistency checks fails the cell, so the observability
+//!   layer is proven drift-free under the full fault battery.
 //!
 //! Determinism is checked by re-running selected cells with the identical
 //! seed and comparing verdicts and completed buffers. (Fault *decisions* are
@@ -26,7 +30,9 @@
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
-use bruck_comm::{Communicator, FaultComm, FaultPlan, ReliableComm, ReliableConfig, ThreadComm};
+use bruck_comm::{
+    Communicator, FaultComm, FaultPlan, MeteredComm, ReliableComm, ReliableConfig, ThreadComm,
+};
 use bruck_core::{
     packed_displs, resilient_alltoallv, AlltoallvAlgorithm, ExchangeOutcome, ResilientConfig,
 };
@@ -210,7 +216,10 @@ pub fn run_cell(
 
     let mut violation = None;
     let mut verdicts = Vec::with_capacity(p);
-    for (me, (outcome, recvbuf)) in per_rank.into_iter().enumerate() {
+    for (me, (outcome, recvbuf, drift)) in per_rank.into_iter().enumerate() {
+        if let Some(err) = drift.first() {
+            violation.get_or_insert(format!("rank {me}: METERING DRIFT: {err}"));
+        }
         match classify_rank(me, &matrix, outcome, recvbuf, expect) {
             Ok(v) => verdicts.push(v),
             Err(e) => {
@@ -227,9 +236,11 @@ pub fn run_cell(
     CellReport { label, violation, elapsed: start.elapsed(), verdicts }
 }
 
-type RankResult = (Result<ExchangeOutcome, bruck_comm::CommError>, Vec<u8>);
+type RankResult =
+    (Result<ExchangeOutcome, bruck_comm::CommError>, Vec<u8>, Vec<String>);
 
-/// Execute the exchange on a fresh world; returns per-rank (outcome, buffer).
+/// Execute the exchange on a fresh world; returns per-rank (outcome, buffer,
+/// meter consistency errors).
 fn run_world(
     algorithm: AlltoallvAlgorithm,
     matrix: &SizeMatrix,
@@ -241,7 +252,10 @@ fn run_world(
     ThreadComm::run(p, move |comm| {
         let fc = FaultComm::new(comm, plan.clone());
         let rc = ReliableComm::with_config(&fc, reliable_config());
-        let me = rc.rank();
+        // Meter the logical channel (above the ARQ, so retransmissions are
+        // invisible) and prove it never drifts under injected faults.
+        let mc = MeteredComm::new(&rc);
+        let me = mc.rank();
         let sendcounts = m.sendcounts(me);
         let sdispls = packed_displs(&sendcounts);
         let total: usize = sendcounts.iter().sum();
@@ -256,7 +270,7 @@ fn run_world(
         let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
         let outcome = resilient_alltoallv(
             &resilient_config(algorithm),
-            &rc,
+            &mc,
             &sendbuf,
             &sendcounts,
             &sdispls,
@@ -267,7 +281,7 @@ fn run_world(
         // Service peers' retransmissions before leaving so a lost ack near
         // the end cannot strand a survivor in its retry loop.
         let _ = rc.quiesce(Duration::from_millis(150), Duration::from_secs(2));
-        (outcome, recvbuf)
+        (outcome, recvbuf, mc.metrics().consistency_errors())
     })
 }
 

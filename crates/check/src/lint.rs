@@ -23,6 +23,10 @@
 //!   `fetch_update`/`fetch_add` instead.
 //! * `no-unsafe` — the `unsafe` keyword anywhere: the workspace is safe Rust
 //!   except the audited block(s) listed in the allowlist and DESIGN.md.
+//! * `no-adhoc-instant` — `Instant::now()` in `crates/core` outside
+//!   `probe.rs`: algorithm phase timing must go through the `probe::span`
+//!   layer (so it vanishes when probing is disabled and lands in the trace
+//!   exporter), never through ad-hoc stopwatches scattered in algorithms.
 //!
 //! Test code (`#[cfg(test)]` regions, tracked by brace depth) is exempt from
 //! the unwrap/expect/relaxed rules; `unsafe` is flagged even in tests.
@@ -209,6 +213,9 @@ fn receiver_before(sanitized: &str, call_pos: usize) -> &str {
 
 fn scan_file(rel: &str, text: &str, out: &mut Vec<LintFinding>) {
     let in_comm = rel.starts_with("crates/comm/");
+    // The probe module is the one sanctioned stopwatch site in bruck-core.
+    let instant_banned =
+        rel.starts_with("crates/core/") && rel != "crates/core/src/probe.rs";
     // Whole-file test modules (`#[cfg(test)] mod foo_tests;` in the crate
     // root) carry the cfg on the *declaration*, invisible from the file
     // itself; go by the naming convention.
@@ -275,6 +282,11 @@ fn scan_file(rel: &str, text: &str, out: &mut Vec<LintFinding>) {
         }
 
         if !test_code {
+            if instant_banned {
+                for _ in san.match_indices("Instant::now(") {
+                    push("no-adhoc-instant");
+                }
+            }
             for _ in san.match_indices(".unwrap()") {
                 push("no-unwrap");
             }
@@ -418,6 +430,27 @@ mod tests {
         let src = "#[cfg(test)]\nmod tests {\n    fn g() { let p = unsafe { danger() }; }\n}\n";
         let hits = scan_str("crates/core/src/a.rs", src);
         assert!(hits.iter().any(|f| f.rule == "no-unsafe" && f.line == 3), "{hits:?}");
+    }
+
+    #[test]
+    fn adhoc_instant_flagged_in_core_outside_probe() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert!(scan_str("crates/core/src/uniform/basic.rs", src)
+            .iter()
+            .any(|f| f.rule == "no-adhoc-instant"));
+        // The probe module is the sanctioned stopwatch site...
+        assert!(scan_str("crates/core/src/probe.rs", src)
+            .iter()
+            .all(|f| f.rule != "no-adhoc-instant"));
+        // ...and the rule only governs bruck-core.
+        assert!(scan_str("crates/bench/src/lib.rs", src)
+            .iter()
+            .all(|f| f.rule != "no-adhoc-instant"));
+        // Test code inside core may still use raw stopwatches.
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn g() { let t = Instant::now(); }\n}\n";
+        assert!(scan_str("crates/core/src/uniform/basic.rs", test_src)
+            .iter()
+            .all(|f| f.rule != "no-adhoc-instant"));
     }
 
     #[test]

@@ -152,6 +152,37 @@ mod tests {
     }
 
     #[test]
+    fn n_sequential_receives_share_one_absolute_budget() {
+        // N recv_timeouts against a silent peer draw from ONE budget fixed at
+        // construction: the first burns essentially all of it (its generous
+        // per-call timeout is clipped to the remaining budget), every later
+        // receive times out deterministically with ~zero wait, and the total
+        // is bounded by the budget — not N × budget.
+        ThreadComm::run(2, |comm| {
+            if comm.rank() == 0 {
+                let budget = Duration::from_millis(80);
+                let dc = DeadlineComm::new(comm, budget);
+                let n: u32 = 6;
+                let start = Instant::now();
+                let mut waits = Vec::new();
+                for i in 0..n {
+                    let t0 = Instant::now();
+                    let err = dc.recv_timeout(1, 100 + i, Duration::from_secs(10)).unwrap_err();
+                    assert!(matches!(err, CommError::Timeout { .. }), "receive {i}: {err:?}");
+                    waits.push(t0.elapsed());
+                }
+                let total = start.elapsed();
+                assert!(total >= budget, "the deadline must be observed: {total:?}");
+                assert!(total < budget * 3, "receives share ONE budget, got {total:?}");
+                for (i, w) in waits.iter().enumerate().skip(1) {
+                    assert!(*w < budget, "receive {i} blocked past the shared deadline: {w:?}");
+                }
+                assert!(dc.expired());
+            }
+        });
+    }
+
+    #[test]
     fn expired_budget_fails_immediately() {
         ThreadComm::run(1, |comm| {
             let dc = DeadlineComm::new(comm, Duration::ZERO);

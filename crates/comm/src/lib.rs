@@ -48,6 +48,7 @@ mod deadline;
 mod error;
 mod fault;
 mod mailbox;
+mod metered;
 mod msgbuf;
 mod plan;
 mod reliable;
@@ -63,6 +64,9 @@ pub use counting::{CommStats, CopyStats, CountingComm, SentRecord};
 pub use deadline::DeadlineComm;
 pub use error::{CommError, CommResult};
 pub use fault::{EdgeFaults, FaultComm, FaultEvent, FaultKind, FaultPlan, ScriptedFault};
+pub use metered::{
+    ChannelTotals, Histogram, MeteredComm, Metrics, PeerCounters, TagCounters, HIST_BUCKETS,
+};
 pub use msgbuf::MsgBuf;
 pub use plan::ExchangePlan;
 pub use reliable::{ReliableComm, ReliableConfig};

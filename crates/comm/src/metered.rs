@@ -1,0 +1,577 @@
+//! [`MeteredComm`]: per-peer, per-tag traffic metering with latency and size
+//! histograms — the measurement half of the `bruck-probe` observability
+//! layer (DESIGN.md §10).
+//!
+//! The wrapper records, per rank:
+//!
+//! * **per-peer counters** (messages and bytes, both directions) for the
+//!   *logical* channel — tags below [`RESERVED_TAG_BASE`], i.e. algorithm
+//!   traffic;
+//! * **channel totals** for the logical channel and the *reserved* channel
+//!   (built-in collectives and wrapper-internal protocols such as the
+//!   `ReliableComm` ARQ frames) separately;
+//! * **max in-flight** high-water marks: sends posted minus receives
+//!   completed, tracked per peer and per channel. Under the eager protocol
+//!   this distinguishes spread-out's `P − 1` burst from Bruck's
+//!   sendrecv-paced 1 and the vendor window's cap;
+//! * **per-tag send counters** — the exact quantity the conformance suite
+//!   compares against `bruck-model` trace predictions;
+//! * a **receive-wait histogram** (nanoseconds, log₂ buckets) over every
+//!   successful blocking receive, and a **sent-size histogram** (bytes) over
+//!   logical sends.
+//!
+//! ## Retransmit-aware accounting
+//!
+//! Counting is *positional*: a meter sees exactly the traffic crossing its
+//! own layer of the stack. Stacked **above** [`crate::ReliableComm`] it sees
+//! each logical message exactly once — the ARQ retries below it are
+//! invisible, so logical counts match the fault-free prediction even on a
+//! lossy transport. Stacked **below** `ReliableComm` (above the faulty
+//! transport) it sees only reserved-tag ARQ frames, retransmits included,
+//! and its logical channel stays empty. Composing one meter in each position
+//! yields logical vs. wire accounting with no double counting; the ARQ
+//! regression test in this module pins that contract down.
+//!
+//! Zero overhead when absent: metering costs one mutex round-trip per
+//! operation *only when the wrapper is in the stack*; un-wrapped
+//! communicators are untouched (the disabled path of `bruck-probe` spans is
+//! handled in `bruck-core`).
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::{CommResult, Communicator, MsgBuf, RecvReq, Tag, RESERVED_TAG_BASE};
+
+/// Number of log₂ buckets in a [`Histogram`]. Bucket 0 holds zeros; bucket
+/// `b ≥ 1` holds values in `[2^(b−1), 2^b)`; the last bucket absorbs
+/// everything larger.
+pub const HIST_BUCKETS: usize = 32;
+
+/// A log₂-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// `buckets[0]` counts zeros; `buckets[b]` counts values in
+    /// `[2^(b−1), 2^b)`, with the final bucket open-ended.
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of recorded samples (saturating).
+    pub sum: u64,
+    /// Largest recorded sample (0 if none).
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; HIST_BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl Histogram {
+    fn record(&mut self, v: u64) {
+        let b = (64 - v.leading_zeros()) as usize;
+        self.buckets[b.min(HIST_BUCKETS - 1)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean of the recorded samples (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Message/byte counters for one peer on the logical channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerCounters {
+    /// Messages sent to this peer.
+    pub sent_msgs: u64,
+    /// Bytes sent to this peer.
+    pub sent_bytes: u64,
+    /// Messages received from this peer.
+    pub recv_msgs: u64,
+    /// Bytes received from this peer.
+    pub recv_bytes: u64,
+    /// High-water mark of sends-posted minus receives-completed with this
+    /// peer (never below 0).
+    pub max_in_flight: u64,
+}
+
+/// Aggregate counters for one channel (logical or reserved).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelTotals {
+    /// Messages sent on this channel.
+    pub sent_msgs: u64,
+    /// Bytes sent on this channel.
+    pub sent_bytes: u64,
+    /// Messages received on this channel.
+    pub recv_msgs: u64,
+    /// Bytes received on this channel.
+    pub recv_bytes: u64,
+    /// High-water mark of sends-posted minus receives-completed on this
+    /// channel.
+    pub max_in_flight: u64,
+}
+
+/// Send-side counters for one tag.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TagCounters {
+    /// Messages sent with this tag.
+    pub msgs: u64,
+    /// Bytes sent with this tag.
+    pub bytes: u64,
+}
+
+/// A consistent snapshot of everything a [`MeteredComm`] has recorded.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Rank of the metered communicator.
+    pub rank: usize,
+    /// World size of the metered communicator.
+    pub size: usize,
+    /// Totals for algorithm traffic (tags below [`RESERVED_TAG_BASE`]).
+    pub logical: ChannelTotals,
+    /// Totals for reserved-tag traffic (collectives, wrapper protocols).
+    pub reserved: ChannelTotals,
+    /// Logical-channel counters indexed by peer rank (`len == size`).
+    pub per_peer: Vec<PeerCounters>,
+    /// Send-side counters per tag, both channels.
+    pub per_tag_sent: BTreeMap<Tag, TagCounters>,
+    /// Wait times of successful blocking receives, in nanoseconds.
+    pub recv_wait_ns: Histogram,
+    /// Payload sizes of logical-channel sends, in bytes.
+    pub sent_sizes: Histogram,
+}
+
+impl Metrics {
+    /// Send-side counters for `tag` (zeros if never used).
+    pub fn sent_for_tag(&self, tag: Tag) -> TagCounters {
+        self.per_tag_sent.get(&tag).copied().unwrap_or_default()
+    }
+
+    /// Internal-consistency violations (empty means the snapshot is
+    /// self-consistent). The chaos harness runs this after every soak cell
+    /// to prove the meter itself never drifts.
+    pub fn consistency_errors(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        if self.per_peer.len() != self.size {
+            errs.push(format!(
+                "per_peer len {} != world size {}",
+                self.per_peer.len(),
+                self.size
+            ));
+            return errs;
+        }
+        let sum =
+            |f: fn(&PeerCounters) -> u64| -> u64 { self.per_peer.iter().map(f).sum::<u64>() };
+        let checks = [
+            ("peer sent msgs", sum(|p| p.sent_msgs), self.logical.sent_msgs),
+            ("peer sent bytes", sum(|p| p.sent_bytes), self.logical.sent_bytes),
+            ("peer recv msgs", sum(|p| p.recv_msgs), self.logical.recv_msgs),
+            ("peer recv bytes", sum(|p| p.recv_bytes), self.logical.recv_bytes),
+        ];
+        for (what, got, want) in checks {
+            if got != want {
+                errs.push(format!("{what}: per-peer sum {got} != channel total {want}"));
+            }
+        }
+        let (mut lm, mut lb, mut rm, mut rb) = (0u64, 0u64, 0u64, 0u64);
+        for (tag, c) in &self.per_tag_sent {
+            if *tag < RESERVED_TAG_BASE {
+                lm += c.msgs;
+                lb += c.bytes;
+            } else {
+                rm += c.msgs;
+                rb += c.bytes;
+            }
+        }
+        if (lm, lb) != (self.logical.sent_msgs, self.logical.sent_bytes) {
+            errs.push(format!(
+                "logical per-tag sums ({lm} msgs, {lb} B) != totals ({} msgs, {} B)",
+                self.logical.sent_msgs, self.logical.sent_bytes
+            ));
+        }
+        if (rm, rb) != (self.reserved.sent_msgs, self.reserved.sent_bytes) {
+            errs.push(format!(
+                "reserved per-tag sums ({rm} msgs, {rb} B) != totals ({} msgs, {} B)",
+                self.reserved.sent_msgs, self.reserved.sent_bytes
+            ));
+        }
+        if self.sent_sizes.count != self.logical.sent_msgs {
+            errs.push(format!(
+                "sent-size histogram count {} != logical sent msgs {}",
+                self.sent_sizes.count, self.logical.sent_msgs
+            ));
+        }
+        if self.sent_sizes.sum != self.logical.sent_bytes {
+            errs.push(format!(
+                "sent-size histogram sum {} != logical sent bytes {}",
+                self.sent_sizes.sum, self.logical.sent_bytes
+            ));
+        }
+        if self.recv_wait_ns.count != self.logical.recv_msgs + self.reserved.recv_msgs {
+            errs.push(format!(
+                "recv-wait histogram count {} != total received msgs {}",
+                self.recv_wait_ns.count,
+                self.logical.recv_msgs + self.reserved.recv_msgs
+            ));
+        }
+        errs
+    }
+}
+
+/// Outstanding-message gauge with a high-water mark.
+#[derive(Debug, Clone, Copy, Default)]
+struct Flight {
+    outstanding: i64,
+    high: i64,
+}
+
+impl Flight {
+    fn on_send(&mut self) {
+        self.outstanding += 1;
+        self.high = self.high.max(self.outstanding);
+    }
+
+    fn on_recv(&mut self) {
+        self.outstanding -= 1;
+    }
+
+    fn high_water(&self) -> u64 {
+        self.high.max(0) as u64
+    }
+}
+
+#[derive(Debug, Default)]
+struct MeterState {
+    logical: ChannelTotals,
+    reserved: ChannelTotals,
+    per_peer: Vec<PeerCounters>,
+    peer_flight: Vec<Flight>,
+    logical_flight: Flight,
+    reserved_flight: Flight,
+    per_tag_sent: BTreeMap<Tag, TagCounters>,
+    recv_wait_ns: Histogram,
+    sent_sizes: Histogram,
+}
+
+impl MeterState {
+    fn sized(p: usize) -> Self {
+        MeterState {
+            per_peer: vec![PeerCounters::default(); p],
+            peer_flight: vec![Flight::default(); p],
+            ..MeterState::default()
+        }
+    }
+}
+
+/// Traffic-metering wrapper around any [`Communicator`]. See the
+/// [module docs](self) for what is recorded and for the positional
+/// (logical vs. wire) accounting contract under `ReliableComm`.
+///
+/// Self-sends that cross the `Communicator` interface are counted like any
+/// other message: the meter observes interface traffic, not network links.
+pub struct MeteredComm<'a, C: Communicator + ?Sized> {
+    inner: &'a C,
+    state: Mutex<MeterState>,
+}
+
+impl<'a, C: Communicator + ?Sized> MeteredComm<'a, C> {
+    /// Wrap `inner`, starting all counters at zero.
+    pub fn new(inner: &'a C) -> Self {
+        MeteredComm { inner, state: Mutex::new(MeterState::sized(inner.size())) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MeterState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Snapshot every counter and histogram recorded so far.
+    pub fn metrics(&self) -> Metrics {
+        let s = self.lock();
+        let mut per_peer = s.per_peer.clone();
+        for (c, f) in per_peer.iter_mut().zip(&s.peer_flight) {
+            c.max_in_flight = f.high_water();
+        }
+        let mut logical = s.logical;
+        logical.max_in_flight = s.logical_flight.high_water();
+        let mut reserved = s.reserved;
+        reserved.max_in_flight = s.reserved_flight.high_water();
+        Metrics {
+            rank: self.inner.rank(),
+            size: self.inner.size(),
+            logical,
+            reserved,
+            per_peer,
+            per_tag_sent: s.per_tag_sent.clone(),
+            recv_wait_ns: s.recv_wait_ns.clone(),
+            sent_sizes: s.sent_sizes.clone(),
+        }
+    }
+
+    /// Zero every counter and histogram (in-flight gauges included).
+    pub fn reset(&self) {
+        let p = self.inner.size();
+        *self.lock() = MeterState::sized(p);
+    }
+
+    fn note_send(&self, dest: usize, tag: Tag, len: usize) {
+        let mut s = self.lock();
+        let entry = s.per_tag_sent.entry(tag).or_default();
+        entry.msgs += 1;
+        entry.bytes += len as u64;
+        if tag < RESERVED_TAG_BASE {
+            s.logical.sent_msgs += 1;
+            s.logical.sent_bytes += len as u64;
+            s.sent_sizes.record(len as u64);
+            s.logical_flight.on_send();
+            if let Some(c) = s.per_peer.get_mut(dest) {
+                c.sent_msgs += 1;
+                c.sent_bytes += len as u64;
+            }
+            if let Some(f) = s.peer_flight.get_mut(dest) {
+                f.on_send();
+            }
+        } else {
+            s.reserved.sent_msgs += 1;
+            s.reserved.sent_bytes += len as u64;
+            s.reserved_flight.on_send();
+        }
+    }
+
+    fn note_recv(&self, src: usize, tag: Tag, len: usize, waited: Duration) {
+        let mut s = self.lock();
+        s.recv_wait_ns.record(waited.as_nanos().min(u128::from(u64::MAX)) as u64);
+        if tag < RESERVED_TAG_BASE {
+            s.logical.recv_msgs += 1;
+            s.logical.recv_bytes += len as u64;
+            s.logical_flight.on_recv();
+            if let Some(c) = s.per_peer.get_mut(src) {
+                c.recv_msgs += 1;
+                c.recv_bytes += len as u64;
+            }
+            if let Some(f) = s.peer_flight.get_mut(src) {
+                f.on_recv();
+            }
+        } else {
+            s.reserved.recv_msgs += 1;
+            s.reserved.recv_bytes += len as u64;
+            s.reserved_flight.on_recv();
+        }
+    }
+}
+
+impl<C: Communicator + ?Sized> Communicator for MeteredComm<'_, C> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn send_buf(&self, dest: usize, tag: Tag, buf: MsgBuf) -> CommResult<()> {
+        let len = buf.len();
+        self.inner.send_buf(dest, tag, buf)?;
+        self.note_send(dest, tag, len);
+        Ok(())
+    }
+
+    fn recv_buf(&self, src: usize, tag: Tag) -> CommResult<MsgBuf> {
+        let start = Instant::now();
+        let msg = self.inner.recv_buf(src, tag)?;
+        self.note_recv(src, tag, msg.len(), start.elapsed());
+        Ok(msg)
+    }
+
+    fn recv_into(&self, src: usize, tag: Tag, buf: &mut [u8]) -> CommResult<usize> {
+        let start = Instant::now();
+        let len = self.inner.recv_into(src, tag, buf)?;
+        self.note_recv(src, tag, len, start.elapsed());
+        Ok(len)
+    }
+
+    fn recv_buf_timeout(&self, src: usize, tag: Tag, timeout: Duration) -> CommResult<MsgBuf> {
+        // Forward so the backend's parked-wait implementation is reached;
+        // only successful receives are recorded.
+        let start = Instant::now();
+        let msg = self.inner.recv_buf_timeout(src, tag, timeout)?;
+        self.note_recv(src, tag, msg.len(), start.elapsed());
+        Ok(msg)
+    }
+
+    fn probe(&self, src: usize, tag: Tag) -> CommResult<Option<usize>> {
+        self.inner.probe(src, tag)
+    }
+
+    fn irecv(&self, src: usize, tag: Tag) -> CommResult<RecvReq> {
+        // Completion funnels back through our overridden recv_* methods via
+        // the wait_* defaults, so posted receives are still metered.
+        self.inner.irecv(src, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultComm, FaultPlan, ReliableComm, ReliableConfig, ThreadComm};
+
+    #[test]
+    fn counts_messages_bytes_and_tags_exactly() {
+        let metrics = ThreadComm::run(2, |comm| {
+            let mc = MeteredComm::new(comm);
+            let me = mc.rank();
+            let peer = 1 - me;
+            mc.send(peer, 7, &[1, 2, 3]).unwrap();
+            mc.send(peer, 9, &[4, 5, 6, 7, 8]).unwrap();
+            assert_eq!(mc.recv(peer, 7).unwrap().len(), 3);
+            assert_eq!(mc.recv(peer, 9).unwrap().len(), 5);
+            mc.metrics()
+        });
+        for (me, m) in metrics.iter().enumerate() {
+            let peer = 1 - me;
+            assert_eq!(m.logical.sent_msgs, 2);
+            assert_eq!(m.logical.sent_bytes, 8);
+            assert_eq!(m.logical.recv_msgs, 2);
+            assert_eq!(m.logical.recv_bytes, 8);
+            assert_eq!(m.per_peer[peer].sent_msgs, 2);
+            assert_eq!(m.per_peer[peer].recv_bytes, 8);
+            assert_eq!(m.per_peer[me].sent_msgs, 0);
+            assert_eq!(m.sent_for_tag(7), TagCounters { msgs: 1, bytes: 3 });
+            assert_eq!(m.sent_for_tag(9), TagCounters { msgs: 1, bytes: 5 });
+            assert_eq!(m.reserved.sent_msgs, 0);
+            assert!(m.consistency_errors().is_empty(), "{:?}", m.consistency_errors());
+        }
+    }
+
+    #[test]
+    fn in_flight_high_water_sees_send_bursts() {
+        let metrics = ThreadComm::run(2, |comm| {
+            let mc = MeteredComm::new(comm);
+            let me = mc.rank();
+            let peer = 1 - me;
+            // Burst three sends before draining: the gauge must hit 3.
+            for i in 0..3u8 {
+                mc.send(peer, 5, &[i]).unwrap();
+            }
+            for _ in 0..3 {
+                mc.recv(peer, 5).unwrap();
+            }
+            mc.metrics()
+        });
+        for m in &metrics {
+            assert_eq!(m.logical.max_in_flight, 3);
+            assert_eq!(m.per_peer[1 - m.rank].max_in_flight, 3);
+        }
+    }
+
+    #[test]
+    fn collectives_land_on_the_reserved_channel_only() {
+        let metrics = ThreadComm::run(4, |comm| {
+            let mc = MeteredComm::new(comm);
+            mc.barrier().unwrap();
+            let sum = mc.allreduce_u64(1, crate::ReduceOp::Sum).unwrap();
+            assert_eq!(sum, 4);
+            mc.metrics()
+        });
+        for m in &metrics {
+            assert_eq!(m.logical.sent_msgs, 0, "no algorithm traffic expected");
+            assert!(m.reserved.sent_msgs > 0);
+            assert_eq!(m.reserved.sent_msgs, m.reserved.recv_msgs);
+            assert!(m.consistency_errors().is_empty(), "{:?}", m.consistency_errors());
+        }
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        ThreadComm::run(2, |comm| {
+            let mc = MeteredComm::new(comm);
+            let peer = 1 - mc.rank();
+            mc.send(peer, 3, &[0; 16]).unwrap();
+            mc.recv(peer, 3).unwrap();
+            mc.reset();
+            let m = mc.metrics();
+            assert_eq!(m.logical, ChannelTotals::default());
+            assert_eq!(m.recv_wait_ns.count, 0);
+            assert!(m.per_tag_sent.is_empty());
+        });
+    }
+
+    /// The ARQ regression test: a meter above `ReliableComm` counts each
+    /// logical message exactly once even when the transport drops frames and
+    /// the ARQ retransmits; a meter below it sees only reserved-tag wire
+    /// frames (retransmits included) and zero logical traffic.
+    #[test]
+    fn arq_retransmits_never_double_count_logical_traffic() {
+        let p = 3;
+        let rounds = 6usize;
+        let payload = 32usize;
+        let results = ThreadComm::run(p, move |comm| {
+            let fc = FaultComm::new(comm, FaultPlan::new(0xA41).with_drop(0.25));
+            let wire = MeteredComm::new(&fc);
+            let rc = ReliableComm::with_config(
+                &wire,
+                ReliableConfig {
+                    ack_timeout: Duration::from_millis(10),
+                    max_retries: 10,
+                    backoff_cap: Duration::from_millis(80),
+                },
+            );
+            let app = MeteredComm::new(&rc);
+            let me = app.rank();
+            let dest = (me + 1) % p;
+            let src = (me + p - 1) % p;
+            for r in 0..rounds {
+                app.send(dest, r as Tag, &vec![r as u8; payload]).unwrap();
+                let got = app.recv(src, r as Tag).unwrap();
+                assert_eq!(got.len(), payload);
+            }
+            rc.quiesce(Duration::from_millis(100), Duration::from_secs(2)).unwrap();
+            (app.metrics(), wire.metrics())
+        });
+        for (app, wire) in &results {
+            // Above the ARQ: exact fault-free logical accounting.
+            assert_eq!(app.logical.sent_msgs, rounds as u64);
+            assert_eq!(app.logical.sent_bytes, (rounds * payload) as u64);
+            assert_eq!(app.logical.recv_msgs, rounds as u64);
+            assert_eq!(app.logical.recv_bytes, (rounds * payload) as u64);
+            assert_eq!(app.reserved.sent_msgs, 0, "no collectives were used");
+            // Below the ARQ: only reserved-tag frames, logical channel empty.
+            assert_eq!(wire.logical.sent_msgs, 0, "ARQ must not leak logical tags");
+            assert!(
+                wire.reserved.sent_msgs >= app.logical.sent_msgs,
+                "each logical message needs at least one wire frame"
+            );
+            assert!(app.consistency_errors().is_empty(), "{:?}", app.consistency_errors());
+            assert!(wire.consistency_errors().is_empty(), "{:?}", wire.consistency_errors());
+        }
+        // The lossy plan actually exercised retransmission somewhere.
+        let total_wire: u64 = results.iter().map(|(_, w)| w.reserved.sent_msgs).sum();
+        let total_app: u64 = results.iter().map(|(a, _)| a.logical.sent_msgs).sum();
+        // Every data frame is acked, so even fault-free wire traffic is
+        // 2× logical; drops push it strictly higher.
+        assert!(total_wire > 2 * total_app, "drop plan should force retransmits");
+    }
+
+    #[test]
+    fn histogram_buckets_cover_the_samples() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 1, 7, 1 << 20, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.max, u64::MAX);
+        assert_eq!(h.buckets[0], 1); // the zero
+        assert_eq!(h.buckets[1], 2); // the ones
+        assert_eq!(h.buckets[3], 1); // 7 ∈ [4, 8)
+        assert_eq!(h.buckets[21], 1); // 2^20 ∈ [2^20, 2^21)
+        assert_eq!(h.buckets[HIST_BUCKETS - 1], 1); // clamped
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+    }
+}

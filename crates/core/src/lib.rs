@@ -63,6 +63,7 @@ mod memory;
 mod model;
 mod nonuniform;
 mod phases;
+pub mod probe;
 mod radix;
 mod uniform;
 

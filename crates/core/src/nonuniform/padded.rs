@@ -4,6 +4,7 @@
 use bruck_comm::{CommResult, Communicator, ReduceOp};
 
 use super::validate_v;
+use crate::probe::span;
 use crate::uniform::zero_rotation_bruck;
 
 /// Padded Bruck non-uniform all-to-all (same contract as `MPI_Alltoallv`).
@@ -28,23 +29,33 @@ pub fn padded_bruck<C: Communicator + ?Sized>(
     let p = validate_v(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)?;
 
     // Phase a: global maximum block size, then pad into a uniform buffer.
-    let local_max = sendcounts.iter().copied().max().unwrap_or(0);
-    let n_max = comm.allreduce_u64(local_max as u64, ReduceOp::Max)? as usize;
+    let n_max = {
+        let _probe = span("padded.allreduce");
+        let local_max = sendcounts.iter().copied().max().unwrap_or(0);
+        comm.allreduce_u64(local_max as u64, ReduceOp::Max)? as usize
+    };
     if n_max == 0 {
         return Ok(()); // nothing anywhere (all blocks empty)
     }
     let mut padded_send = vec![0u8; p * n_max];
-    for dst in 0..p {
-        let d = sdispls[dst];
-        padded_send[dst * n_max..dst * n_max + sendcounts[dst]]
-            .copy_from_slice(&sendbuf[d..d + sendcounts[dst]]);
-    }
     let mut padded_recv = vec![0u8; p * n_max];
+    {
+        let _probe = span("padded.pad");
+        for dst in 0..p {
+            let d = sdispls[dst];
+            padded_send[dst * n_max..dst * n_max + sendcounts[dst]]
+                .copy_from_slice(&sendbuf[d..d + sendcounts[dst]]);
+        }
+    }
 
     // Phase b: uniform Bruck on the padded blocks.
-    zero_rotation_bruck(comm, &padded_send, &mut padded_recv, n_max)?;
+    {
+        let _probe = span("padded.exchange");
+        zero_rotation_bruck(comm, &padded_send, &mut padded_recv, n_max)?;
+    }
 
     // Phase c: scan out the real bytes using recvcounts.
+    let _probe = span("padded.scan");
     for src in 0..p {
         let want = recvcounts[src];
         recvbuf[rdispls[src]..rdispls[src] + want]

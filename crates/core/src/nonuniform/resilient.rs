@@ -40,6 +40,7 @@ use bruck_comm::{CommError, CommResult, Communicator, DeadlineComm, MsgBuf};
 
 use super::{alltoallv, validate_v, AlltoallvAlgorithm};
 use crate::common::{add_mod, sub_mod, RESILIENT_EPOCH_SPAN, RESILIENT_FALLBACK_TAG};
+use crate::probe::span;
 
 /// The holes left by a degraded exchange (ranks are absolute).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -151,10 +152,14 @@ pub fn resilient_alltoallv<C: Communicator + ?Sized>(
     let me = comm.rank();
 
     let primary = {
+        let _probe = span("resilient.primary");
         let dc = DeadlineComm::new(comm, cfg.deadline);
         alltoallv(cfg.algorithm, &dc, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
     }
-    .and_then(|()| DeadlineComm::new(comm, cfg.commit_timeout).barrier());
+    .and_then(|()| {
+        let _probe = span("resilient.commit");
+        DeadlineComm::new(comm, cfg.commit_timeout).barrier()
+    });
 
     let trigger = match primary {
         Ok(()) => return Ok(ExchangeOutcome::Complete),
@@ -184,6 +189,7 @@ fn fallback<C: Communicator + ?Sized>(
     rdispls: &[usize],
     trigger: CommError,
 ) -> CommResult<ExchangeOutcome> {
+    let _probe = span("resilient.fallback");
     let p = comm.size();
     let me = comm.rank();
     let tag = RESILIENT_FALLBACK_TAG + (cfg.epoch % RESILIENT_EPOCH_SPAN);
@@ -389,6 +395,82 @@ mod tests {
             }
         }
         assert!(outcomes.iter().any(|(me, ok)| *me != dead && *ok));
+    }
+
+    #[test]
+    fn partial_report_names_exactly_the_crashed_rank() {
+        // A single scripted crash must produce surgical reports on every
+        // survivor: the dead rank is the *only* hole on either side, and every
+        // survivor-pair block is byte-intact. Budgets are sized so fallback
+        // skew (a survivor stuck in its dead-peer timeout while another waits
+        // on it) stays well inside the per-peer window.
+        let p = 4;
+        let dead = 2usize;
+        let n = 16usize;
+        let outcomes = ThreadComm::run(p, move |comm| {
+            let fc = FaultComm::new(comm, FaultPlan::new(9).with_crash(dead, 1));
+            let rc = ReliableComm::with_config(
+                &fc,
+                ReliableConfig {
+                    ack_timeout: Duration::from_millis(5),
+                    max_retries: 3,
+                    backoff_cap: Duration::from_millis(20),
+                },
+            );
+            let me = rc.rank();
+            let sendcounts = vec![n; p];
+            let sdispls = packed_displs(&sendcounts);
+            let mut sendbuf = vec![0u8; n * p];
+            for dst in 0..p {
+                for idx in 0..n {
+                    sendbuf[sdispls[dst] + idx] = pattern(me, dst, idx);
+                }
+            }
+            let recvcounts = vec![n; p];
+            let rdispls = packed_displs(&recvcounts);
+            let mut recvbuf = vec![0u8; n * p];
+            let cfg = ResilientConfig {
+                deadline: Duration::from_millis(800),
+                commit_timeout: Duration::from_millis(200),
+                peer_timeout: Duration::from_millis(1500),
+                ..ResilientConfig::default()
+            };
+            let out = resilient_alltoallv(
+                &cfg, &rc, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts, &rdispls,
+            );
+            let _ = rc.quiesce(Duration::from_millis(100), Duration::from_secs(1));
+            if me != dead {
+                match &out {
+                    Ok(ExchangeOutcome::Partial { report, .. }) => {
+                        assert_eq!(
+                            report.missing_sources,
+                            vec![dead],
+                            "rank {me}: the crashed rank is the only legal receive hole"
+                        );
+                        assert!(
+                            report.undelivered_dests.iter().all(|d| *d == dead),
+                            "rank {me}: sends may only fail toward the crashed rank, got {:?}",
+                            report.undelivered_dests
+                        );
+                    }
+                    other => panic!("rank {me}: expected a Partial outcome, got {other:?}"),
+                }
+                // Every survivor-pair block (including self) must be intact.
+                for src in (0..p).filter(|s| *s != dead) {
+                    for idx in 0..n {
+                        assert_eq!(
+                            recvbuf[rdispls[src] + idx],
+                            pattern(src, me, idx),
+                            "rank {me}: survivor block from {src} must be intact"
+                        );
+                    }
+                }
+            }
+            (me, out.is_ok())
+        });
+        for (me, ok) in &outcomes {
+            assert_eq!(*me != dead, *ok, "only survivors report usable outcomes");
+        }
     }
 
     #[test]

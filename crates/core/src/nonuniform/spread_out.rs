@@ -4,6 +4,7 @@ use bruck_comm::{CommResult, Communicator, MsgBuf};
 
 use super::validate_v;
 use crate::common::{add_mod, sub_mod, SPREAD_TAG};
+use crate::probe::span;
 
 /// The linear-complexity baseline (§4.1's `Spread-out`): post every send with
 /// `MPI_Isend` semantics, then drain every receive. Peers are offset-ordered
@@ -32,14 +33,18 @@ pub fn spread_out_alltoallv<C: Communicator + ?Sized>(
     }
 
     let packed = MsgBuf::copy_from_slice(sendbuf); // the one pack copy
-    for i in 1..p {
-        let dest = add_mod(me, i, p);
-        comm.isend_buf(
-            dest,
-            SPREAD_TAG,
-            packed.slice(sdispls[dest]..sdispls[dest] + sendcounts[dest]),
-        )?;
+    {
+        let _probe = span("spread_out.send");
+        for i in 1..p {
+            let dest = add_mod(me, i, p);
+            comm.isend_buf(
+                dest,
+                SPREAD_TAG,
+                packed.slice(sdispls[dest]..sdispls[dest] + sendcounts[dest]),
+            )?;
+        }
     }
+    let _probe = span("spread_out.recv");
     for i in 1..p {
         let src = sub_mod(me, i, p);
         let n = comm.recv_into(

@@ -2,12 +2,13 @@
 //! phase, for quantifying each §6.1 design decision (metadata scheme, buffer
 //! management, rotation/scan elimination) — the two-phase-vs-SLOAV ablation.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use bruck_comm::{CommError, CommResult, Communicator, MsgBuf, ReduceOp};
 
 use super::validate_v;
 use crate::common::{add_mod, ceil_log2, data_tag, meta_tag, rotation_index, step_rel_indices, sub_mod};
+use crate::probe::Stopwatch;
 
 /// Per-phase wall-clock breakdown of a non-uniform exchange.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -47,12 +48,12 @@ pub fn two_phase_bruck_timed<C: Communicator + ?Sized>(
     let me = comm.rank();
     let mut t = NonuniformPhases::default();
 
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let local_max = sendcounts.iter().copied().max().unwrap_or(0);
     let n_max = comm.allreduce_u64(local_max as u64, ReduceOp::Max)? as usize;
     t.allreduce = start.elapsed();
 
-    let copy_start = Instant::now();
+    let copy_start = Stopwatch::start();
     recvbuf[rdispls[me]..rdispls[me] + recvcounts[me]]
         .copy_from_slice(&sendbuf[sdispls[me]..sdispls[me] + sendcounts[me]]);
     if p == 1 {
@@ -75,7 +76,7 @@ pub fn two_phase_bruck_timed<C: Communicator + ?Sized>(
         slots.clear();
         slots.extend(step_rel_indices(p, k).map(|i| add_mod(i, me, p)));
 
-        let meta_start = Instant::now();
+        let meta_start = Stopwatch::start();
         let mut meta_wire: Vec<u8> = Vec::with_capacity(slots.len() * 4);
         for &j in &slots {
             let sz = u32::try_from(cur_size[j])
@@ -86,7 +87,7 @@ pub fn two_phase_bruck_timed<C: Communicator + ?Sized>(
             comm.sendrecv_buf(dest, meta_tag(k), MsgBuf::from_vec(meta_wire), src, meta_tag(k))?;
         t.meta_comm += meta_start.elapsed();
 
-        let pack_start = Instant::now();
+        let pack_start = Stopwatch::start();
         let mut data_wire: Vec<u8> = Vec::new();
         for &j in &slots {
             let sz = cur_size[j];
@@ -99,12 +100,12 @@ pub fn two_phase_bruck_timed<C: Communicator + ?Sized>(
         }
         t.local_copy += pack_start.elapsed();
 
-        let data_start = Instant::now();
+        let data_start = Stopwatch::start();
         let data_got =
             comm.sendrecv_buf(dest, data_tag(k), MsgBuf::from_vec(data_wire), src, data_tag(k))?;
         t.data_comm += data_start.elapsed();
 
-        let unpack_start = Instant::now();
+        let unpack_start = Stopwatch::start();
         let mut at = 0;
         for (idx, &j) in slots.iter().enumerate() {
             let sz = u32::from_le_bytes(
@@ -150,7 +151,7 @@ pub fn sloav_alltoallv_timed<C: Communicator + ?Sized>(
         let src = sub_mod(me, hop, p);
         let offsets: Vec<usize> = step_rel_indices(p, k).collect();
 
-        let pack_start = Instant::now();
+        let pack_start = Stopwatch::start();
         let mut combined = Vec::with_capacity(offsets.len() * 4);
         for &i in &offsets {
             let sz = u32::try_from(sizes[i])
@@ -168,7 +169,7 @@ pub fn sloav_alltoallv_timed<C: Communicator + ?Sized>(
         }
         t.local_copy += pack_start.elapsed();
 
-        let meta_start = Instant::now();
+        let meta_start = Stopwatch::start();
         let total = (combined.len() as u64).to_le_bytes();
         let their_total = comm.sendrecv_buf(
             dest,
@@ -180,12 +181,12 @@ pub fn sloav_alltoallv_timed<C: Communicator + ?Sized>(
         let _ = u64::from_le_bytes(their_total.as_slice().try_into().expect("8-byte size header"));
         t.meta_comm += meta_start.elapsed();
 
-        let data_start = Instant::now();
+        let data_start = Stopwatch::start();
         let got =
             comm.sendrecv_buf(dest, data_tag(k), MsgBuf::from_vec(combined), src, data_tag(k))?;
         t.data_comm += data_start.elapsed();
 
-        let unpack_start = Instant::now();
+        let unpack_start = Stopwatch::start();
         let mut at = offsets.len() * 4;
         for (idx, &i) in offsets.iter().enumerate() {
             let sz = u32::from_le_bytes(
@@ -198,7 +199,7 @@ pub fn sloav_alltoallv_timed<C: Communicator + ?Sized>(
         t.local_copy += unpack_start.elapsed();
     }
 
-    let scan_start = Instant::now();
+    let scan_start = Stopwatch::start();
     for i in 0..p {
         let src_rank = sub_mod(me, i, p);
         let want = recvcounts[src_rank];

@@ -19,6 +19,7 @@ use bruck_comm::{CommError, CommResult, Communicator, MsgBuf, ReduceOp};
 
 use super::validate_v;
 use crate::common::{add_mod, ceil_log2, data_tag, meta_tag, rotation_index, step_rel_indices, sub_mod};
+use crate::probe::span;
 
 /// Two-phase Bruck non-uniform all-to-all (same contract as `MPI_Alltoallv`).
 #[allow(clippy::too_many_arguments)]
@@ -35,8 +36,11 @@ pub fn two_phase_bruck<C: Communicator + ?Sized>(
     let me = comm.rank();
 
     // Line 1: global maximum block size N (one allreduce).
-    let local_max = sendcounts.iter().copied().max().unwrap_or(0);
-    let n_max = comm.allreduce_u64(local_max as u64, ReduceOp::Max)? as usize;
+    let n_max = {
+        let _probe = span("two_phase.allreduce");
+        let local_max = sendcounts.iter().copied().max().unwrap_or(0);
+        comm.allreduce_u64(local_max as u64, ReduceOp::Max)? as usize
+    };
 
     // Self block: never communicated (relative index 0).
     recvbuf[rdispls[me]..rdispls[me] + recvcounts[me]]
@@ -71,14 +75,16 @@ pub fn two_phase_bruck<C: Communicator + ?Sized>(
         // Lines 11–13 + 16: metadata — the sizes of the outgoing blocks.
         // The wire buffers are handed to the transport as `MsgBuf`s (the
         // per-step pack is the only copy; the send itself moves the region).
-        let mut meta_wire: Vec<u8> = Vec::with_capacity(slots.len() * 4);
-        for &j in &slots {
-            let sz = u32::try_from(cur_size[j])
-                .map_err(|_| CommError::BadArgument("block size exceeds u32 metadata"))?;
-            meta_wire.extend_from_slice(&sz.to_le_bytes());
-        }
-        let meta_got =
-            comm.sendrecv_buf(dest, meta_tag(k), MsgBuf::from_vec(meta_wire), src, meta_tag(k))?;
+        let meta_got = {
+            let _probe = span("two_phase.meta");
+            let mut meta_wire: Vec<u8> = Vec::with_capacity(slots.len() * 4);
+            for &j in &slots {
+                let sz = u32::try_from(cur_size[j])
+                    .map_err(|_| CommError::BadArgument("block size exceeds u32 metadata"))?;
+                meta_wire.extend_from_slice(&sz.to_le_bytes());
+            }
+            comm.sendrecv_buf(dest, meta_tag(k), MsgBuf::from_vec(meta_wire), src, meta_tag(k))?
+        };
         if meta_got.len() != slots.len() * 4 {
             return Err(CommError::BadArgument("metadata length mismatch"));
         }
@@ -86,19 +92,25 @@ pub fn two_phase_bruck<C: Communicator + ?Sized>(
         // Lines 17–23: pack outgoing blocks — from W if previously received,
         // else from the user's send buffer through the rotation index.
         let mut data_wire: Vec<u8> = Vec::new();
-        for &j in &slots {
-            let sz = cur_size[j];
-            if in_working[j] {
-                data_wire.extend_from_slice(&working[j * n_max..j * n_max + sz]);
-            } else {
-                let d = sdispls[rot[j]];
-                data_wire.extend_from_slice(&sendbuf[d..d + sz]);
+        {
+            let _probe = span("two_phase.pack");
+            for &j in &slots {
+                let sz = cur_size[j];
+                if in_working[j] {
+                    data_wire.extend_from_slice(&working[j * n_max..j * n_max + sz]);
+                } else {
+                    let d = sdispls[rot[j]];
+                    data_wire.extend_from_slice(&sendbuf[d..d + sz]);
+                }
             }
         }
 
         // Line 24 + lines 25–33: coupled data exchange and scatter.
-        let data_got =
-            comm.sendrecv_buf(dest, data_tag(k), MsgBuf::from_vec(data_wire), src, data_tag(k))?;
+        let data_got = {
+            let _probe = span("two_phase.data");
+            comm.sendrecv_buf(dest, data_tag(k), MsgBuf::from_vec(data_wire), src, data_tag(k))?
+        };
+        let _probe = span("two_phase.scatter");
         let mut at = 0;
         for (idx, &j) in slots.iter().enumerate() {
             let sz = u32::from_le_bytes(

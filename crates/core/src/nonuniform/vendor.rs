@@ -11,6 +11,7 @@ use bruck_comm::{CommResult, Communicator, MsgBuf};
 
 use super::validate_v;
 use crate::common::{add_mod, sub_mod, SPREAD_TAG};
+use crate::probe::span;
 
 /// Outstanding-request window (MPICH's `MPIR_CVAR_ALLTOALL_THROTTLE`-style
 /// limit; 32 is the MPICH default).
@@ -41,6 +42,7 @@ pub fn vendor_alltoallv<C: Communicator + ?Sized>(
     let packed = MsgBuf::copy_from_slice(sendbuf);
     let mut next = 1usize;
     while next < p {
+        let _probe = span("vendor.window");
         let batch_end = (next + VENDOR_WINDOW).min(p);
         for i in next..batch_end {
             let dest = add_mod(me, i, p);

@@ -1,6 +1,8 @@
 //! Per-phase wall-clock accounting (the data behind the paper's Figure 2b).
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use crate::probe::Stopwatch;
 
 /// Wall-clock time spent in each phase of an all-to-all call.
 ///
@@ -27,7 +29,7 @@ impl PhaseTimes {
 
 /// Tiny helper: time a closure into one of the phase slots.
 pub(crate) fn timed<T>(slot: &mut Duration, f: impl FnOnce() -> T) -> T {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let out = f();
     *slot += start.elapsed();
     out

@@ -6,6 +6,7 @@ use bruck_datatype::IndexedBlocks;
 use super::validate_uniform;
 use crate::common::{add_mod, ceil_log2, step_rel_indices, sub_mod, uniform_step_tag};
 use crate::phases::{timed, PhaseTimes};
+use crate::probe::span;
 
 /// Basic Bruck with explicit `memcpy` buffer management.
 pub fn basic_bruck<C: Communicator + ?Sized>(
@@ -30,6 +31,7 @@ pub fn basic_bruck_timed<C: Communicator + ?Sized>(
 
     // Phase 1 — local rotation: R[i] = S[(p + i) % P].
     timed(&mut t.setup, || {
+        let _probe = span("basic.rotate");
         for i in 0..p {
             let src = add_mod(me, i, p) * block;
             recvbuf[i * block..(i + 1) * block].copy_from_slice(&sendbuf[src..src + block]);
@@ -40,6 +42,7 @@ pub fn basic_bruck_timed<C: Communicator + ?Sized>(
     timed(&mut t.comm, || -> CommResult<()> {
         let mut wire = Vec::new();
         for k in 0..ceil_log2(p) {
+            let _probe = span("basic.step");
             let hop = 1usize << k;
             let dest = add_mod(me, hop, p);
             let src = sub_mod(me, hop, p);
@@ -60,6 +63,7 @@ pub fn basic_bruck_timed<C: Communicator + ?Sized>(
 
     // Phase 3 — final inverse rotation: R'[i] = R[(p − i) % P].
     timed(&mut t.finalize, || {
+        let _probe = span("basic.final_rotate");
         let staged = recvbuf.to_vec();
         for i in 0..p {
             let from = sub_mod(me, i, p) * block;

@@ -9,6 +9,7 @@ use bruck_datatype::IndexedBlocks;
 use super::validate_uniform;
 use crate::common::{add_mod, ceil_log2, step_rel_indices, sub_mod, uniform_step_tag};
 use crate::phases::{timed, PhaseTimes};
+use crate::probe::span;
 
 /// Modified Bruck with explicit `memcpy` buffer management.
 pub fn modified_bruck<C: Communicator + ?Sized>(
@@ -33,6 +34,7 @@ pub fn modified_bruck_timed<C: Communicator + ?Sized>(
 
     // Phase 1 — re-aimed rotation: R[i] = S[(2p − i) % P].
     timed(&mut t.setup, || {
+        let _probe = span("modified.rotate");
         for i in 0..p {
             let src = ((2 * me + p) - i) % p * block;
             recvbuf[i * block..(i + 1) * block].copy_from_slice(&sendbuf[src..src + block]);
@@ -45,6 +47,7 @@ pub fn modified_bruck_timed<C: Communicator + ?Sized>(
     timed(&mut t.comm, || -> CommResult<()> {
         let mut wire = Vec::new();
         for k in 0..ceil_log2(p) {
+            let _probe = span("modified.step");
             let hop = 1usize << k;
             let dest = sub_mod(me, hop, p);
             let src = add_mod(me, hop, p);

@@ -5,6 +5,7 @@ use bruck_comm::{CommResult, Communicator};
 
 use super::validate_uniform;
 use crate::common::{add_mod, sub_mod, SPREAD_TAG};
+use crate::probe::span;
 
 /// Non-blocking point-to-point exchange: every rank posts P−1 sends and P−1
 /// receives, with peers spread out by rank offset so no destination is
@@ -21,10 +22,14 @@ pub fn spread_out_alltoall<C: Communicator + ?Sized>(
     // Self block first (a local copy, as MPI implementations do).
     recvbuf[me * block..(me + 1) * block].copy_from_slice(&sendbuf[me * block..(me + 1) * block]);
 
-    for i in 1..p {
-        let dest = add_mod(me, i, p);
-        comm.isend(dest, SPREAD_TAG, &sendbuf[dest * block..(dest + 1) * block])?;
+    {
+        let _probe = span("spread_out.send");
+        for i in 1..p {
+            let dest = add_mod(me, i, p);
+            comm.isend(dest, SPREAD_TAG, &sendbuf[dest * block..(dest + 1) * block])?;
+        }
     }
+    let _probe = span("spread_out.recv");
     for i in 1..p {
         let src = sub_mod(me, i, p);
         let n = comm.recv_into(src, SPREAD_TAG, &mut recvbuf[src * block..(src + 1) * block])?;

@@ -18,6 +18,7 @@ use bruck_datatype::IndexedBlocks;
 
 use super::validate_uniform;
 use crate::common::{add_mod, ceil_log2, step_rel_indices, sub_mod, uniform_step_tag};
+use crate::probe::span;
 
 /// Where a block with relative index `i` must live *before* its step-`k`
 /// send so that its last receive lands in `R`: in `R` iff the number of its
@@ -51,6 +52,7 @@ pub fn zero_copy_bruck_dt<C: Communicator + ?Sized>(
     let mut w = vec![0u8; 2 * p * block];
 
     // Re-aimed initial rotation, split by participation parity.
+    let rotate_probe = span("zero_copy.rotate");
     for abs in 0..p {
         let src = ((2 * me + p) - abs) % p * block;
         let rel = sub_mod(abs, me, p);
@@ -58,7 +60,9 @@ pub fn zero_copy_bruck_dt<C: Communicator + ?Sized>(
         w[base + abs * block..base + (abs + 1) * block].copy_from_slice(&sendbuf[src..src + block]);
     }
 
+    drop(rotate_probe);
     for k in 0..ceil_log2(p) {
+        let _probe = span("zero_copy.step");
         let hop = 1usize << k;
         let dest = sub_mod(me, hop, p);
         let src = add_mod(me, hop, p);

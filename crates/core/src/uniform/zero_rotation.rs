@@ -14,6 +14,7 @@ use bruck_comm::{CommResult, Communicator, MsgBuf};
 use super::validate_uniform;
 use crate::common::{add_mod, ceil_log2, rotation_index, step_rel_indices, sub_mod, uniform_step_tag};
 use crate::phases::{timed, PhaseTimes};
+use crate::probe::span;
 
 /// Zero Rotation Bruck with explicit `memcpy` buffer management.
 pub fn zero_rotation_bruck<C: Communicator + ?Sized>(
@@ -38,13 +39,17 @@ pub fn zero_rotation_bruck_timed<C: Communicator + ?Sized>(
     let mut t = PhaseTimes::default();
 
     // Phase 1 — O(P) rotation index array instead of an O(P·n) data rotation.
-    let rot = timed(&mut t.setup, || rotation_index(me, p));
+    let rot = timed(&mut t.setup, || {
+        let _probe = span("zero_rotation.setup");
+        rotation_index(me, p)
+    });
 
     timed(&mut t.comm, || -> CommResult<()> {
         // received[j]: slot j's current data lives in recvbuf (it has been
         // received in an earlier step) rather than in sendbuf[I[j]].
         let mut received = vec![false; p];
         for k in 0..ceil_log2(p) {
+            let _probe = span("zero_rotation.step");
             let hop = 1usize << k;
             let dest = sub_mod(me, hop, p);
             let src = add_mod(me, hop, p);

@@ -164,6 +164,21 @@ impl CommTrace {
         seen.then_some(total)
     }
 
+    /// Messages `rank` sends under wire tag `tag` (sequential + overlapped),
+    /// for conformance checks against a metered communicator.
+    pub fn msgs_for_tag(&self, rank: usize, tag: u32) -> Option<u64> {
+        let mut total = 0u64;
+        let mut seen = false;
+        for step in &self.steps {
+            if step.kind.tag() == Some(tag) {
+                let load = step.load_of(rank)?;
+                total += u64::from(load.seq_msgs) + u64::from(load.ov_msgs);
+                seen = true;
+            }
+        }
+        seen.then_some(total)
+    }
+
     /// Every wire tag appearing in the trace, in step order (deduplicated).
     pub fn wire_tags(&self) -> Vec<u32> {
         let mut tags = Vec::new();
@@ -250,5 +265,24 @@ mod tests {
         assert_eq!(t.wire_bytes_out(0), Some(72));
         assert_eq!(t.wire_bytes_out(1), None, "rank 1 not covered");
         assert_eq!(t.wire_tags(), vec![0x200, 0x300]);
+    }
+
+    #[test]
+    fn msgs_for_tag_counts_both_message_classes() {
+        let pair = RankLoad { seq_msgs: 1, ov_msgs: 3, bytes_out: 16, ..Default::default() };
+        let t = CommTrace {
+            p: 2,
+            steps: vec![
+                Step { kind: StepKind::Data(0), loads: vec![(0, mk_load(64))] },
+                Step { kind: StepKind::Data(1), loads: vec![(0, mk_load(64))] },
+                Step { kind: StepKind::Pairwise { throttled: false }, loads: vec![(0, pair)] },
+                Step { kind: StepKind::Local, loads: vec![(0, RankLoad::default())] },
+            ],
+        };
+        assert_eq!(t.msgs_for_tag(0, 0x300), Some(1));
+        assert_eq!(t.msgs_for_tag(0, 0x301), Some(1));
+        assert_eq!(t.msgs_for_tag(0, 0x400), Some(4), "seq + overlapped");
+        assert_eq!(t.msgs_for_tag(0, 0x999), None);
+        assert_eq!(t.msgs_for_tag(1, 0x300), None, "rank 1 not covered");
     }
 }

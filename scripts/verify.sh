@@ -6,6 +6,10 @@ cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE=true
 cargo build --workspace --release
 cargo test --workspace -q
+# Observability conformance gate (DESIGN.md §10): every algorithm × workload
+# cell under MeteredComm must match the closed-form model's phase counts,
+# message counts, and byte volumes.
+cargo test --release -q --test conformance
 # Static gates (DESIGN.md §8): source lint with audited allowlist, then the
 # protocol-analysis matrix (every algorithm × workload under the model
 # communicator). Both exit non-zero on any unallowlisted finding.
@@ -15,3 +19,7 @@ cargo run --release -p bruck-check --bin bruck-check
 # soak matrix under a watchdog, asserting the crash-only property. Seeds can
 # be overridden with BRUCK_CHAOS_SEEDS=1,2,3.
 cargo run --release -p bruck-check --bin bruck-chaos -- --smoke
+# Bench smoke with observability artifacts: BENCH_PR4.json (per-cell report,
+# metering overhead advisory) and BENCH_PR4.trace.json (chrome trace_events).
+# Exits non-zero on any metering consistency error.
+cargo run --release -p bruck-bench --bin smoke -- BENCH_PR4.json BENCH_PR4.trace.json

@@ -1,0 +1,351 @@
+//! Model-vs-measured conformance suite (the `bruck-probe` headline test).
+//!
+//! Every algorithm × workload cell runs under [`MeteredComm`] with the
+//! `bruck-core` phase recorder installed, and three measured quantities are
+//! checked against closed-form predictions from `bruck-model`:
+//!
+//! * **Message counts** — per wire tag, *exact* ([`CommTrace::msgs_for_tag`]).
+//! * **Byte volumes** — per wire tag: exact for the direct algorithms; for
+//!   padded Bruck the assertion is a bounded band of one pad quantum
+//!   (8 bytes, the `u64` length granularity the padding machinery rounds
+//!   with) per predicted message — see DESIGN.md §10 for why the band is
+//!   sized this way.
+//! * **Phase counts** — the span timeline must contain *exactly* the named
+//!   phases the algorithm declares, with per-step phases appearing once per
+//!   step.
+//!
+//! A deliberately miscounted fixture (a trace with one extra predicted
+//! message / inflated bytes) must make the checker report violations — the
+//! negative control that proves the suite can fail.
+//!
+//! The checker is a pure function returning violation strings, so the
+//! negative tests exercise the exact code path the positive cells assert
+//! empty.
+
+use bruck_comm::{Communicator, MeteredComm, Metrics, ThreadComm};
+use bruck_core::common::ceil_log2;
+use bruck_core::probe::{self, PhaseEvent};
+use bruck_core::{alltoall, alltoallv, packed_displs, AlltoallAlgorithm, AlltoallvAlgorithm};
+use bruck_model::{nonuniform_trace, uniform_trace, CommTrace, MatrixSource, NonuniformAlgo,
+    RankSample, UniformAlgo};
+use bruck_workload::{Distribution, SizeMatrix};
+
+const SEED: u64 = 0xC04F;
+const WORLD_SIZES: [usize; 2] = [8, 12];
+
+/// How predicted vs measured bytes are compared for one cell.
+#[derive(Clone, Copy)]
+enum ByteRule {
+    /// Measured bytes must equal the prediction.
+    Exact,
+    /// |measured − predicted| ≤ `quantum` × predicted messages: padding may
+    /// shift volume by up to one pad quantum per message, never more.
+    Quantum(u64),
+}
+
+impl ByteRule {
+    fn holds(self, got: u64, want_bytes: u64, want_msgs: u64) -> bool {
+        match self {
+            ByteRule::Exact => got == want_bytes,
+            ByteRule::Quantum(q) => got.abs_diff(want_bytes) <= q * want_msgs,
+        }
+    }
+}
+
+/// Compare one rank's metered counters against the model trace. Returns one
+/// violation string per mismatch; empty = conformant.
+fn conformance_violations(
+    rank: usize,
+    metrics: &Metrics,
+    trace: &CommTrace,
+    rule: ByteRule,
+) -> Vec<String> {
+    let mut v = metrics.consistency_errors();
+    let mut predicted_msgs = 0u64;
+    let mut predicted_bytes = 0u64;
+    for tag in trace.wire_tags() {
+        let Some(want_msgs) = trace.msgs_for_tag(rank, tag) else {
+            v.push(format!("rank {rank}: trace does not cover rank for tag {tag:#x}"));
+            continue;
+        };
+        let want_bytes = trace.bytes_for_tag(rank, tag).unwrap_or(0);
+        predicted_msgs += want_msgs;
+        predicted_bytes += want_bytes;
+        let got = metrics.sent_for_tag(tag);
+        if got.msgs != want_msgs {
+            v.push(format!(
+                "rank {rank} tag {tag:#x}: sent {} messages, model predicts {want_msgs}",
+                got.msgs
+            ));
+        }
+        if !rule.holds(got.bytes, want_bytes, want_msgs) {
+            v.push(format!(
+                "rank {rank} tag {tag:#x}: sent {} bytes, model predicts {want_bytes} \
+                 (outside tolerance)",
+                got.bytes
+            ));
+        }
+    }
+    // No logical traffic outside the predicted tags: channel totals must be
+    // fully explained by the trace.
+    if metrics.logical.sent_msgs != predicted_msgs {
+        v.push(format!(
+            "rank {rank}: {} logical messages total, model explains {predicted_msgs}",
+            metrics.logical.sent_msgs
+        ));
+    }
+    if !rule.holds(metrics.logical.sent_bytes, predicted_bytes, predicted_msgs) {
+        v.push(format!(
+            "rank {rank}: {} logical bytes total, model explains {predicted_bytes} \
+             (outside tolerance)",
+            metrics.logical.sent_bytes
+        ));
+    }
+    v
+}
+
+/// Compare a rank's span timeline against the declared phase list: every
+/// expected name must appear exactly `count` times, and nothing else at all.
+fn phase_violations(rank: usize, events: &[PhaseEvent], expected: &[(&str, u64)]) -> Vec<String> {
+    let mut v = Vec::new();
+    for &(name, count) in expected {
+        let got = events.iter().filter(|e| e.name == name).count() as u64;
+        if got != count {
+            v.push(format!("rank {rank}: phase '{name}' recorded {got} times, expected {count}"));
+        }
+    }
+    let total: u64 = expected.iter().map(|&(_, c)| c).sum();
+    if events.len() as u64 != total {
+        let unexpected: Vec<&str> = events
+            .iter()
+            .map(|e| e.name)
+            .filter(|n| !expected.iter().any(|&(e, _)| e == *n))
+            .collect();
+        v.push(format!(
+            "rank {rank}: {} phase events recorded, expected {total} (unexpected: {unexpected:?})",
+            events.len()
+        ));
+    }
+    v
+}
+
+/// The three workload shapes of the conformance matrix.
+fn workloads(p: usize) -> Vec<(String, SizeMatrix)> {
+    // Hand-built sparse matrix: most pairs silent, a few asymmetric heavy
+    // pairs. Exercises zero-byte messages and n_max >> mean.
+    let sparse = SizeMatrix::from_rows(
+        (0..p)
+            .map(|src| {
+                (0..p)
+                    .map(|dst| if (src + 2 * dst) % 3 == 0 { 7 * src + dst + 1 } else { 0 })
+                    .collect()
+            })
+            .collect(),
+    );
+    vec![
+        ("uniform".to_string(), SizeMatrix::generate(Distribution::Uniform, SEED, p, 48)),
+        (
+            "power-law-0.99".to_string(),
+            SizeMatrix::generate(Distribution::POWER_LAW_STEEP, SEED, p, 96),
+        ),
+        ("sparse".to_string(), sparse),
+    ]
+}
+
+/// Run one non-uniform cell and return `(per-rank metrics, per-rank events)`.
+fn run_metered_v(algo: AlltoallvAlgorithm, m: &SizeMatrix) -> Vec<(Metrics, Vec<PhaseEvent>)> {
+    let p = m.p();
+    ThreadComm::run(p, |comm| {
+        let mc = MeteredComm::new(comm);
+        let me = mc.rank();
+        let sendcounts = m.sendcounts(me);
+        let sdispls = packed_displs(&sendcounts);
+        let sendbuf: Vec<u8> = (0..sendcounts.iter().sum()).map(|i| (i * 31) as u8).collect();
+        let recvcounts = m.recvcounts(me);
+        let rdispls = packed_displs(&recvcounts);
+        let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+        probe::install();
+        alltoallv(algo, &mc, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts, &rdispls)
+            .unwrap();
+        (mc.metrics(), probe::take())
+    })
+}
+
+/// The expected phase timeline of a non-uniform algorithm at world size `p`.
+fn expected_phases_v(algo: AlltoallvAlgorithm, p: usize) -> Vec<(&'static str, u64)> {
+    let steps = u64::from(ceil_log2(p));
+    match algo {
+        AlltoallvAlgorithm::TwoPhaseBruck => vec![
+            ("two_phase.allreduce", 1),
+            ("two_phase.meta", steps),
+            ("two_phase.pack", steps),
+            ("two_phase.data", steps),
+            ("two_phase.scatter", steps),
+        ],
+        AlltoallvAlgorithm::PaddedBruck => vec![
+            ("padded.allreduce", 1),
+            ("padded.pad", 1),
+            ("padded.exchange", 1),
+            ("padded.scan", 1),
+            // Nested: padded's exchange phase is Zero Rotation Bruck.
+            ("zero_rotation.setup", 1),
+            ("zero_rotation.step", steps),
+        ],
+        AlltoallvAlgorithm::SpreadOut => vec![("spread_out.send", 1), ("spread_out.recv", 1)],
+        // One window span per batch of 32 peers.
+        AlltoallvAlgorithm::Vendor => vec![("vendor.window", (p as u64 - 1).div_ceil(32))],
+        other => panic!("no phase expectation table for {other:?}"),
+    }
+}
+
+/// Positive direction: run the cell, assert zero violations of any kind.
+fn assert_cell_conformant(
+    algo: AlltoallvAlgorithm,
+    model: NonuniformAlgo,
+    label: &str,
+    m: &SizeMatrix,
+    rule: ByteRule,
+) {
+    let p = m.p();
+    let trace = nonuniform_trace(model, &MatrixSource(m), &RankSample::all(p));
+    let expected_spans = expected_phases_v(algo, p);
+    for (rank, (metrics, events)) in run_metered_v(algo, m).iter().enumerate() {
+        let mut v = conformance_violations(rank, metrics, &trace, rule);
+        v.extend(phase_violations(rank, events, &expected_spans));
+        assert!(v.is_empty(), "{algo:?} / {label} / p={p} rank {rank}:\n{}", v.join("\n"));
+    }
+}
+
+#[test]
+fn two_phase_bruck_conforms_to_model() {
+    for p in WORLD_SIZES {
+        for (label, m) in workloads(p) {
+            assert_cell_conformant(
+                AlltoallvAlgorithm::TwoPhaseBruck,
+                NonuniformAlgo::TwoPhaseBruck,
+                &label,
+                &m,
+                ByteRule::Exact,
+            );
+        }
+    }
+}
+
+#[test]
+fn padded_bruck_conforms_to_model() {
+    for p in WORLD_SIZES {
+        for (label, m) in workloads(p) {
+            assert_cell_conformant(
+                AlltoallvAlgorithm::PaddedBruck,
+                NonuniformAlgo::PaddedBruck,
+                &label,
+                &m,
+                ByteRule::Quantum(8),
+            );
+        }
+    }
+}
+
+#[test]
+fn spread_out_conforms_to_model() {
+    for p in WORLD_SIZES {
+        for (label, m) in workloads(p) {
+            assert_cell_conformant(
+                AlltoallvAlgorithm::SpreadOut,
+                NonuniformAlgo::SpreadOut,
+                &label,
+                &m,
+                ByteRule::Exact,
+            );
+        }
+    }
+}
+
+#[test]
+fn vendor_conforms_to_model() {
+    for p in WORLD_SIZES {
+        for (label, m) in workloads(p) {
+            assert_cell_conformant(
+                AlltoallvAlgorithm::Vendor,
+                NonuniformAlgo::Vendor,
+                &label,
+                &m,
+                ByteRule::Exact,
+            );
+        }
+    }
+}
+
+#[test]
+fn uniform_zero_rotation_conforms_to_model() {
+    // The uniform radix-2 contribution: three block sizes stand in for the
+    // workload shapes (a uniform exchange has no distribution axis).
+    for p in WORLD_SIZES {
+        for n in [4usize, 64, 257] {
+            let trace = uniform_trace(UniformAlgo::ZeroRotationBruck, p, n, &RankSample::all(p));
+            let steps = u64::from(ceil_log2(p));
+            let expected_spans =
+                vec![("zero_rotation.setup", 1), ("zero_rotation.step", steps)];
+            let results = ThreadComm::run(p, |comm| {
+                let mc = MeteredComm::new(comm);
+                let me = mc.rank();
+                let sendbuf: Vec<u8> = (0..p * n).map(|i| (i + me) as u8).collect();
+                let mut recvbuf = vec![0u8; p * n];
+                probe::install();
+                alltoall(AlltoallAlgorithm::ZeroRotationBruck, &mc, &sendbuf, &mut recvbuf, n)
+                    .unwrap();
+                (mc.metrics(), probe::take())
+            });
+            for (rank, (metrics, events)) in results.iter().enumerate() {
+                let mut v = conformance_violations(rank, metrics, &trace, ByteRule::Exact);
+                v.extend(phase_violations(rank, events, &expected_spans));
+                assert!(v.is_empty(), "zero-rotation / p={p} n={n} rank {rank}:\n{}", v.join("\n"));
+            }
+        }
+    }
+}
+
+#[test]
+fn miscounted_fixture_fails_the_checker() {
+    // Negative control: the same measured run, checked against a trace with
+    // one extra predicted message, must produce violations on every rank.
+    let p = 8;
+    let m = SizeMatrix::generate(Distribution::Uniform, SEED, p, 48);
+    let mut trace = nonuniform_trace(NonuniformAlgo::TwoPhaseBruck, &MatrixSource(&m), &RankSample::all(p));
+    let step = trace
+        .steps
+        .iter_mut()
+        .find(|s| matches!(s.kind, bruck_model::StepKind::Data(0)))
+        .expect("two-phase trace has a Data(0) step");
+    for (_, load) in &mut step.loads {
+        load.seq_msgs += 1; // the deliberate miscount
+        load.bytes_out += 1_000_000;
+    }
+    let results = run_metered_v(AlltoallvAlgorithm::TwoPhaseBruck, &m);
+    for (rank, (metrics, _)) in results.iter().enumerate() {
+        let v = conformance_violations(rank, metrics, &trace, ByteRule::Exact);
+        assert!(
+            v.iter().any(|s| s.contains("messages")) && v.iter().any(|s| s.contains("bytes")),
+            "rank {rank}: miscounted fixture must fail both counts and bytes, got {v:?}"
+        );
+    }
+    // And the quantum rule must not absorb a million-byte error either.
+    for (rank, (metrics, _)) in results.iter().enumerate() {
+        let v = conformance_violations(rank, metrics, &trace, ByteRule::Quantum(8));
+        assert!(!v.is_empty(), "rank {rank}: tolerance must not hide gross miscounts");
+    }
+}
+
+#[test]
+fn misnamed_phase_fixture_fails_the_checker() {
+    // Phase-count negative control: expecting a span the algorithm never
+    // emits (and the wrong count for one it does) must be reported.
+    let p = 8;
+    let m = SizeMatrix::generate(Distribution::Uniform, SEED, p, 32);
+    let results = run_metered_v(AlltoallvAlgorithm::SpreadOut, &m);
+    let wrong = [("spread_out.send", 2u64), ("spread_out.warp", 1u64)];
+    for (rank, (_, events)) in results.iter().enumerate() {
+        let v = phase_violations(rank, events, &wrong);
+        assert!(v.len() >= 2, "rank {rank}: expected both phase violations, got {v:?}");
+    }
+}

@@ -87,6 +87,62 @@ fn spread_out_moves_exactly_the_matrix() {
     }
 }
 
+/// §4 regime boundary, message-count form: per-rank wire message counts are
+/// 2·⌈log₂P⌉ for two-phase vs P−1 for spread-out *whatever the matrix looks
+/// like* — density shifts bytes, never message counts — so the count
+/// crossover sits purely in P (log vs linear), exactly where the paper puts
+/// the latency-dominated regime.
+#[test]
+fn message_count_crossover_is_density_independent() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xAB31 ^ case);
+        let m = random_matrix(&mut rng);
+        let p = m.p();
+        let src = MatrixSource(&m);
+        let sample = RankSample::all(p);
+        let two = nonuniform_trace(NonuniformAlgo::TwoPhaseBruck, &src, &sample);
+        let spread = nonuniform_trace(NonuniformAlgo::SpreadOut, &src, &sample);
+        let logp = u64::from(bruck_core::common::ceil_log2(p));
+        for rank in 0..p {
+            let msgs = |t: &bruck_model::CommTrace| -> u64 {
+                t.wire_tags().iter().map(|&tag| t.msgs_for_tag(rank, tag).unwrap()).sum()
+            };
+            assert_eq!(msgs(&two), 2 * logp, "case {case} rank {rank}: meta + data per step");
+            assert_eq!(msgs(&spread), p as u64 - 1, "case {case} rank {rank}");
+        }
+    }
+}
+
+/// §4 regime boundary, cost form: along an N sweep the closed-form winner
+/// between two-phase and spread-out flips exactly once — two-phase below,
+/// spread-out above — at the analytic crossover
+/// `N* = 2(α(P−1−2L) − 4βLB) / (β(LB − (P−1)))` with `L = ⌈log₂P⌉`,
+/// `B = (P+1)/2` (equate equations (2) and the linear baseline of §3.3).
+#[test]
+fn cost_crossover_matches_the_analytic_boundary() {
+    use bruck_core::{spread_out_cost, two_phase_bruck_cost, CostParams};
+    let params = CostParams::default();
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x4B0D ^ case);
+        let p = rng.next_range(8, 4096) as usize;
+        let l = f64::from(bruck_core::common::ceil_log2(p));
+        let b = (p as f64 + 1.0) / 2.0;
+        let num = params.alpha * (p as f64 - 1.0 - 2.0 * l) - 4.0 * params.beta * l * b;
+        let den = params.beta * (l * b - (p as f64 - 1.0));
+        assert!(num > 0.0 && den > 0.0, "case {case} p={p}: crossover must exist");
+        let n_star = 2.0 * num / den;
+        for e in 0..=24u32 {
+            let n = 1usize << e;
+            let two_wins = two_phase_bruck_cost(p, n, &params) < spread_out_cost(p, n, &params);
+            if (n as f64) < 0.99 * n_star {
+                assert!(two_wins, "case {case} p={p} n={n}: below N*={n_star:.0}");
+            } else if (n as f64) > 1.01 * n_star {
+                assert!(!two_wins, "case {case} p={p} n={n}: above N*={n_star:.0}");
+            }
+        }
+    }
+}
+
 /// Time predictions are finite, non-negative, and monotone in the
 /// machine's beta.
 #[test]
