@@ -22,6 +22,11 @@
 //! reliable transport, resilient driver — across an algorithm × fault-plan
 //! matrix under a watchdog, asserting the crash-only property (DESIGN.md §9).
 //!
+//! A fifth layer, the [`sim_matrix`] module (binary `bruck-sim`), fuzzes the
+//! *schedule* dimension: every algorithm runs under `bruck-comm`'s
+//! deterministic simulator across seeded interleavings with a virtual clock,
+//! with recorded, replayable, shrinkable schedule traces (DESIGN.md §11).
+//!
 //! The verifier's model, guarantees, and non-guarantees are documented in
 //! DESIGN.md §8.
 
@@ -33,3 +38,4 @@ pub mod chaos;
 pub mod lint;
 pub mod matrix;
 pub mod model;
+pub mod sim_matrix;

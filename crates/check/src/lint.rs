@@ -27,6 +27,11 @@
 //!   `probe.rs`: algorithm phase timing must go through the `probe::span`
 //!   layer (so it vanishes when probing is disabled and lands in the trace
 //!   exporter), never through ad-hoc stopwatches scattered in algorithms.
+//! * `no-adhoc-sleep` — `thread::sleep(` in `crates/core` or `crates/comm`
+//!   outside `crates/comm/src/clock.rs`: waiting must go through
+//!   `Communicator::sleep` (backed by the clock layer), so the deterministic
+//!   simulator can replace it with virtual time. An ad-hoc real sleep is
+//!   invisible to `SimComm` and reintroduces wall-clock flakiness.
 //!
 //! Test code (`#[cfg(test)]` regions, tracked by brace depth) is exempt from
 //! the unwrap/expect/relaxed rules; `unsafe` is flagged even in tests.
@@ -216,6 +221,11 @@ fn scan_file(rel: &str, text: &str, out: &mut Vec<LintFinding>) {
     // The probe module is the one sanctioned stopwatch site in bruck-core.
     let instant_banned =
         rel.starts_with("crates/core/") && rel != "crates/core/src/probe.rs";
+    // The clock module is the one sanctioned real-sleep site: everything
+    // else goes through `Communicator::sleep`, which the simulator overrides
+    // with virtual time.
+    let sleep_banned = (rel.starts_with("crates/core/") || rel.starts_with("crates/comm/"))
+        && rel != "crates/comm/src/clock.rs";
     // Whole-file test modules (`#[cfg(test)] mod foo_tests;` in the crate
     // root) carry the cfg on the *declaration*, invisible from the file
     // itself; go by the naming convention.
@@ -285,6 +295,11 @@ fn scan_file(rel: &str, text: &str, out: &mut Vec<LintFinding>) {
             if instant_banned {
                 for _ in san.match_indices("Instant::now(") {
                     push("no-adhoc-instant");
+                }
+            }
+            if sleep_banned {
+                for _ in san.match_indices("thread::sleep(") {
+                    push("no-adhoc-sleep");
                 }
             }
             for _ in san.match_indices(".unwrap()") {
@@ -451,6 +466,35 @@ mod tests {
         assert!(scan_str("crates/core/src/uniform/basic.rs", test_src)
             .iter()
             .all(|f| f.rule != "no-adhoc-instant"));
+    }
+
+    #[test]
+    fn adhoc_sleep_flagged_in_core_and_comm_outside_clock() {
+        let src = "fn f() { std::thread::sleep(d); }\n";
+        assert!(scan_str("crates/core/src/nonuniform/spread_out.rs", src)
+            .iter()
+            .any(|f| f.rule == "no-adhoc-sleep"));
+        assert!(scan_str("crates/comm/src/reliable.rs", src)
+            .iter()
+            .any(|f| f.rule == "no-adhoc-sleep"));
+        // The clock module is the sanctioned real-sleep site...
+        assert!(scan_str("crates/comm/src/clock.rs", src)
+            .iter()
+            .all(|f| f.rule != "no-adhoc-sleep"));
+        // ...and the rule does not govern crates outside core/comm.
+        assert!(scan_str("crates/bench/src/lib.rs", src)
+            .iter()
+            .all(|f| f.rule != "no-adhoc-sleep"));
+        // Test code may still block a real thread (e.g. racing a mailbox).
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn g() { std::thread::sleep(d); }\n}\n";
+        assert!(scan_str("crates/comm/src/mailbox.rs", test_src)
+            .iter()
+            .all(|f| f.rule != "no-adhoc-sleep"));
+        // The bare `thread::sleep(` spelling is caught too.
+        let bare = "use std::thread;\nfn f() { thread::sleep(d); }\n";
+        assert!(scan_str("crates/comm/src/fault.rs", bare)
+            .iter()
+            .any(|f| f.rule == "no-adhoc-sleep"));
     }
 
     #[test]

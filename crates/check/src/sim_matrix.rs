@@ -1,0 +1,509 @@
+//! The `bruck-sim` deterministic-schedule fuzz matrix.
+//!
+//! Every cell runs one full non-uniform exchange under
+//! [`bruck_comm::SimComm`] — the cooperative token-passing scheduler with a
+//! virtual clock — so the *interleaving itself* is an input: a cell is
+//! `(algorithm, workload, schedule seed)`, optionally composed with a
+//! [`bruck_comm::FaultPlan`] behind [`bruck_comm::ReliableComm`] and the
+//! resilient driver, in which case schedule determinism plus fault
+//! determinism makes the whole chaos cell bit-reproducible.
+//!
+//! Each cell is executed **twice** with the same seed; the harness asserts
+//! the schedule traces and result digests are byte-identical (the
+//! reproducibility contract a replayable fuzzer stands on), then verifies
+//! the received bytes against the closed-form pattern. A failing cell's
+//! recorded schedule is handed back so the caller (the `bruck-sim` binary)
+//! can save it to a trace file, print the one-command replay, and shrink it.
+
+use bruck_comm::{
+    shrink_choices, Communicator, FaultComm, FaultPlan, ReliableComm, ReliableConfig,
+    ScheduleTrace, SimComm, SimConfig,
+};
+use bruck_core::{
+    alltoallv, packed_displs, resilient_alltoallv, AlltoallvAlgorithm, ExchangeOutcome,
+    ResilientConfig,
+};
+use bruck_workload::{Distribution, SizeMatrix};
+use std::time::Duration;
+
+/// Deterministic pattern byte for (source, destination, offset-in-block) —
+/// the same convention as the chaos harness.
+fn pattern(src: usize, dst: usize, idx: usize) -> u8 {
+    (src.wrapping_mul(167) ^ dst.wrapping_mul(59) ^ idx.wrapping_mul(13)) as u8
+}
+
+/// SplitMix64 step for result digests.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Workload distributions the matrix draws from, by stable index (the index
+/// is what goes into a trace file's `meta` line, so order is part of the
+/// trace format).
+pub const DISTRIBUTIONS: [Distribution; 3] =
+    [Distribution::Uniform, Distribution::Normal, Distribution::POWER_LAW_STEEP];
+
+/// Named fault plans available to sim cells, by stable name. All are
+/// repaired by the reliable layer, so every cell must complete lossless;
+/// the point here is *reproducibility* of the whole chaos stack, which the
+/// determinism re-run asserts.
+pub fn fault_plan(name: &str, seed: u64, p: usize) -> Option<FaultPlan> {
+    match name {
+        "none" => None,
+        "clean" => Some(FaultPlan::new(seed)),
+        "lossy" => Some(
+            FaultPlan::new(seed)
+                .with_drop(0.05)
+                .with_duplicate(0.05)
+                .with_corrupt(0.04)
+                .with_delay(0.2, 16),
+        ),
+        "stall" => Some(FaultPlan::new(seed).with_stall(1 % p.max(1), 3, 40)),
+        _ => None,
+    }
+}
+
+/// Fault-plan names in `meta`-stable order.
+pub const FAULT_NAMES: [&str; 4] = ["none", "clean", "lossy", "stall"];
+
+/// One cell of the simulation matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimCell {
+    /// Algorithm under test (index into [`AlltoallvAlgorithm::ALL`]).
+    pub algo: AlltoallvAlgorithm,
+    /// Workload distribution (index into [`DISTRIBUTIONS`]).
+    pub dist_idx: usize,
+    /// World size.
+    pub p: usize,
+    /// Densest row/column size in the workload matrix.
+    pub n_max: usize,
+    /// Seed for the workload matrix.
+    pub workload_seed: u64,
+    /// Seed for the scheduler's choices — the fuzzed input.
+    pub sched_seed: u64,
+    /// Fault plan name from [`FAULT_NAMES`] ("none" = plain transport).
+    pub fault: String,
+}
+
+impl SimCell {
+    /// Short human-readable label for reports and trace file names.
+    pub fn label(&self) -> String {
+        format!(
+            "{}-{}-p{}-n{}-w{}-s{}-{}",
+            self.algo.name().replace([' ', '_'], ""),
+            DISTRIBUTIONS[self.dist_idx].label(),
+            self.p,
+            self.n_max,
+            self.workload_seed,
+            self.sched_seed,
+            self.fault
+        )
+    }
+
+    /// Encode the cell into a trace `meta` line so a saved trace is
+    /// self-describing: `bruck-sim --replay file` reconstructs the cell
+    /// from this.
+    pub fn encode_meta(&self) -> String {
+        let algo_idx = AlltoallvAlgorithm::ALL
+            .iter()
+            .position(|a| a == &self.algo)
+            .unwrap_or(0);
+        format!(
+            "cell algo={algo_idx} dist={} p={} n={} wseed={} sseed={} fault={}",
+            self.dist_idx, self.p, self.n_max, self.workload_seed, self.sched_seed, self.fault
+        )
+    }
+
+    /// Decode a cell from a trace `meta` line written by
+    /// [`SimCell::encode_meta`].
+    pub fn decode_meta(meta: &str) -> Result<SimCell, String> {
+        let mut toks = meta.split_whitespace();
+        if toks.next() != Some("cell") {
+            return Err(format!("not a cell meta line: {meta:?}"));
+        }
+        let mut algo_idx = None;
+        let mut dist_idx = None;
+        let mut p = None;
+        let mut n = None;
+        let mut wseed = None;
+        let mut sseed = None;
+        let mut fault = None;
+        for tok in toks {
+            let (k, v) = tok.split_once('=').ok_or_else(|| format!("bad token {tok:?}"))?;
+            match k {
+                "algo" => algo_idx = Some(v.parse::<usize>().map_err(|e| e.to_string())?),
+                "dist" => dist_idx = Some(v.parse::<usize>().map_err(|e| e.to_string())?),
+                "p" => p = Some(v.parse::<usize>().map_err(|e| e.to_string())?),
+                "n" => n = Some(v.parse::<usize>().map_err(|e| e.to_string())?),
+                "wseed" => wseed = Some(v.parse::<u64>().map_err(|e| e.to_string())?),
+                "sseed" => sseed = Some(v.parse::<u64>().map_err(|e| e.to_string())?),
+                "fault" => fault = Some(v.to_string()),
+                other => return Err(format!("unknown cell field {other:?}")),
+            }
+        }
+        let algo_idx = algo_idx.ok_or("missing algo")?;
+        let algo = *AlltoallvAlgorithm::ALL
+            .get(algo_idx)
+            .ok_or_else(|| format!("algo index {algo_idx} out of range"))?;
+        let dist_idx = dist_idx.ok_or("missing dist")?;
+        if dist_idx >= DISTRIBUTIONS.len() {
+            return Err(format!("dist index {dist_idx} out of range"));
+        }
+        Ok(SimCell {
+            algo,
+            dist_idx,
+            p: p.ok_or("missing p")?,
+            n_max: n.ok_or("missing n")?,
+            workload_seed: wseed.ok_or("missing wseed")?,
+            sched_seed: sseed.ok_or("missing sseed")?,
+            fault: fault.ok_or("missing fault")?,
+        })
+    }
+}
+
+/// Retransmission policy used for fault cells under the simulator: short
+/// virtual timeouts (virtual time is free), generous retry budget so the
+/// lossy plans stay inside it.
+pub fn sim_reliable_config() -> ReliableConfig {
+    ReliableConfig {
+        ack_timeout: Duration::from_millis(5),
+        max_retries: 12,
+        backoff_cap: Duration::from_millis(20),
+    }
+}
+
+/// Outcome of executing one cell once.
+#[derive(Debug)]
+pub struct CellOutcome {
+    /// `None` if every rank completed with pattern-exact buffers.
+    pub failure: Option<String>,
+    /// The schedule that was executed.
+    pub trace: ScheduleTrace,
+    /// Digest of every rank's receive buffer (order-sensitive), for
+    /// byte-identical comparison across runs.
+    pub digest: u64,
+}
+
+impl CellOutcome {
+    /// True when the cell passed.
+    pub fn ok(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Execute one cell under the simulator. `replay` substitutes a recorded
+/// schedule for the seeded one (used by `--replay` and by the shrinker).
+pub fn run_cell(cell: &SimCell, replay: Option<&[u32]>) -> CellOutcome {
+    let m = SizeMatrix::generate(
+        DISTRIBUTIONS[cell.dist_idx],
+        cell.workload_seed,
+        cell.p,
+        cell.n_max,
+    );
+    let cfg = SimConfig {
+        seed: cell.sched_seed,
+        replay: replay.map(<[u32]>::to_vec),
+        meta: cell.encode_meta(),
+    };
+    let plan = fault_plan(&cell.fault, cell.sched_seed, cell.p);
+    let m_ref = &m;
+    let report = SimComm::try_run(cell.p, &cfg, move |comm| -> Result<Vec<u8>, String> {
+        let me = comm.rank();
+        let sendcounts = m_ref.sendcounts(me);
+        let sdispls = packed_displs(&sendcounts);
+        let total: usize = sendcounts.iter().sum();
+        let mut sendbuf = vec![0u8; total];
+        for dst in 0..m_ref.p() {
+            for idx in 0..sendcounts[dst] {
+                sendbuf[sdispls[dst] + idx] = pattern(me, dst, idx);
+            }
+        }
+        let recvcounts = m_ref.recvcounts(me);
+        let rdispls = packed_displs(&recvcounts);
+        let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+        if let Some(plan) = plan.clone() {
+            // The production fault stack, schedule-deterministic end to end.
+            let fc = FaultComm::new(comm, plan);
+            let rc = ReliableComm::with_config(&fc, sim_reliable_config());
+            let rcfg = ResilientConfig {
+                algorithm: cell.algo,
+                deadline: Duration::from_secs(2),
+                commit_timeout: Duration::from_millis(400),
+                peer_timeout: Duration::from_secs(1),
+                epoch: 0,
+            };
+            let outcome = resilient_alltoallv(
+                &rcfg, &rc, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts, &rdispls,
+            )
+            .map_err(|e| format!("rank {me}: resilient exchange failed: {e}"))?;
+            match outcome {
+                ExchangeOutcome::Complete | ExchangeOutcome::Recovered { .. } => {}
+                other => return Err(format!("rank {me}: non-lossless outcome {other:?}")),
+            }
+            rc.quiesce(Duration::from_millis(25), Duration::from_millis(500))
+                .map_err(|e| format!("rank {me}: quiesce failed: {e}"))?;
+        } else {
+            alltoallv(
+                cell.algo, comm, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts,
+                &rdispls,
+            )
+            .map_err(|e| format!("rank {me}: exchange failed: {e}"))?;
+        }
+        for src in 0..m_ref.p() {
+            for idx in 0..m_ref.get(src, me) {
+                let got = recvbuf[rdispls[src] + idx];
+                let want = pattern(src, me, idx);
+                if got != want {
+                    return Err(format!(
+                        "rank {me}: byte {idx} of block from {src}: got {got}, want {want}"
+                    ));
+                }
+            }
+        }
+        Ok(recvbuf)
+    });
+    let mut digest = 0xC0FF_EE00_5EED_0001u64;
+    let mut failure = None;
+    for (rank, out) in report.outcomes.iter().enumerate() {
+        match out {
+            Ok(Ok(buf)) => {
+                digest = mix(digest ^ rank as u64);
+                for chunk in buf.chunks(8) {
+                    let mut b = [0u8; 8];
+                    b[..chunk.len()].copy_from_slice(chunk);
+                    digest = mix(digest ^ u64::from_le_bytes(b));
+                }
+            }
+            Ok(Err(msg)) => {
+                failure.get_or_insert_with(|| msg.clone());
+            }
+            Err(panic_msg) => {
+                failure.get_or_insert_with(|| format!("rank {rank} panicked: {panic_msg}"));
+            }
+        }
+    }
+    CellOutcome { failure, trace: report.trace, digest }
+}
+
+/// A failing cell, fully reproducible: the cell, the recorded schedule, and
+/// the ddmin-minimized schedule that still fails.
+#[derive(Debug)]
+pub struct SimFailure {
+    /// The failing cell.
+    pub cell: SimCell,
+    /// First failure message observed.
+    pub message: String,
+    /// The schedule recorded on the failing run.
+    pub trace: ScheduleTrace,
+    /// The shrunken schedule (still failing, usually far shorter).
+    pub min_trace: ScheduleTrace,
+}
+
+/// Matrix configuration.
+pub struct SimMatrixConfig {
+    /// Algorithms under test.
+    pub algorithms: Vec<AlltoallvAlgorithm>,
+    /// Indices into [`DISTRIBUTIONS`].
+    pub dist_idxs: Vec<usize>,
+    /// World size.
+    pub p: usize,
+    /// Densest workload row.
+    pub n_max: usize,
+    /// Workload seed.
+    pub workload_seed: u64,
+    /// Schedule seeds fuzzed per (algorithm, distribution).
+    pub sched_seeds: Vec<u64>,
+    /// Fault-plan names composed with a subset of algorithms.
+    pub fault_names: Vec<&'static str>,
+    /// Algorithms that also run the fault-composed cells.
+    pub fault_algorithms: Vec<AlltoallvAlgorithm>,
+}
+
+impl SimMatrixConfig {
+    /// The verify-gate matrix: every algorithm, one workload, two schedule
+    /// seeds, plus the fault stack on the paper's main algorithm.
+    pub fn smoke() -> SimMatrixConfig {
+        SimMatrixConfig {
+            algorithms: AlltoallvAlgorithm::ALL.to_vec(),
+            dist_idxs: vec![0],
+            p: 5,
+            n_max: 24,
+            workload_seed: 11,
+            sched_seeds: vec![1, 2],
+            fault_names: vec!["lossy", "stall"],
+            fault_algorithms: vec![AlltoallvAlgorithm::TwoPhaseBruck],
+        }
+    }
+
+    /// The soak matrix: every algorithm × three distributions × more seeds,
+    /// fault stack on two algorithms.
+    pub fn full() -> SimMatrixConfig {
+        SimMatrixConfig {
+            algorithms: AlltoallvAlgorithm::ALL.to_vec(),
+            dist_idxs: vec![0, 1, 2],
+            p: 7,
+            n_max: 32,
+            workload_seed: 11,
+            sched_seeds: vec![1, 2, 3, 4, 5, 6],
+            fault_names: vec!["clean", "lossy", "stall"],
+            fault_algorithms: vec![
+                AlltoallvAlgorithm::TwoPhaseBruck,
+                AlltoallvAlgorithm::SpreadOut,
+            ],
+        }
+    }
+
+    /// Enumerate the matrix cells.
+    pub fn cells(&self) -> Vec<SimCell> {
+        let mut out = Vec::new();
+        for &algo in &self.algorithms {
+            for &dist_idx in &self.dist_idxs {
+                for &sched_seed in &self.sched_seeds {
+                    out.push(SimCell {
+                        algo,
+                        dist_idx,
+                        p: self.p,
+                        n_max: self.n_max,
+                        workload_seed: self.workload_seed,
+                        sched_seed,
+                        fault: "none".into(),
+                    });
+                }
+            }
+        }
+        for &algo in &self.fault_algorithms {
+            for fault in &self.fault_names {
+                for &sched_seed in &self.sched_seeds {
+                    out.push(SimCell {
+                        algo,
+                        dist_idx: 0,
+                        p: self.p,
+                        n_max: self.n_max,
+                        workload_seed: self.workload_seed,
+                        sched_seed,
+                        fault: (*fault).into(),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Result of a matrix run.
+pub struct MatrixReport {
+    /// Cells executed (each runs twice for the determinism check).
+    pub cells_run: usize,
+    /// Failures, each with recorded + shrunken schedules.
+    pub failures: Vec<SimFailure>,
+}
+
+/// Run every cell twice, asserting determinism, verifying payloads, and
+/// shrinking any failure. `progress` is called per cell with its label and
+/// pass/fail.
+pub fn run_matrix(
+    cfg: &SimMatrixConfig,
+    mut progress: impl FnMut(&str, bool),
+) -> MatrixReport {
+    let mut failures = Vec::new();
+    let cells = cfg.cells();
+    let cells_run = cells.len();
+    for cell in cells {
+        let first = run_cell(&cell, None);
+        let second = run_cell(&cell, None);
+        let mut message = first.failure.clone();
+        if message.is_none() && first.trace.choices != second.trace.choices {
+            message = Some(format!(
+                "nondeterministic schedule: run 1 recorded {} choices, run 2 {}",
+                first.trace.choices.len(),
+                second.trace.choices.len()
+            ));
+        }
+        if message.is_none() && first.digest != second.digest {
+            message = Some(format!(
+                "nondeterministic results: digest {:#018x} vs {:#018x}",
+                first.digest, second.digest
+            ));
+        }
+        let ok = message.is_none();
+        progress(&cell.label(), ok);
+        if let Some(message) = message {
+            let min_choices = shrink_choices(&first.trace.choices, |cand| {
+                !run_cell(&cell, Some(cand)).ok()
+            });
+            let min_trace = ScheduleTrace {
+                p: first.trace.p,
+                seed: first.trace.seed,
+                meta: first.trace.meta.clone(),
+                choices: min_choices,
+            };
+            failures.push(SimFailure { cell, message, trace: first.trace, min_trace });
+        }
+    }
+    MatrixReport { cells_run, failures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_meta_round_trips() {
+        let cell = SimCell {
+            algo: AlltoallvAlgorithm::TwoPhaseBruck,
+            dist_idx: 2,
+            p: 7,
+            n_max: 32,
+            workload_seed: 11,
+            sched_seed: 42,
+            fault: "lossy".into(),
+        };
+        let decoded = SimCell::decode_meta(&cell.encode_meta()).unwrap();
+        assert_eq!(decoded, cell);
+        assert!(SimCell::decode_meta("not a cell").is_err());
+    }
+
+    #[test]
+    fn plain_cell_passes_and_is_deterministic() {
+        let cell = SimCell {
+            algo: AlltoallvAlgorithm::TwoPhaseBruck,
+            dist_idx: 0,
+            p: 4,
+            n_max: 16,
+            workload_seed: 3,
+            sched_seed: 9,
+            fault: "none".into(),
+        };
+        let a = run_cell(&cell, None);
+        let b = run_cell(&cell, None);
+        assert!(a.ok(), "{:?}", a.failure);
+        assert_eq!(a.trace.choices, b.trace.choices);
+        assert_eq!(a.digest, b.digest);
+        // And the recorded schedule replays to the same schedule + digest.
+        let replayed = run_cell(&cell, Some(&a.trace.choices));
+        assert!(replayed.ok(), "{:?}", replayed.failure);
+        assert_eq!(replayed.trace.choices, a.trace.choices);
+        assert_eq!(replayed.digest, a.digest);
+    }
+
+    #[test]
+    fn fault_cell_is_lossless_and_reproducible() {
+        let cell = SimCell {
+            algo: AlltoallvAlgorithm::TwoPhaseBruck,
+            dist_idx: 0,
+            p: 3,
+            n_max: 8,
+            workload_seed: 3,
+            sched_seed: 5,
+            fault: "lossy".into(),
+        };
+        let a = run_cell(&cell, None);
+        let b = run_cell(&cell, None);
+        assert!(a.ok(), "{:?}", a.failure);
+        assert_eq!(a.trace.choices, b.trace.choices, "chaos cell must be bit-reproducible");
+        assert_eq!(a.digest, b.digest);
+    }
+}

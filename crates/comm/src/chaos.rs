@@ -62,6 +62,14 @@ impl<C: Communicator + ?Sized> Communicator for ChaosComm<'_, C> {
         self.inner.size()
     }
 
+    fn now(&self) -> std::time::Duration {
+        self.inner.now()
+    }
+
+    fn sleep(&self, d: std::time::Duration) {
+        self.inner.sleep(d)
+    }
+
     fn send_buf(&self, dest: usize, tag: Tag, buf: MsgBuf) -> CommResult<()> {
         self.jitter();
         self.inner.send_buf(dest, tag, buf)

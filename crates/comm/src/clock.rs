@@ -1,0 +1,54 @@
+//! The wall-clock anchor for [`crate::Communicator::now`] /
+//! [`crate::Communicator::sleep`].
+//!
+//! Every time-dependent code path in this workspace (deadline receives,
+//! ARQ retransmission timers, injected stalls) reads time through the
+//! `Communicator` trait rather than `std::time` directly, so a backend can
+//! substitute a *virtual* clock (see [`crate::SimComm`]) and make timeouts
+//! fire deterministically. This module is the one sanctioned place where the
+//! real-thread backends touch `Instant::now` / `thread::sleep` — the
+//! `no-adhoc-sleep` lint in `bruck-check` bans `thread::sleep` everywhere
+//! else in `bruck-comm`/`bruck-core`.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Process-wide epoch: the first call pins it, every later call measures
+/// against it. Using a shared epoch makes `now()` values from different
+/// communicators in one process comparable (they are all "time since the
+/// process first asked").
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Monotonic wall-clock time since the process epoch.
+pub(crate) fn wall_now() -> Duration {
+    epoch().elapsed()
+}
+
+/// Real suspension of the calling thread for `d`.
+pub(crate) fn wall_sleep(d: Duration) {
+    if !d.is_zero() {
+        std::thread::sleep(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_now_is_monotone() {
+        let a = wall_now();
+        let b = wall_now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn wall_sleep_advances_wall_now() {
+        let a = wall_now();
+        wall_sleep(Duration::from_millis(2));
+        assert!(wall_now() >= a + Duration::from_millis(2));
+    }
+}

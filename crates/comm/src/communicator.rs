@@ -67,6 +67,33 @@ pub trait Communicator: Sync {
     /// Length of the next matching message, if one has already arrived.
     fn probe(&self, src: usize, tag: Tag) -> CommResult<Option<usize>>;
 
+    // ------------------------------------------------------------------
+    // The clock: every time-dependent path in the workspace reads time
+    // through these two methods so a backend can substitute virtual time.
+    // ------------------------------------------------------------------
+
+    /// Current time on this communicator's clock, as elapsed time since an
+    /// arbitrary fixed epoch. Values are only meaningful relative to each
+    /// other (`later - earlier` = elapsed time).
+    ///
+    /// Real-thread backends report monotonic wall-clock time; the
+    /// deterministic simulator ([`crate::SimComm`]) reports its virtual
+    /// clock, which advances only when every rank is blocked. Wrappers must
+    /// forward to their inner communicator so a whole stack shares one time
+    /// axis.
+    fn now(&self) -> std::time::Duration {
+        crate::clock::wall_now()
+    }
+
+    /// Suspend the calling rank for `d` on this communicator's clock.
+    ///
+    /// Real-thread backends sleep the OS thread; the simulator parks the
+    /// rank until the virtual clock reaches `now() + d` (which costs zero
+    /// wall-clock time). Like [`Communicator::now`], wrappers forward this.
+    fn sleep(&self, d: std::time::Duration) {
+        crate::clock::wall_sleep(d)
+    }
+
     /// Eager send of a borrowed slice: compat wrapper over
     /// [`Communicator::send_buf`] that packs `data` into a fresh region
     /// (exactly one copy).
@@ -126,27 +153,33 @@ pub trait Communicator: Sync {
     /// Zero-copy receive with a deadline: [`CommError::Timeout`] if no
     /// matching message arrives within `timeout`.
     ///
-    /// The default implementation polls [`Communicator::probe`] with a yield
-    /// loop — correct on any backend, but backends with a parked-wait
-    /// primitive (the threaded mailbox) override it with a condition-variable
-    /// wait. Wrappers should forward to their inner communicator so the
-    /// efficient implementation is reached.
+    /// The default implementation polls [`Communicator::probe`] against the
+    /// communicator's own clock ([`Communicator::now`] /
+    /// [`Communicator::sleep`]) — correct on any backend, including under
+    /// virtual time, but backends with a parked-wait primitive (the threaded
+    /// mailbox's condition variable, the simulator's scheduler) override it.
+    /// Wrappers should forward to their inner communicator so the efficient
+    /// implementation is reached.
     fn recv_buf_timeout(
         &self,
         src: usize,
         tag: Tag,
         timeout: std::time::Duration,
     ) -> CommResult<MsgBuf> {
-        let start = std::time::Instant::now();
+        // Poll quantum for the fallback loop: long enough that a virtual
+        // clock makes progress per iteration, short enough to stay
+        // responsive on a wall clock.
+        const POLL: std::time::Duration = std::time::Duration::from_micros(20);
+        let start = self.now();
         loop {
             if self.probe(src, tag)?.is_some() {
                 return self.recv_buf(src, tag);
             }
-            let waited = start.elapsed();
+            let waited = self.now().saturating_sub(start);
             if waited >= timeout {
                 return Err(CommError::Timeout { src, tag, waited });
             }
-            std::thread::yield_now();
+            self.sleep(POLL.min(timeout - waited));
         }
     }
 

@@ -3,9 +3,10 @@
 //! Algorithms are written against blocking receives; fault tolerance needs
 //! every one of those receives to give up when the exchange's overall budget
 //! is spent. Rather than threading a deadline parameter through every
-//! algorithm, this wrapper fixes an [`Instant`] at construction and converts
-//! each blocking receive into a [`Communicator::recv_buf_timeout`] with the
-//! *remaining* budget — so one deadline covers the whole exchange, however
+//! algorithm, this wrapper fixes a deadline on the inner communicator's own
+//! clock ([`Communicator::now`]) at construction and converts each blocking
+//! receive into a [`Communicator::recv_buf_timeout`] with the *remaining*
+//! budget — so one deadline covers the whole exchange, however
 //! many receives it takes, and an algorithm run under it either completes or
 //! returns [`crate::CommError::Timeout`] close to the deadline.
 //!
@@ -18,32 +19,37 @@
 //! buffers from the negotiated counts, so this is acceptable in exchange for
 //! the bounded-wait guarantee.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::{CommError, CommResult, Communicator, MsgBuf, RecvReq, Tag};
 
 /// A deadline-enforcing wrapper: every blocking receive observes the same
-/// wall-clock budget fixed at construction.
+/// budget, fixed at construction on the inner communicator's clock — wall
+/// time under the threaded backend, virtual time under [`crate::SimComm`]
+/// (where the timeout fires after exactly the budget, instantly).
 pub struct DeadlineComm<'a, C: Communicator + ?Sized> {
     inner: &'a C,
-    deadline: Instant,
+    /// Absolute deadline as a timestamp on `inner.now()`'s axis.
+    deadline: Duration,
 }
 
 impl<'a, C: Communicator + ?Sized> DeadlineComm<'a, C> {
     /// Wrap `inner` with a budget of `budget` from now.
     pub fn new(inner: &'a C, budget: Duration) -> Self {
-        DeadlineComm { inner, deadline: Instant::now() + budget }
+        let deadline = inner.now() + budget;
+        DeadlineComm { inner, deadline }
     }
 
-    /// Wrap `inner` with an explicit absolute deadline (lets several wrappers
-    /// — or several phases — share one deadline).
-    pub fn until(inner: &'a C, deadline: Instant) -> Self {
+    /// Wrap `inner` with an explicit absolute deadline — a timestamp on the
+    /// inner communicator's [`Communicator::now`] axis (lets several
+    /// wrappers — or several phases — share one deadline).
+    pub fn until(inner: &'a C, deadline: Duration) -> Self {
         DeadlineComm { inner, deadline }
     }
 
     /// Time left before the deadline (zero once expired).
     pub fn remaining(&self) -> Duration {
-        self.deadline.saturating_duration_since(Instant::now())
+        self.deadline.saturating_sub(self.inner.now())
     }
 
     /// Whether the budget is already spent.
@@ -99,12 +105,21 @@ impl<C: Communicator + ?Sized> Communicator for DeadlineComm<'_, C> {
     fn irecv(&self, src: usize, tag: Tag) -> CommResult<RecvReq> {
         self.inner.irecv(src, tag)
     }
+
+    fn now(&self) -> Duration {
+        self.inner.now()
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.inner.sleep(d)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ThreadComm;
+    use std::time::Instant;
 
     #[test]
     fn completes_within_budget_passes_through() {

@@ -72,6 +72,18 @@ pub enum CommError {
         /// The rank that failed (may be this rank itself on a crashed rank).
         rank: usize,
     },
+    /// The deterministic simulator proved a deadlock: every live rank is
+    /// blocked and none of the pending waits carries a timeout, so no
+    /// schedule can make progress. Raised by [`crate::SimComm`] from each
+    /// blocked receive; never returned by the real-thread backend (which
+    /// would simply hang).
+    Deadlock {
+        /// Source rank this rank was blocked waiting on when the deadlock
+        /// was detected.
+        src: usize,
+        /// Tag this rank was blocked waiting on.
+        tag: crate::Tag,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -96,6 +108,11 @@ impl fmt::Display for CommError {
             CommError::RankFailed { rank } => write!(
                 f,
                 "rank {rank} failed: crashed, or unacknowledged after bounded retransmission"
+            ),
+            CommError::Deadlock { src, tag } => write!(
+                f,
+                "deadlock: every rank is blocked with no timeout pending; \
+                 this rank was waiting on rank {src} tag {tag}"
             ),
         }
     }

@@ -281,8 +281,10 @@ impl<'a, C: Communicator + ?Sized> FaultComm<'a, C> {
         }
         if let Some(millis) = stall {
             // Sleep outside the lock: a stalled rank must not block its own
-            // mailbox bookkeeping (or the log readers).
-            std::thread::sleep(Duration::from_millis(millis));
+            // mailbox bookkeeping (or the log readers). Taken on the inner
+            // communicator's clock, so a stall under the deterministic
+            // simulator costs virtual time, not wall-clock time.
+            self.inner.sleep(Duration::from_millis(millis));
         }
         Ok(())
     }
@@ -375,6 +377,14 @@ impl<C: Communicator + ?Sized> Communicator for FaultComm<'_, C> {
             return Err(CommError::RankFailed { rank: self.inner.rank() });
         }
         self.inner.probe(src, tag)
+    }
+
+    fn now(&self) -> Duration {
+        self.inner.now()
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.inner.sleep(d)
     }
 
     fn irecv(&self, src: usize, tag: Tag) -> CommResult<RecvReq> {

@@ -27,6 +27,11 @@
 //!   backoff); [`DeadlineComm`] bounds every blocking receive by a shared
 //!   wall-clock budget, surfacing [`CommError::Timeout`] /
 //!   [`CommError::RankFailed`] for graceful-degradation drivers.
+//! * **Deterministic simulation** — [`SimComm`] runs the same unmodified
+//!   algorithms under a seeded cooperative scheduler with a virtual clock:
+//!   one runnable rank at a time, recorded/replayable schedules
+//!   ([`ScheduleTrace`]), proved deadlocks instead of hangs, and
+//!   delta-debugging minimization of failing schedules ([`shrink_choices`]).
 //!
 //! ## Example
 //!
@@ -42,6 +47,7 @@
 #![deny(missing_docs)]
 
 mod chaos;
+mod clock;
 mod communicator;
 mod counting;
 mod deadline;
@@ -53,6 +59,7 @@ mod msgbuf;
 mod plan;
 mod reliable;
 mod reduce;
+mod sim;
 mod subcomm;
 mod thread_comm;
 mod trace;
@@ -71,6 +78,7 @@ pub use msgbuf::MsgBuf;
 pub use plan::ExchangePlan;
 pub use reliable::{ReliableComm, ReliableConfig};
 pub use reduce::ReduceOp;
+pub use sim::{shrink_choices, ScheduleTrace, SimComm, SimConfig, SimReport, SimRun, SimWorld};
 pub use subcomm::{SubComm, SUBCOMM_MAX_TAG};
 pub use thread_comm::{ThreadComm, World};
 pub use trace::{

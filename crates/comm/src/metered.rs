@@ -376,6 +376,14 @@ impl<C: Communicator + ?Sized> Communicator for MeteredComm<'_, C> {
         self.inner.size()
     }
 
+    fn now(&self) -> std::time::Duration {
+        self.inner.now()
+    }
+
+    fn sleep(&self, d: std::time::Duration) {
+        self.inner.sleep(d)
+    }
+
     fn send_buf(&self, dest: usize, tag: Tag, buf: MsgBuf) -> CommResult<()> {
         let len = buf.len();
         self.inner.send_buf(dest, tag, buf)?;

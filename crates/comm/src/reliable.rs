@@ -37,7 +37,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Mutex, MutexGuard};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::chaos::splitmix;
 use crate::{CommError, CommResult, Communicator, MsgBuf, Tag, RESERVED_TAG_BASE};
@@ -157,9 +157,9 @@ pub struct ReliableComm<'a, C: Communicator + ?Sized> {
 
 /// The polling pause used by every wait loop when a service pass found
 /// nothing: long enough to not burn a core, short against any timeout.
-fn idle_pause() {
-    std::thread::sleep(Duration::from_micros(50));
-}
+/// Taken on the inner communicator's clock, so under [`crate::SimComm`] it
+/// advances virtual time instead of suspending the OS thread.
+const IDLE_PAUSE: Duration = Duration::from_micros(50);
 
 impl<'a, C: Communicator + ?Sized> ReliableComm<'a, C> {
     /// Wrap `inner` with the default retransmission policy.
@@ -184,6 +184,10 @@ impl<'a, C: Communicator + ?Sized> ReliableComm<'a, C> {
 
     fn lock(&self) -> MutexGuard<'_, ReliableState> {
         self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn idle_pause(&self) {
+        self.inner.sleep(IDLE_PAUSE);
     }
 
     /// Drain every arrived wire frame: verify, deduplicate, acknowledge, and
@@ -270,17 +274,17 @@ impl<'a, C: Communicator + ?Sized> ReliableComm<'a, C> {
         let mut rto = self.cfg.ack_timeout;
         for _attempt in 0..=self.cfg.max_retries {
             self.inner.send_buf(dest, RELIABLE_DATA_TAG, frame.clone())?;
-            let deadline = Instant::now() + rto;
+            let deadline = self.inner.now() + rto;
             loop {
                 let handled = self.service_incoming()?;
                 if self.take_ack(dest, tag, seq)? {
                     return Ok(());
                 }
-                if Instant::now() >= deadline {
+                if self.inner.now() >= deadline {
                     break;
                 }
                 if handled == 0 {
-                    idle_pause();
+                    self.idle_pause();
                 }
             }
             rto = (rto * 2).min(self.cfg.backoff_cap);
@@ -291,7 +295,7 @@ impl<'a, C: Communicator + ?Sized> ReliableComm<'a, C> {
     fn recv_reliable(&self, src: usize, tag: Tag, timeout: Option<Duration>) -> CommResult<MsgBuf> {
         self.inner.check_rank(src)?;
         let me = self.inner.rank();
-        let start = Instant::now();
+        let start = self.inner.now();
         loop {
             if let Some(msg) = self.pop_stash(src, tag) {
                 return Ok(msg);
@@ -301,12 +305,12 @@ impl<'a, C: Communicator + ?Sized> ReliableComm<'a, C> {
                 continue; // something arrived — re-check the stash first
             }
             if let Some(t) = timeout {
-                let waited = start.elapsed();
+                let waited = self.inner.now().saturating_sub(start);
                 if waited >= t {
                     return Err(CommError::Timeout { src, tag, waited });
                 }
             }
-            idle_pause();
+            self.idle_pause();
         }
     }
 
@@ -317,16 +321,18 @@ impl<'a, C: Communicator + ?Sized> ReliableComm<'a, C> {
     /// into a spurious [`crate::CommError::RankFailed`] on the peer. `quiet`
     /// should exceed the peers' [`ReliableConfig::backoff_cap`].
     pub fn quiesce(&self, quiet: Duration, max_total: Duration) -> CommResult<()> {
-        let start = Instant::now();
-        let mut last_activity = Instant::now();
+        let start = self.inner.now();
+        let mut last_activity = start;
         loop {
             if self.service_incoming()? > 0 {
-                last_activity = Instant::now();
+                last_activity = self.inner.now();
             }
-            if last_activity.elapsed() >= quiet || start.elapsed() >= max_total {
+            let now = self.inner.now();
+            if now.saturating_sub(last_activity) >= quiet || now.saturating_sub(start) >= max_total
+            {
                 return Ok(());
             }
-            idle_pause();
+            self.idle_pause();
         }
     }
 }
@@ -380,7 +386,7 @@ impl<C: Communicator + ?Sized> Communicator for ReliableComm<'_, C> {
             }
             let handled = if src == me { 0 } else { self.service_incoming()? };
             if handled == 0 {
-                idle_pause();
+                self.idle_pause();
             }
         }
     }
@@ -392,12 +398,21 @@ impl<C: Communicator + ?Sized> Communicator for ReliableComm<'_, C> {
         }
         Ok(self.lock().stash.get(&(src, tag)).and_then(VecDeque::front).map(MsgBuf::len))
     }
+
+    fn now(&self) -> Duration {
+        self.inner.now()
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.inner.sleep(d)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{EdgeFaults, FaultComm, FaultPlan, ReduceOp, ThreadComm};
+    use std::time::Instant;
 
     fn quick_cfg() -> ReliableConfig {
         ReliableConfig {

@@ -101,6 +101,14 @@ impl<C: Communicator + ?Sized> Communicator for SubComm<'_, C> {
         self.members.len()
     }
 
+    fn now(&self) -> std::time::Duration {
+        self.parent.now()
+    }
+
+    fn sleep(&self, d: std::time::Duration) {
+        self.parent.sleep(d)
+    }
+
     fn send_buf(&self, dest: usize, tag: Tag, buf: MsgBuf) -> CommResult<()> {
         self.check_rank(dest)?;
         self.parent.send_buf(self.members[dest], self.map_tag(tag)?, buf)

@@ -330,6 +330,14 @@ impl<C: Communicator + ?Sized> Communicator for TraceComm<'_, C> {
         self.inner.size()
     }
 
+    fn now(&self) -> std::time::Duration {
+        self.inner.now()
+    }
+
+    fn sleep(&self, d: std::time::Duration) {
+        self.inner.sleep(d)
+    }
+
     fn send_buf(&self, dest: usize, tag: Tag, buf: MsgBuf) -> CommResult<()> {
         // Record before forwarding so the matching receive (which can only
         // complete after the runtime delivery) always finds the in-flight

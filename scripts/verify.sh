@@ -19,6 +19,12 @@ cargo run --release -p bruck-check --bin bruck-check
 # soak matrix under a watchdog, asserting the crash-only property. Seeds can
 # be overridden with BRUCK_CHAOS_SEEDS=1,2,3.
 cargo run --release -p bruck-check --bin bruck-chaos -- --smoke
+# Deterministic-simulation gate (DESIGN.md §11): the algorithm × workload ×
+# schedule-seed matrix under the cooperative SimComm scheduler. Every cell
+# runs twice and must produce byte-identical traces and results; on failure
+# the report prints the seed plus a saved trace file under target/bruck-sim/
+# and the one-command replay.
+cargo run --release -p bruck-check --bin bruck-sim -- --smoke
 # Bench smoke with observability artifacts: BENCH_PR4.json (per-cell report,
 # metering overhead advisory) and BENCH_PR4.trace.json (chrome trace_events).
 # Exits non-zero on any metering consistency error.
