@@ -32,6 +32,20 @@
 //!   `Communicator::sleep` (backed by the clock layer), so the deterministic
 //!   simulator can replace it with virtual time. An ad-hoc real sleep is
 //!   invisible to `SimComm` and reintroduces wall-clock flakiness.
+//! * `no-adhoc-spawn` — thread spawning (`spawn(` / `spawn_scoped(`) in
+//!   `crates/comm` outside `runtime.rs` and `mailbox.rs`: since the
+//!   event-driven runtime landed, concurrency in the comm layer is a
+//!   scheduling concern. New OS threads hide work from the worker-pool
+//!   accounting (a spawned thread can block on a mailbox the event runtime
+//!   thinks is quiescent), so every spawn site outside the runtime must be
+//!   audited into the allowlist — currently the legacy rank-per-thread
+//!   backends (`thread_comm.rs`, `sim.rs`) only.
+//! * `no-adhoc-condvar` — the `Condvar` type in `crates/comm` outside
+//!   `runtime.rs` and `mailbox.rs`: blocking/wakeup must go through the
+//!   readiness abstraction (`MatchStore` + waiter lists / the `Mailbox`
+//!   wrapper), not ad-hoc condition variables — a raw `Condvar` wait parks a
+//!   whole OS thread, which is exactly what the event runtime exists to
+//!   avoid, and it is invisible to the deadlock prover.
 //!
 //! Test code (`#[cfg(test)]` regions, tracked by brace depth) is exempt from
 //! the unwrap/expect/relaxed rules; `unsafe` is flagged even in tests.
@@ -226,6 +240,13 @@ fn scan_file(rel: &str, text: &str, out: &mut Vec<LintFinding>) {
     // with virtual time.
     let sleep_banned = (rel.starts_with("crates/core/") || rel.starts_with("crates/comm/"))
         && rel != "crates/comm/src/clock.rs";
+    // The scheduler and the blocking-mailbox wrapper are the two sanctioned
+    // concurrency-primitive sites in the comm layer; everywhere else must go
+    // through the readiness abstraction.
+    let concurrency_site =
+        rel == "crates/comm/src/runtime.rs" || rel == "crates/comm/src/mailbox.rs";
+    let spawn_banned = rel.starts_with("crates/comm/") && !concurrency_site;
+    let condvar_banned = rel.starts_with("crates/comm/") && !concurrency_site;
     // Whole-file test modules (`#[cfg(test)] mod foo_tests;` in the crate
     // root) carry the cfg on the *declaration*, invisible from the file
     // itself; go by the naming convention.
@@ -300,6 +321,19 @@ fn scan_file(rel: &str, text: &str, out: &mut Vec<LintFinding>) {
             if sleep_banned {
                 for _ in san.match_indices("thread::sleep(") {
                     push("no-adhoc-sleep");
+                }
+            }
+            if spawn_banned {
+                for _ in san.match_indices("spawn(") {
+                    push("no-adhoc-spawn");
+                }
+                for _ in san.match_indices("spawn_scoped(") {
+                    push("no-adhoc-spawn");
+                }
+            }
+            if condvar_banned {
+                for _ in san.match_indices("Condvar") {
+                    push("no-adhoc-condvar");
                 }
             }
             for _ in san.match_indices(".unwrap()") {
@@ -495,6 +529,49 @@ mod tests {
         assert!(scan_str("crates/comm/src/fault.rs", bare)
             .iter()
             .any(|f| f.rule == "no-adhoc-sleep"));
+    }
+
+    #[test]
+    fn adhoc_spawn_flagged_in_comm_outside_runtime_and_mailbox() {
+        let plain = "fn f() { std::thread::spawn(|| work()); }\n";
+        let scoped = "fn f(s: &Scope) { b.spawn_scoped(s, || work()); }\n";
+        for src in [plain, scoped] {
+            assert!(scan_str("crates/comm/src/sim.rs", src)
+                .iter()
+                .any(|f| f.rule == "no-adhoc-spawn"));
+            // The scheduler and the blocking wrapper are the sanctioned sites.
+            assert!(scan_str("crates/comm/src/runtime.rs", src)
+                .iter()
+                .all(|f| f.rule != "no-adhoc-spawn"));
+            assert!(scan_str("crates/comm/src/mailbox.rs", src)
+                .iter()
+                .all(|f| f.rule != "no-adhoc-spawn"));
+            // The rule governs the comm layer only.
+            assert!(scan_str("crates/bench/src/lib.rs", src)
+                .iter()
+                .all(|f| f.rule != "no-adhoc-spawn"));
+        }
+        // Test code may still spawn racing helper threads.
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn g() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(scan_str("crates/comm/src/chaos.rs", test_src)
+            .iter()
+            .all(|f| f.rule != "no-adhoc-spawn"));
+    }
+
+    #[test]
+    fn adhoc_condvar_flagged_in_comm_outside_runtime_and_mailbox() {
+        let src = "use std::sync::Condvar;\nstruct S { cv: Condvar }\n";
+        let hits = scan_str("crates/comm/src/sim.rs", src);
+        assert_eq!(hits.iter().filter(|f| f.rule == "no-adhoc-condvar").count(), 2, "{hits:?}");
+        assert!(scan_str("crates/comm/src/runtime.rs", src)
+            .iter()
+            .all(|f| f.rule != "no-adhoc-condvar"));
+        assert!(scan_str("crates/comm/src/mailbox.rs", src)
+            .iter()
+            .all(|f| f.rule != "no-adhoc-condvar"));
+        assert!(scan_str("crates/check/src/lint.rs", src)
+            .iter()
+            .all(|f| f.rule != "no-adhoc-condvar"));
     }
 
     #[test]

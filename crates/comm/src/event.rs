@@ -1,0 +1,542 @@
+//! [`EventComm`]: the event-driven backend — thousands of lightweight rank
+//! tasks multiplexed onto a small, fixed pool of worker OS threads.
+//!
+//! ## Why
+//!
+//! The paper's regime is P = 32,768 ranks. [`crate::ThreadComm`]'s
+//! one-OS-thread-per-rank design tops out around P ≈ 512 (thread stacks and
+//! scheduler pressure), and [`crate::SimComm`] still spawns one thread per
+//! rank even though only one runs at a time. `EventComm` runs the *same
+//! unmodified algorithms* with a bounded thread count: every blocking
+//! [`crate::Communicator`] operation is a yield point instead of a condvar
+//! park, so one worker thread can drive thousands of ranks.
+//!
+//! ## How a task blocks without owning a thread
+//!
+//! This workspace is `unsafe`-free and dependency-free, so a blocked task
+//! cannot capture its OS stack (no fibers, no hand-rolled coroutines). A
+//! rank task instead uses **run-to-block + replay**, the same
+//! commit-and-replay idea `bruck-check`'s `ModelComm` uses for symbolic
+//! schedule extraction (and what [`CommError::WouldBlock`] documents as the
+//! suspension-by-unwinding idiom):
+//!
+//! 1. The rank closure executes normally, appending every *completed*
+//!    communicator operation to a compact per-task [`ReplayLog`].
+//! 2. When a receive finds no matching message, the task registers a
+//!    *waiter* in the destination store's readiness list and unwinds off the
+//!    worker via a sentinel panic ([`TaskYield`]) — the worker thread is
+//!    immediately free to run another task.
+//! 3. A sender that deposits a matching message takes the waiter and marks
+//!    the task runnable. When a worker re-executes it, the closure runs from
+//!    the top, but the logged prefix is *replayed*: sends are suppressed,
+//!    receives return the logged payload bytes, clock reads return logged
+//!    values. Replay performs no communication and reaches the parked
+//!    operation in O(completed ops) straight-line time, then execution goes
+//!    live again.
+//!
+//! The contract this imposes: the rank closure must be **deterministic**
+//! (replay must retrace it) and must not perform external side effects that
+//! are unsafe to repeat. Every algorithm and wrapper in this workspace
+//! qualifies — wrappers ([`crate::FaultComm`], [`crate::ReliableComm`],
+//! [`crate::MeteredComm`], …) are constructed inside the closure, so each
+//! re-execution rebuilds their state identically from the replayed prefix.
+//! Payload identity is *not* preserved across replay: a replayed
+//! `recv_buf` returns a fresh copy of the logged bytes, not the sender's
+//! original region (byte equality is preserved; pointer aliasing is not).
+//!
+//! ## Virtual time
+//!
+//! Like the simulator, the runtime's clock is virtual: [`Communicator::now`]
+//! reads it, [`Communicator::sleep`] and timed receives park the *task* with
+//! a deadline. The clock advances only at global quiescence (every worker
+//! idle, no task runnable), jumping to the earliest pending deadline — so
+//! timeouts fire after exactly their budget of virtual time and zero
+//! wall-clock time, and a world where every live task is parked with no
+//! deadline is a *proved deadlock* ([`CommError::Deadlock`]), never a hang.
+//!
+//! The scheduler itself (worker pool, task states, wake lists, clock
+//! advance) lives in [`crate::runtime`].
+
+use std::panic::panic_any;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use crate::mailbox::MatchStore;
+use crate::runtime::EventWorld;
+use crate::{CommError, CommResult, Communicator, MsgBuf, Tag};
+
+/// Sentinel panic payload a task unwinds with when its current operation
+/// cannot complete yet. Filtered by the runtime's panic hook (so yields are
+/// silent) and caught by the worker, which parks the task instead of
+/// treating it as a failure.
+pub(crate) struct TaskYield;
+
+/// Why a parked task was made runnable again. Delivered to the first live
+/// (non-replayed) blocking operation of the next execution — which, by
+/// determinism, is exactly the operation that parked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Wake {
+    /// A matching message was deposited for the parked receive.
+    Message,
+    /// The parked receive's deadline elapsed (virtual time).
+    TimedOut,
+    /// The parked sleep's wake-up instant was reached (virtual time).
+    SleepElapsed,
+    /// The runtime proved a global deadlock while this task was parked in a
+    /// deadline-less receive.
+    Deadlocked,
+}
+
+/// A parked receive registered in a rank's inbox: the readiness list entry a
+/// depositing sender checks. At most one per rank (a task parks on exactly
+/// one operation), tagged with the parking execution's epoch so stale wakes
+/// are provably ignorable.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Waiter {
+    pub(crate) src: usize,
+    pub(crate) tag: Tag,
+    pub(crate) epoch: u64,
+}
+
+/// One rank's inbox: the matching store plus its readiness registration.
+pub(crate) struct Inbox {
+    pub(crate) store: MatchStore,
+    pub(crate) waiter: Option<Waiter>,
+}
+
+/// What an unwinding task asks the scheduler to do with it.
+pub(crate) enum Park {
+    /// Parked in a receive; `deadline` is set for timed receives.
+    Recv {
+        /// Virtual-time deadline for `recv_buf_timeout`.
+        deadline: Option<Duration>,
+    },
+    /// Parked in a sleep until the given virtual instant.
+    Sleep {
+        /// Virtual instant at which the sleep elapses.
+        until: Duration,
+    },
+}
+
+// Replay-log operation kinds: one byte per completed operation. Keeping the
+// kind stream separate from the per-kind side arrays keeps the log compact
+// enough for O(P)-operation ranks at P = 32k (a send costs 1 byte, a recv
+// 5 bytes + payload).
+const K_SEND: u8 = 0;
+const K_RECV: u8 = 1;
+const K_ERR: u8 = 2;
+const K_PROBE: u8 = 3;
+const K_NOW: u8 = 4;
+const K_SLEEP: u8 = 5;
+
+fn kind_name(k: u8) -> &'static str {
+    match k {
+        K_SEND => "send",
+        K_RECV => "recv",
+        K_ERR => "error",
+        K_PROBE => "probe",
+        K_NOW => "now",
+        K_SLEEP => "sleep",
+        _ => "unknown",
+    }
+}
+
+/// The compact log of one task's completed communicator operations,
+/// replayed on every re-execution. Column-oriented: `kinds` is the 1-byte
+/// op stream; each kind consumes the next entry of its side array.
+#[derive(Default)]
+pub(crate) struct ReplayLog {
+    kinds: Vec<u8>,
+    /// Payload length per `K_RECV`, in order; payload bytes are appended
+    /// contiguously to `arena`, so offsets are running sums.
+    recv_lens: Vec<u32>,
+    /// Received payload bytes, contiguous in receive order.
+    arena: Vec<u8>,
+    /// Error value per `K_ERR` (timeouts, truncations, deadlock verdicts).
+    errs: Vec<CommError>,
+    /// Result per `K_PROBE`.
+    probes: Vec<Option<u32>>,
+    /// Virtual-clock reading (nanoseconds) per `K_NOW`.
+    nows: Vec<u64>,
+}
+
+/// Replay progress through a [`ReplayLog`]: one cursor per column.
+#[derive(Default, Clone, Copy)]
+struct Cursor {
+    op: usize,
+    recv: usize,
+    arena: usize,
+    err: usize,
+    probe: usize,
+    now: usize,
+}
+
+/// Per-execution state of one task, owned by the [`EventComm`] handle the
+/// worker passes to the rank closure.
+pub(crate) struct ExecCtx {
+    log: ReplayLog,
+    cur: Cursor,
+    /// Sends buffered for batched delivery: flushed at every receive/probe
+    /// entry (so self-sends and probe loops observe them), at a size
+    /// threshold, and when the execution parks, completes, or panics.
+    outbox: Vec<(usize, Tag, MsgBuf)>,
+    /// The wake verdict this execution was started with, if it was parked.
+    wake: Option<Wake>,
+    /// Set just before unwinding with [`TaskYield`].
+    park: Option<Park>,
+    /// This execution's epoch (== the task slot's epoch while it runs).
+    epoch: u64,
+}
+
+/// Buffered sends per flush. Batching amortizes inbox locking and wake
+/// notifications; the flush-on-receive rule keeps it semantically invisible.
+const OUTBOX_BATCH: usize = 64;
+
+impl ExecCtx {
+    pub(crate) fn new(log: ReplayLog, wake: Option<Wake>, epoch: u64) -> ExecCtx {
+        ExecCtx { log, cur: Cursor::default(), outbox: Vec::new(), wake, park: None, epoch }
+    }
+
+    /// Still retracing the previous executions' completed prefix?
+    pub(crate) fn replaying(&self) -> bool {
+        self.cur.op < self.log.kinds.len()
+    }
+
+    pub(crate) fn take_park(&mut self) -> Option<Park> {
+        self.park.take()
+    }
+
+    pub(crate) fn into_log(self) -> ReplayLog {
+        self.log
+    }
+
+    fn diverged(&self, rank: usize, live: &str) -> ! {
+        panic!(
+            "EventComm rank {rank}: nondeterministic rank closure: replay log has a \
+             {} at op {} but the live code issued a {live}; EventComm requires the \
+             closure to retrace identically on re-execution",
+            kind_name(self.log.kinds[self.cur.op]),
+            self.cur.op,
+        )
+    }
+
+    // -- live-mode append helpers (cursor stays pinned at the end) --
+
+    fn append_send(&mut self) {
+        self.log.kinds.push(K_SEND);
+        self.cur.op += 1;
+    }
+
+    fn append_recv(&mut self, payload: &[u8]) {
+        self.log.kinds.push(K_RECV);
+        self.log.recv_lens.push(payload.len() as u32);
+        self.log.arena.extend_from_slice(payload);
+        self.cur.op += 1;
+        self.cur.recv += 1;
+        self.cur.arena += payload.len();
+    }
+
+    fn append_err(&mut self, e: CommError) {
+        self.log.kinds.push(K_ERR);
+        self.log.errs.push(e);
+        self.cur.op += 1;
+        self.cur.err += 1;
+    }
+
+    fn append_probe(&mut self, len: Option<usize>) {
+        self.log.kinds.push(K_PROBE);
+        self.log.probes.push(len.map(|l| l as u32));
+        self.cur.op += 1;
+        self.cur.probe += 1;
+    }
+
+    fn append_now(&mut self, t: Duration) {
+        self.log.kinds.push(K_NOW);
+        self.log.nows.push(t.as_nanos() as u64);
+        self.cur.op += 1;
+        self.cur.now += 1;
+    }
+
+    fn append_sleep(&mut self) {
+        self.log.kinds.push(K_SLEEP);
+        self.cur.op += 1;
+    }
+
+    // -- replay-mode consume helpers --
+
+    fn replay_send(&mut self, rank: usize) -> CommResult<()> {
+        match self.log.kinds[self.cur.op] {
+            K_SEND => {
+                self.cur.op += 1;
+                Ok(())
+            }
+            _ => self.diverged(rank, "send"),
+        }
+    }
+
+    fn replay_recv(&mut self, rank: usize) -> CommResult<MsgBuf> {
+        match self.log.kinds[self.cur.op] {
+            K_RECV => {
+                self.cur.op += 1;
+                let len = self.log.recv_lens[self.cur.recv] as usize;
+                self.cur.recv += 1;
+                let start = self.cur.arena;
+                self.cur.arena += len;
+                Ok(MsgBuf::copy_from_slice(&self.log.arena[start..start + len]))
+            }
+            K_ERR => {
+                self.cur.op += 1;
+                let e = self.log.errs[self.cur.err].clone();
+                self.cur.err += 1;
+                Err(e)
+            }
+            _ => self.diverged(rank, "recv"),
+        }
+    }
+
+    fn replay_probe(&mut self, rank: usize) -> CommResult<Option<usize>> {
+        match self.log.kinds[self.cur.op] {
+            K_PROBE => {
+                self.cur.op += 1;
+                let len = self.log.probes[self.cur.probe].map(|l| l as usize);
+                self.cur.probe += 1;
+                Ok(len)
+            }
+            _ => self.diverged(rank, "probe"),
+        }
+    }
+
+    fn replay_now(&mut self, rank: usize) -> Duration {
+        match self.log.kinds[self.cur.op] {
+            K_NOW => {
+                self.cur.op += 1;
+                let t = Duration::from_nanos(self.log.nows[self.cur.now]);
+                self.cur.now += 1;
+                t
+            }
+            _ => self.diverged(rank, "now"),
+        }
+    }
+
+    fn replay_sleep(&mut self, rank: usize) {
+        match self.log.kinds[self.cur.op] {
+            K_SLEEP => self.cur.op += 1,
+            _ => self.diverged(rank, "sleep"),
+        }
+    }
+}
+
+/// A rank's handle onto an event-driven world. Implements [`Communicator`],
+/// so every algorithm and wrapper stack runs on the bounded worker pool
+/// unmodified. Constructed per execution by the runtime's workers; user code
+/// only ever sees `&EventComm` inside the closure passed to
+/// [`EventComm::run`].
+pub struct EventComm<'w> {
+    world: &'w EventWorld,
+    rank: usize,
+    ctx: Mutex<ExecCtx>,
+}
+
+impl<'w> EventComm<'w> {
+    pub(crate) fn attach(world: &'w EventWorld, rank: usize, ctx: ExecCtx) -> EventComm<'w> {
+        EventComm { world, rank, ctx: Mutex::new(ctx) }
+    }
+
+    pub(crate) fn detach(self) -> ExecCtx {
+        self.ctx.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The trait requires `&self`, so the per-task context sits behind a
+    /// mutex; it is only ever locked by the worker currently executing this
+    /// task, so the lock is uncontended (and poison-recovered: an algorithm
+    /// panic must not wedge the diagnostics path).
+    fn ctx(&self) -> MutexGuard<'_, ExecCtx> {
+        self.ctx.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Deliver every buffered send: deposit into the destination inboxes
+    /// (taking matching waiters) and hand the woken ranks to the scheduler
+    /// in one batch.
+    pub(crate) fn flush_outbox(world: &EventWorld, rank: usize, ctx: &mut ExecCtx) {
+        if ctx.outbox.is_empty() {
+            return;
+        }
+        let mut woken = Vec::new();
+        for (dest, tag, buf) in ctx.outbox.drain(..) {
+            let mut inbox = world.inbox(dest);
+            inbox.store.push(rank, tag, buf);
+            let matches = inbox
+                .waiter
+                .as_ref()
+                .is_some_and(|w| w.src == rank && w.tag == tag);
+            if matches {
+                inbox.waiter = None;
+                woken.push(dest);
+            }
+        }
+        if !woken.is_empty() {
+            world.wake_on_message(&woken);
+        }
+    }
+
+    fn flush(&self, ctx: &mut ExecCtx) {
+        Self::flush_outbox(self.world, self.rank, ctx);
+    }
+
+    /// Core receive: replay, complete immediately, or park the task.
+    /// `cap` makes it a bounded receive failing with [`CommError::Truncated`]
+    /// *without consuming* the message, exactly like the other backends.
+    fn op_recv(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: Option<Duration>,
+        cap: Option<usize>,
+    ) -> CommResult<MsgBuf> {
+        self.check_rank(src)?;
+        let mut ctx = self.ctx();
+        if ctx.replaying() {
+            return ctx.replay_recv(self.rank);
+        }
+        self.flush(&mut ctx);
+        // By determinism the first live blocking op is the op that parked,
+        // so this execution's wake verdict (if any) belongs to us.
+        let wake = ctx.wake.take();
+        let mut inbox = self.world.inbox(self.rank);
+        match inbox.store.peek_len(src, tag) {
+            Some(len) if cap.is_some_and(|c| len > c) => {
+                drop(inbox);
+                let e = CommError::Truncated { message_len: len, buffer_len: cap.unwrap_or(0) };
+                ctx.append_err(e.clone());
+                Err(e)
+            }
+            Some(_) => {
+                // A message beats a simultaneous wake verdict, matching the
+                // simulator: if one raced in, deliver it and drop the verdict.
+                let msg = match inbox.store.try_pop(src, tag) {
+                    Some(m) => m,
+                    None => panic!("rank {}: peek/pop mismatch", self.rank),
+                };
+                drop(inbox);
+                ctx.append_recv(&msg);
+                Ok(msg)
+            }
+            None => match wake {
+                Some(Wake::TimedOut) => {
+                    drop(inbox);
+                    // Virtual time advanced exactly to the deadline, so the
+                    // wait equals the budget (same exactness the sim tests).
+                    let e =
+                        CommError::Timeout { src, tag, waited: timeout.unwrap_or_default() };
+                    ctx.append_err(e.clone());
+                    Err(e)
+                }
+                Some(Wake::Deadlocked) => {
+                    drop(inbox);
+                    let e = CommError::Deadlock { src, tag };
+                    ctx.append_err(e.clone());
+                    Err(e)
+                }
+                // None (first arrival at this op) or a message wake whose
+                // message we cannot see yet never happens for Message (only
+                // this rank pops its inbox), but parking again is always
+                // safe and correct.
+                _ => {
+                    if inbox.waiter.is_some() {
+                        panic!("rank {}: second waiter registered", self.rank);
+                    }
+                    inbox.waiter = Some(Waiter { src, tag, epoch: ctx.epoch });
+                    drop(inbox);
+                    let deadline = timeout.map(|t| self.world.clock_now() + t);
+                    ctx.park = Some(Park::Recv { deadline });
+                    drop(ctx);
+                    panic_any(TaskYield)
+                }
+            },
+        }
+    }
+}
+
+impl Communicator for EventComm<'_> {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.world.size()
+    }
+
+    fn send_buf(&self, dest: usize, tag: Tag, buf: MsgBuf) -> CommResult<()> {
+        self.check_rank(dest)?;
+        let mut ctx = self.ctx();
+        if ctx.replaying() {
+            // Replayed sends are suppressed: the original execution already
+            // delivered this message.
+            return ctx.replay_send(self.rank);
+        }
+        ctx.append_send();
+        ctx.outbox.push((dest, tag, buf));
+        if ctx.outbox.len() >= OUTBOX_BATCH {
+            self.flush(&mut ctx);
+        }
+        Ok(())
+    }
+
+    fn recv_buf(&self, src: usize, tag: Tag) -> CommResult<MsgBuf> {
+        self.op_recv(src, tag, None, None)
+    }
+
+    fn recv_into(&self, src: usize, tag: Tag, buf: &mut [u8]) -> CommResult<usize> {
+        let msg = self.op_recv(src, tag, None, Some(buf.len()))?;
+        buf[..msg.len()].copy_from_slice(&msg);
+        Ok(msg.len())
+    }
+
+    fn probe(&self, src: usize, tag: Tag) -> CommResult<Option<usize>> {
+        self.check_rank(src)?;
+        let mut ctx = self.ctx();
+        if ctx.replaying() {
+            return ctx.replay_probe(self.rank);
+        }
+        self.flush(&mut ctx);
+        let len = self.world.inbox(self.rank).store.peek_len(src, tag);
+        ctx.append_probe(len);
+        Ok(len)
+    }
+
+    fn recv_buf_timeout(&self, src: usize, tag: Tag, timeout: Duration) -> CommResult<MsgBuf> {
+        // Override of the polling default: parks the task with a virtual
+        // deadline instead of probe/sleep spinning.
+        self.op_recv(src, tag, Some(timeout), None)
+    }
+
+    fn now(&self) -> Duration {
+        let mut ctx = self.ctx();
+        if ctx.replaying() {
+            return ctx.replay_now(self.rank);
+        }
+        let t = self.world.clock_now();
+        ctx.append_now(t);
+        t
+    }
+
+    fn sleep(&self, d: Duration) {
+        let mut ctx = self.ctx();
+        if ctx.replaying() {
+            ctx.replay_sleep(self.rank);
+            return;
+        }
+        let wake = ctx.wake.take();
+        if matches!(wake, Some(Wake::SleepElapsed)) || d.is_zero() {
+            ctx.append_sleep();
+            return;
+        }
+        // Park the *task* with a virtual deadline — the worker thread never
+        // sleeps on behalf of a rank.
+        self.flush(&mut ctx);
+        let until = self.world.clock_now() + d;
+        ctx.park = Some(Park::Sleep { until });
+        drop(ctx);
+        panic_any(TaskYield)
+    }
+}

@@ -32,6 +32,11 @@
 //!   one runnable rank at a time, recorded/replayable schedules
 //!   ([`ScheduleTrace`]), proved deadlocks instead of hangs, and
 //!   delta-debugging minimization of failing schedules ([`shrink_choices`]).
+//! * **Event-driven scale-out** — [`EventComm`] multiplexes many lightweight
+//!   rank tasks over a fixed pool of worker OS threads (run-to-block +
+//!   log-replay suspension), so the full algorithm suite executes at
+//!   P = 32,768 ranks on a handful of threads, with a virtual clock, proved
+//!   deadlocks, and scheduler telemetry ([`EventReport`]).
 //!
 //! ## Example
 //!
@@ -52,6 +57,7 @@ mod communicator;
 mod counting;
 mod deadline;
 mod error;
+mod event;
 mod fault;
 mod mailbox;
 mod metered;
@@ -59,6 +65,7 @@ mod msgbuf;
 mod plan;
 mod reliable;
 mod reduce;
+mod runtime;
 mod sim;
 mod subcomm;
 mod thread_comm;
@@ -70,6 +77,7 @@ pub use communicator::{Communicator, RecvReq, RESERVED_TAG_BASE};
 pub use counting::{CommStats, CopyStats, CountingComm, SentRecord};
 pub use deadline::DeadlineComm;
 pub use error::{CommError, CommResult};
+pub use event::EventComm;
 pub use fault::{EdgeFaults, FaultComm, FaultEvent, FaultKind, FaultPlan, ScriptedFault};
 pub use metered::{
     ChannelTotals, Histogram, MeteredComm, Metrics, PeerCounters, TagCounters, HIST_BUCKETS,
@@ -78,6 +86,7 @@ pub use msgbuf::MsgBuf;
 pub use plan::ExchangePlan;
 pub use reliable::{ReliableComm, ReliableConfig};
 pub use reduce::ReduceOp;
+pub use runtime::{EventReport, EventWorld};
 pub use sim::{shrink_choices, ScheduleTrace, SimComm, SimConfig, SimReport, SimRun, SimWorld};
 pub use subcomm::{SubComm, SUBCOMM_MAX_TAG};
 pub use thread_comm::{ThreadComm, World};

@@ -1,9 +1,10 @@
-//! Per-rank mailboxes: the matching engine behind point-to-point transfers.
+//! The matching core behind point-to-point transfers: [`MatchStore`] (the
+//! backend-agnostic `(source, tag)` matching engine) and [`Mailbox`] (its
+//! blocking, condvar-based wrapper used by the threaded backend).
 //!
-//! Every rank owns one [`Mailbox`]. A send deposits the payload into the
-//! destination's mailbox under the `(source, tag)` key (the *eager protocol*:
-//! the sender never blocks). A receive pops the oldest message matching its
-//! `(source, tag)` pair, blocking on a condition variable until one arrives.
+//! A send deposits the payload into the destination's store under the
+//! `(source, tag)` key (the *eager protocol*: the sender never blocks). A
+//! receive pops the oldest message matching its `(source, tag)` pair.
 //!
 //! Matching preserves MPI's **non-overtaking** rule: two messages from the
 //! same source with the same tag are received in the order they were sent,
@@ -12,89 +13,213 @@
 //! Messages are stored as [`MsgBuf`] views, so a queued message shares its
 //! backing region with the sender's pack buffer — the deposit is a
 //! reference-count bump, not a copy.
+//!
+//! ## Condvar → readiness migration
+//!
+//! Historically the blocking logic (one `Condvar` per rank) lived directly in
+//! `Mailbox` and was the *only* wait primitive, which welded the matching
+//! engine to the one-OS-thread-per-rank backend. The matching core is now the
+//! non-blocking [`MatchStore`]; how a receiver *waits* is a backend decision
+//! layered on top:
+//!
+//! * [`Mailbox`] (this module) wraps a store in a `Mutex` + `Condvar` for
+//!   [`crate::ThreadComm`], where a rank owns an OS thread it can park.
+//! * [`crate::SimComm`] keeps per-rank stores inside its scheduler state and
+//!   blocks by handing the run token to another rank.
+//! * [`crate::EventComm`] pairs each store with a *waiter* registration (an
+//!   explicit readiness/wakeup list); a receive that cannot complete parks
+//!   the lightweight task, and the depositing sender wakes it through the
+//!   scheduler — no per-rank thread, no per-rank condvar.
+//!
+//! All three backends therefore share one matching semantics (FIFO per key,
+//! non-destructive bounded receive, pop-and-trim hygiene) by construction.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use crate::{MsgBuf, Tag};
 
 /// Per-(source, tag) FIFO queues of undelivered messages.
 type MatchQueues = HashMap<(usize, Tag), VecDeque<MsgBuf>>;
 
-/// A single rank's incoming-message store.
+/// Shared message-accounting counters for one world, updated on every deposit
+/// and pop so world-level leak assertions are O(1) loads instead of O(P)
+/// lock-sweeps over every rank's store (which matters at P = 32k, where the
+/// sweep itself used to dominate small test runs).
+#[derive(Debug, Default)]
+pub(crate) struct StoreStats {
+    /// Messages currently deposited but not yet received, across all ranks.
+    pending: AtomicUsize,
+    /// Total deposits ever made (throughput accounting for `bruck-scale`).
+    deposited: AtomicUsize,
+    /// Match-map keys stranded with a drained queue. Every pop path trims
+    /// drained keys immediately, so this stays 0; any future pop path that
+    /// skips the trim must bump it. Structural per-store scans
+    /// ([`MatchStore::scan_dead_keys`]) cross-check it in tests.
+    dead_keys: AtomicUsize,
+}
+
+impl StoreStats {
+    pub(crate) fn new() -> Arc<StoreStats> {
+        Arc::new(StoreStats::default())
+    }
+
+    /// Undelivered messages across every store sharing these stats.
+    pub(crate) fn pending(&self) -> usize {
+        self.pending.load(Ordering::SeqCst)
+    }
+
+    /// Total messages ever deposited across every store sharing these stats.
+    pub(crate) fn deposited(&self) -> usize {
+        self.deposited.load(Ordering::SeqCst)
+    }
+
+    /// Stranded drained keys (must be 0; see field docs).
+    pub(crate) fn dead_keys(&self) -> usize {
+        self.dead_keys.load(Ordering::SeqCst)
+    }
+}
+
+/// The non-blocking matching engine: `(source, tag)` → FIFO queue of
+/// [`MsgBuf`] views, with the pop-and-trim invariant (a drained key is
+/// removed by the pop that drained it, so the map never accumulates dead
+/// entries across thousands of fixpoint iterations).
 ///
-/// Locking is coarse (one mutex per rank) which is the right trade-off here:
-/// contention on a mailbox is between exactly one receiver (the owning rank)
+/// `MatchStore` never waits — waiting is the caller's concern (condvar,
+/// scheduler token, or task parking; see the module docs). Locking is also
+/// the caller's concern: each backend shards one store per rank behind its
+/// own lock, so contention is between exactly one receiver (the owning rank)
 /// and its current senders, and critical sections only move a [`MsgBuf`]
 /// (three words).
-#[derive(Default)]
+pub(crate) struct MatchStore {
+    queues: MatchQueues,
+    stats: Arc<StoreStats>,
+}
+
+impl MatchStore {
+    pub(crate) fn new(stats: Arc<StoreStats>) -> MatchStore {
+        MatchStore { queues: MatchQueues::new(), stats }
+    }
+
+    /// Deposit a message from `src` with `tag`. Never blocks, never copies.
+    pub(crate) fn push(&mut self, src: usize, tag: Tag, data: MsgBuf) {
+        self.queues.entry((src, tag)).or_default().push_back(data);
+        self.stats.pending.fetch_add(1, Ordering::SeqCst);
+        self.stats.deposited.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Pop the oldest message matching `(src, tag)`, if any, trimming the
+    /// key when its queue drains. Every pop path must go through here.
+    pub(crate) fn try_pop(&mut self, src: usize, tag: Tag) -> Option<MsgBuf> {
+        let q = self.queues.get_mut(&(src, tag))?;
+        let msg = q.pop_front();
+        if q.is_empty() {
+            self.queues.remove(&(src, tag));
+        }
+        if msg.is_some() {
+            self.stats.pending.fetch_sub(1, Ordering::SeqCst);
+        }
+        msg
+    }
+
+    /// Like [`MatchStore::try_pop`], but refuses (without consuming the
+    /// message) if the matching message is longer than `cap` bytes:
+    /// `Some(Err(message_len))`.
+    ///
+    /// This is what makes `recv_into` truncation non-destructive — the check
+    /// happens *before* the message leaves the queue, so a caller that
+    /// retries with a bigger buffer still observes the message.
+    pub(crate) fn try_pop_bounded(
+        &mut self,
+        src: usize,
+        tag: Tag,
+        cap: usize,
+    ) -> Option<Result<MsgBuf, usize>> {
+        let len = self.peek_len(src, tag)?;
+        if len > cap {
+            return Some(Err(len));
+        }
+        self.try_pop(src, tag).map(Ok)
+    }
+
+    /// Byte length of the next matching message, without consuming it.
+    pub(crate) fn peek_len(&self, src: usize, tag: Tag) -> Option<usize> {
+        self.queues.get(&(src, tag)).and_then(VecDeque::front).map(MsgBuf::len)
+    }
+
+    /// Undelivered messages in *this* store (O(keys) structural scan; the
+    /// cheap world-level aggregate lives in [`StoreStats::pending`]).
+    pub(crate) fn scan_pending(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+
+    /// Keys whose queue is empty in *this* store. Must always be 0: every
+    /// pop path trims drained keys. Structural cross-check for the shared
+    /// [`StoreStats::dead_keys`] counter.
+    pub(crate) fn scan_dead_keys(&self) -> usize {
+        self.queues.values().filter(|q| q.is_empty()).count()
+    }
+}
+
+/// A single rank's incoming-message store for the threaded backend: a
+/// [`MatchStore`] behind a mutex, plus the condition variable its owning
+/// OS thread parks on.
 pub(crate) struct Mailbox {
-    queues: Mutex<MatchQueues>,
+    store: Mutex<MatchStore>,
     arrived: Condvar,
 }
 
-/// Pop the front of the `(src, tag)` queue, removing the key when the queue
-/// drains so the map never accumulates dead entries across thousands of
-/// fixpoint iterations. Every pop path must go through here.
-fn pop_and_trim(queues: &mut MatchQueues, src: usize, tag: Tag) -> Option<MsgBuf> {
-    let q = queues.get_mut(&(src, tag))?;
-    let msg = q.pop_front();
-    if q.is_empty() {
-        queues.remove(&(src, tag));
-    }
-    msg
-}
-
 impl Mailbox {
+    /// A standalone mailbox with private stats (unit tests).
+    #[cfg(test)]
     pub(crate) fn new() -> Self {
-        Self::default()
+        Mailbox::with_stats(StoreStats::new())
     }
 
-    /// A mailbox outlives any single rank's panic; recover the map rather
+    /// A mailbox participating in a world's shared accounting.
+    pub(crate) fn with_stats(stats: Arc<StoreStats>) -> Self {
+        Mailbox { store: Mutex::new(MatchStore::new(stats)), arrived: Condvar::new() }
+    }
+
+    /// A mailbox outlives any single rank's panic; recover the store rather
     /// than cascading poison panics across every other rank's shutdown path.
-    fn lock(&self) -> MutexGuard<'_, MatchQueues> {
-        self.queues.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    fn lock(&self) -> MutexGuard<'_, MatchStore> {
+        self.store.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Deposit a message from `src` with `tag`. Never blocks, never copies.
     pub(crate) fn push(&self, src: usize, tag: Tag, data: MsgBuf) {
-        let mut queues = self.lock();
-        queues.entry((src, tag)).or_default().push_back(data);
+        let mut store = self.lock();
+        store.push(src, tag, data);
         // notify_all: several receives with distinct (src, tag) keys can be
         // parked on the same condvar (collectives never do this, but user
         // code running helper threads may).
         self.arrived.notify_all();
-        drop(queues);
+        drop(store);
     }
 
     /// Pop the oldest message matching `(src, tag)`, blocking until present.
     pub(crate) fn pop(&self, src: usize, tag: Tag) -> MsgBuf {
-        let mut queues = self.lock();
+        let mut store = self.lock();
         loop {
-            if let Some(msg) = pop_and_trim(&mut queues, src, tag) {
+            if let Some(msg) = store.try_pop(src, tag) {
                 return msg;
             }
-            queues = self.arrived.wait(queues).unwrap_or_else(|p| p.into_inner());
+            store = self.arrived.wait(store).unwrap_or_else(|p| p.into_inner());
         }
     }
 
     /// Like [`Mailbox::pop`], but refuses (without consuming the message) if
     /// the matching message is longer than `cap` bytes: `Err(message_len)`.
-    ///
-    /// This is what makes `recv_into` truncation non-destructive — the check
-    /// happens under the lock *before* the message leaves the queue, so a
-    /// caller that retries with a bigger buffer still observes the message.
     pub(crate) fn pop_bounded(&self, src: usize, tag: Tag, cap: usize) -> Result<MsgBuf, usize> {
-        let mut queues = self.lock();
+        let mut store = self.lock();
         loop {
-            if let Some(front) = queues.get(&(src, tag)).and_then(VecDeque::front) {
-                if front.len() > cap {
-                    return Err(front.len());
-                }
-                return Ok(pop_and_trim(&mut queues, src, tag).expect("front exists"));
+            if let Some(outcome) = store.try_pop_bounded(src, tag, cap) {
+                return outcome;
             }
-            queues = self.arrived.wait(queues).unwrap_or_else(|p| p.into_inner());
+            store = self.arrived.wait(store).unwrap_or_else(|p| p.into_inner());
         }
     }
 
@@ -106,9 +231,9 @@ impl Mailbox {
         timeout: std::time::Duration,
     ) -> Option<MsgBuf> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut queues = self.lock();
+        let mut store = self.lock();
         loop {
-            if let Some(msg) = pop_and_trim(&mut queues, src, tag) {
+            if let Some(msg) = store.try_pop(src, tag) {
                 return Some(msg);
             }
             let now = std::time::Instant::now();
@@ -117,33 +242,32 @@ impl Mailbox {
             }
             let (guard, timed_out) = self
                 .arrived
-                .wait_timeout(queues, deadline - now)
+                .wait_timeout(store, deadline - now)
                 .unwrap_or_else(|p| p.into_inner());
-            queues = guard;
+            store = guard;
             if timed_out.timed_out() {
                 // One last check: the message may have raced the timeout.
-                // (Goes through pop_and_trim like every other pop, so a
-                // race-won pop cannot strand an empty dead key in the map.)
-                return pop_and_trim(&mut queues, src, tag);
+                // (Goes through try_pop like every other pop, so a race-won
+                // pop cannot strand an empty dead key in the map.)
+                return store.try_pop(src, tag);
             }
         }
     }
 
     /// Non-blocking probe: the byte length of the next matching message.
     pub(crate) fn probe(&self, src: usize, tag: Tag) -> Option<usize> {
-        let queues = self.lock();
-        queues.get(&(src, tag)).and_then(VecDeque::front).map(MsgBuf::len)
+        self.lock().peek_len(src, tag)
     }
 
-    /// Number of undelivered messages (diagnostics / leak tests).
+    /// Number of undelivered messages in this mailbox (structural scan).
     pub(crate) fn pending(&self) -> usize {
-        self.lock().values().map(VecDeque::len).sum()
+        self.lock().scan_pending()
     }
 
-    /// Number of match-map keys whose queue is empty. Must always be 0: every
-    /// pop path trims drained keys. Exposed for leak tests.
+    /// Number of match-map keys whose queue is empty in this mailbox
+    /// (structural scan; must always be 0).
     pub(crate) fn dead_keys(&self) -> usize {
-        self.lock().values().filter(|q| q.is_empty()).count()
+        self.lock().scan_dead_keys()
     }
 }
 
@@ -255,5 +379,39 @@ mod tests {
         let mb = Mailbox::new();
         assert!(mb.pop_timeout(0, 0, Duration::from_millis(5)).is_none());
         assert_eq!(mb.dead_keys(), 0);
+    }
+
+    #[test]
+    fn shared_stats_track_deposits_and_pops_across_stores() {
+        // Two mailboxes in one "world": the shared counters see both, and the
+        // atomic aggregates agree with the structural per-store scans.
+        let stats = StoreStats::new();
+        let a = Mailbox::with_stats(Arc::clone(&stats));
+        let b = Mailbox::with_stats(Arc::clone(&stats));
+        a.push(0, 1, buf(&[1]));
+        a.push(0, 1, buf(&[2]));
+        b.push(1, 1, buf(&[3]));
+        assert_eq!(stats.pending(), 3);
+        assert_eq!(stats.deposited(), 3);
+        assert_eq!(stats.pending(), a.pending() + b.pending());
+        assert_eq!(a.pop(0, 1), vec![1]);
+        assert_eq!(stats.pending(), 2);
+        assert_eq!(b.pop(1, 1), vec![3]);
+        assert_eq!(a.pop(0, 1), vec![2]);
+        assert_eq!(stats.pending(), 0);
+        assert_eq!(stats.deposited(), 3, "deposited is cumulative, not current");
+        assert_eq!(stats.dead_keys(), 0);
+    }
+
+    #[test]
+    fn match_store_bounded_pop_is_non_destructive() {
+        let mut store = MatchStore::new(StoreStats::new());
+        assert!(store.try_pop_bounded(4, 2, 8).is_none(), "empty store has no match");
+        store.push(4, 2, buf(&[9; 10]));
+        assert_eq!(store.try_pop_bounded(4, 2, 4), Some(Err(10)));
+        assert_eq!(store.scan_pending(), 1);
+        assert_eq!(store.try_pop_bounded(4, 2, 10).and_then(Result::ok), Some(buf(&[9; 10])));
+        assert_eq!(store.scan_pending(), 0);
+        assert_eq!(store.scan_dead_keys(), 0);
     }
 }

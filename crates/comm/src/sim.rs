@@ -31,12 +31,13 @@
 //! the property the delta-debugging shrinker ([`shrink_choices`]) relies on
 //! to minimize a failing schedule by deleting choices.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 use crate::chaos::splitmix;
+use crate::mailbox::{MatchStore, StoreStats};
 use crate::{CommError, CommResult, Communicator, MsgBuf, Tag};
 
 // ---------------------------------------------------------------------------
@@ -227,10 +228,11 @@ enum RankState {
 }
 
 struct SimState {
-    /// Per-destination matching queues: `(src, tag)` → FIFO of payloads.
-    /// Deposits happen in token order, so per-edge FIFO gives the same
-    /// non-overtaking guarantee as the threaded mailbox.
-    queues: Vec<HashMap<(usize, Tag), VecDeque<MsgBuf>>>,
+    /// Per-destination matching stores (the same [`MatchStore`] engine the
+    /// threaded mailbox and the event runtime use): `(src, tag)` → FIFO of
+    /// payloads. Deposits happen in token order, so per-edge FIFO gives the
+    /// same non-overtaking guarantee as the threaded mailbox.
+    queues: Vec<MatchStore>,
     ranks: Vec<RankState>,
     /// Rank currently holding the token (None during startup/shutdown).
     current: Option<usize>,
@@ -260,9 +262,10 @@ impl SimWorld {
             Some(choices) => SchedMode::Replay(choices.iter().copied().collect()),
             None => SchedMode::Random,
         };
+        let stats = StoreStats::new();
         SimWorld {
             state: Mutex::new(SimState {
-                queues: (0..p).map(|_| HashMap::new()).collect(),
+                queues: (0..p).map(|_| MatchStore::new(Arc::clone(&stats))).collect(),
                 ranks: vec![RankState::NotStarted; p],
                 current: None,
                 now: Duration::ZERO,
@@ -412,7 +415,7 @@ impl SimWorld {
         }
         let mut st = self.lock();
         st = self.yield_turn(st, rank);
-        st.queues[dest].entry((rank, tag)).or_default().push_back(buf);
+        st.queues[dest].push(rank, tag, buf);
         // Hand-off: a rank parked in a matching receive becomes runnable.
         if let RankState::Blocked { src, tag: t, .. } = st.ranks[dest] {
             if src == rank && t == tag {
@@ -441,7 +444,7 @@ impl SimWorld {
         let op_start = st.now;
         let deadline = timeout.map(|t| op_start + t);
         loop {
-            match st.queues[rank].get(&(src, tag)).and_then(|q| q.front()).map(MsgBuf::len) {
+            match st.queues[rank].peek_len(src, tag) {
                 Some(len) if max_len.is_some_and(|cap| len > cap) => {
                     // Bounded receive too small: error out *without*
                     // consuming, exactly like the threaded mailbox.
@@ -451,11 +454,7 @@ impl SimWorld {
                     });
                 }
                 Some(_) => {
-                    let msg = st.queues[rank].get_mut(&(src, tag)).and_then(VecDeque::pop_front);
-                    if st.queues[rank].get(&(src, tag)).is_some_and(VecDeque::is_empty) {
-                        st.queues[rank].remove(&(src, tag));
-                    }
-                    if let Some(msg) = msg {
+                    if let Some(msg) = st.queues[rank].try_pop(src, tag) {
                         return Ok(msg);
                     }
                 }
@@ -468,8 +467,7 @@ impl SimWorld {
             // A message beats a simultaneous wake verdict: re-check the
             // queue first (another deadlock-woken rank may have sent to us
             // from its error path before we were scheduled).
-            let has_msg =
-                st.queues[rank].get(&(src, tag)).is_some_and(|q| !q.is_empty());
+            let has_msg = st.queues[rank].peek_len(src, tag).is_some();
             if !has_msg {
                 if deadlocked {
                     return Err(CommError::Deadlock { src, tag });
@@ -491,7 +489,7 @@ impl SimWorld {
         }
         let mut st = self.lock();
         st = self.yield_turn(st, rank);
-        Ok(st.queues[rank].get(&(src, tag)).and_then(|q| q.front()).map(MsgBuf::len))
+        Ok(st.queues[rank].peek_len(src, tag))
     }
 
     fn sim_sleep(&self, rank: usize, d: Duration) {

@@ -7,19 +7,36 @@
 
 use std::sync::Arc;
 
-use crate::mailbox::Mailbox;
+use crate::mailbox::{Mailbox, StoreStats};
 use crate::{CommError, CommResult, Communicator, MsgBuf, Tag};
 
-/// Shared state of one communicator: the mailboxes of all ranks.
+/// Render a rank closure's panic payload for rank-attributed propagation.
+pub(crate) fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Shared state of one communicator: the mailboxes of all ranks plus the
+/// world-level message accounting.
 pub struct World {
     mailboxes: Vec<Mailbox>,
+    stats: Arc<StoreStats>,
 }
 
 impl World {
     /// Create a world for `size` ranks.
     pub fn new(size: usize) -> Arc<Self> {
         assert!(size > 0, "communicator must have at least one rank");
-        Arc::new(World { mailboxes: (0..size).map(|_| Mailbox::new()).collect() })
+        let stats = StoreStats::new();
+        Arc::new(World {
+            mailboxes: (0..size).map(|_| Mailbox::with_stats(Arc::clone(&stats))).collect(),
+            stats,
+        })
     }
 
     /// Number of ranks.
@@ -29,13 +46,36 @@ impl World {
 
     /// Undelivered messages across all ranks (should be 0 after a well-formed
     /// SPMD region completes; used by leak tests).
+    ///
+    /// O(1): reads the shared atomic maintained on every deposit/pop, rather
+    /// than sweeping P mailbox locks (which at P = 32k used to cost more than
+    /// the run being checked).
     pub fn pending_messages(&self) -> usize {
-        self.mailboxes.iter().map(Mailbox::pending).sum()
+        self.stats.pending()
     }
 
     /// Match-map keys with drained queues across all ranks (must always be 0;
-    /// used by leak tests).
+    /// used by leak tests). O(1) shared-counter read; see
+    /// [`World::dead_match_keys_scan`] for the structural audit.
     pub fn dead_match_keys(&self) -> usize {
+        self.stats.dead_keys()
+    }
+
+    /// Total messages ever deposited in this world (throughput accounting).
+    pub fn total_messages(&self) -> usize {
+        self.stats.deposited()
+    }
+
+    /// O(P) structural sweep counting undelivered messages directly in the
+    /// match maps. Cross-checks [`World::pending_messages`] in tests; prefer
+    /// the O(1) form everywhere else.
+    pub fn pending_messages_scan(&self) -> usize {
+        self.mailboxes.iter().map(Mailbox::pending).sum()
+    }
+
+    /// O(P) structural sweep counting drained-but-unremoved match keys.
+    /// Cross-checks [`World::dead_match_keys`] in tests.
+    pub fn dead_match_keys_scan(&self) -> usize {
         self.mailboxes.iter().map(Mailbox::dead_keys).sum()
     }
 }
@@ -60,7 +100,10 @@ impl ThreadComm {
     /// modest stack (2 MiB) so that runs with hundreds of ranks stay cheap.
     ///
     /// # Panics
-    /// Propagates a panic from any rank (after all threads are joined).
+    /// Propagates a panic from any rank — after *all* threads are joined, and
+    /// with the failing rank's id prefixed to the message (`rank <i>
+    /// panicked: …`), because at hundreds of ranks a bare join error is
+    /// undebuggable.
     pub fn run<T, F>(size: usize, f: F) -> Vec<T>
     where
         T: Send,
@@ -91,10 +134,20 @@ impl ThreadComm {
                         .expect("failed to spawn rank thread")
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-                .collect()
+            // Join *every* thread before propagating any panic: unwinding
+            // out of the scope with panicked-but-unjoined threads would turn
+            // one rank's bug into a double panic (process abort).
+            let outcomes: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+            let mut results = Vec::with_capacity(size);
+            for (rank, outcome) in outcomes.into_iter().enumerate() {
+                match outcome {
+                    Ok(v) => results.push(v),
+                    Err(payload) => {
+                        panic!("rank {rank} panicked: {}", describe_panic(payload.as_ref()))
+                    }
+                }
+            }
+            results
         })
     }
 
@@ -385,5 +438,50 @@ mod tests {
         // Every message sent by the collectives must have been consumed.
         assert_eq!(world.pending_messages(), 0);
         assert_eq!(world.dead_match_keys(), 0);
+        // The O(1) counters agree with the O(P) structural sweeps.
+        assert_eq!(world.pending_messages_scan(), 0);
+        assert_eq!(world.dead_match_keys_scan(), 0);
+        assert!(world.total_messages() > 0, "collectives must have moved messages");
+    }
+
+    #[test]
+    fn atomic_counters_match_structural_scan_mid_flight() {
+        // Deposit without receiving: the cheap counters and the structural
+        // sweeps must agree on the in-flight message count.
+        let world = World::new(4);
+        std::thread::scope(|scope| {
+            for rank in 0..4 {
+                let world = Arc::clone(&world);
+                scope.spawn(move || {
+                    let comm = ThreadComm::new(world, rank);
+                    for dst in 0..4 {
+                        comm.send(dst, 7, &[rank as u8]).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(world.pending_messages(), 16);
+        assert_eq!(world.pending_messages_scan(), 16);
+        assert_eq!(world.total_messages(), 16);
+        assert_eq!(world.dead_match_keys(), 0);
+        assert_eq!(world.dead_match_keys_scan(), 0);
+    }
+
+    #[test]
+    fn rank_panic_propagates_with_rank_id() {
+        let caught = std::panic::catch_unwind(|| {
+            ThreadComm::run(4, |comm| {
+                if comm.rank() == 2 {
+                    panic!("injected bug");
+                }
+                // Other ranks return immediately; run must join them all
+                // before propagating rank 2's panic.
+                comm.rank()
+            })
+        });
+        let payload = caught.expect_err("rank 2 panicked");
+        let msg = describe_panic(payload.as_ref());
+        assert!(msg.contains("rank 2 panicked"), "missing rank id: {msg}");
+        assert!(msg.contains("injected bug"), "missing original message: {msg}");
     }
 }

@@ -74,17 +74,37 @@ pub fn ranka_two_stage_alltoallv<C: Communicator + ?Sized>(
 
     // ---- Stage 2: forward pieces to final destinations ------------------
     // Message to destination d: piece `me` of block (s → d), s ascending.
-    let build_stage2 = |d: usize| -> Vec<u8> {
+    //
+    // The offset of d's piece within held[s] is a prefix sum over counts.
+    // Recomputing it per (s, d) pair is O(P³) per rank — at P = 32768 that
+    // packing loop alone dwarfs the exchange. The send loop visits d in ring
+    // order (one ascending run, a wrap, a second ascending run), so
+    // per-source cursors advanced in step give the same offsets in O(P²)
+    // total.
+    let mut cursors = vec![0usize; p];
+    let mut cursors_at = 0usize; // cursors[s] == offset of piece `cursors_at` in held[s]
+    let mut build_stage2 = |d: usize, held: &[(Vec<usize>, MsgBuf)]| -> Vec<u8> {
+        if d < cursors_at {
+            cursors.iter_mut().for_each(|c| *c = 0); // ring wrapped
+            cursors_at = 0;
+        }
+        while cursors_at < d {
+            for (s, (counts, _)) in held.iter().enumerate() {
+                cursors[s] += piece_len(counts[cursors_at], me, p);
+            }
+            cursors_at += 1;
+        }
         let mut msg = Vec::new();
-        for (counts, pieces) in held.iter() {
-            let off: usize = counts[..d].iter().map(|&len| piece_len(len, me, p)).sum();
+        for (s, (counts, pieces)) in held.iter().enumerate() {
+            let off = cursors[s];
             msg.extend_from_slice(&pieces[off..off + piece_len(counts[d], me, p)]);
         }
         msg
     };
     for off in 1..p {
         let d = add_mod(me, off, p);
-        comm.isend_buf(d, RANKA_STAGE2_TAG, MsgBuf::from_vec(build_stage2(d)))?;
+        let msg = build_stage2(d, &held);
+        comm.isend_buf(d, RANKA_STAGE2_TAG, MsgBuf::from_vec(msg))?;
     }
 
     // Receive from every intermediate; scatter pieces into place.
@@ -103,7 +123,7 @@ pub fn ranka_two_stage_alltoallv<C: Communicator + ?Sized>(
         Ok(())
     };
     {
-        let own = build_stage2(me);
+        let own = build_stage2(me, &held);
         place(me, &own)?;
     }
     for off in 1..p {

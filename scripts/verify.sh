@@ -29,3 +29,11 @@ cargo run --release -p bruck-check --bin bruck-sim -- --smoke
 # metering overhead advisory) and BENCH_PR4.trace.json (chrome trace_events).
 # Exits non-zero on any metering consistency error.
 cargo run --release -p bruck-bench --bin smoke -- BENCH_PR4.json BENCH_PR4.trace.json
+# Event-runtime scale gate (DESIGN.md §12): the P = 4096 log-phase cells on
+# EventComm's bounded worker pool, compared against the committed artifact.
+# A cell > 1.6x slower than BENCH_PR6.json prints an advisory; > 8x fails —
+# the fatal bar only catches structural regressions (e.g. an O(P) scan
+# reintroduced on the deposit path), not shared-CI wall-clock noise. The
+# committed artifact itself is regenerated with:
+#   cargo run --release -p bruck-bench --bin bruck-scale -- --out BENCH_PR6.json
+cargo run --release -p bruck-bench --bin bruck-scale -- --smoke --check-against BENCH_PR6.json
