@@ -1,0 +1,115 @@
+//! Shared payload-cell helpers for the check harnesses.
+//!
+//! The chaos soak ([`crate::chaos`]), the deterministic-schedule matrix
+//! ([`crate::sim_matrix`]), and the exhaustive explorer ([`crate::dpor`])
+//! all drive the same closed-form payload convention: byte `idx` of the
+//! block rank `src` sends to rank `dst` is [`pattern`]`(src, dst, idx)`.
+//! This module is the one home for that convention plus the send-side fill,
+//! the receive-side check, and the result digest, so the harnesses cannot
+//! drift apart on what "byte-correct" means.
+
+use bruck_core::packed_displs;
+use bruck_workload::SizeMatrix;
+
+/// Deterministic pattern byte for (source, destination, offset-in-block) —
+/// the same convention as bruck-core's test utilities (which are test-only
+/// and thus not linkable from here).
+pub fn pattern(src: usize, dst: usize, idx: usize) -> u8 {
+    (src.wrapping_mul(167) ^ dst.wrapping_mul(59) ^ idx.wrapping_mul(13)) as u8
+}
+
+/// SplitMix64 step for result digests.
+pub fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Build rank `me`'s pattern-filled send side:
+/// `(sendcounts, sdispls, sendbuf)`.
+pub fn pattern_send_side(m: &SizeMatrix, me: usize) -> (Vec<usize>, Vec<usize>, Vec<u8>) {
+    let sendcounts = m.sendcounts(me);
+    let sdispls = packed_displs(&sendcounts);
+    let total: usize = sendcounts.iter().sum();
+    let mut sendbuf = vec![0u8; total];
+    for dst in 0..m.p() {
+        for idx in 0..sendcounts[dst] {
+            sendbuf[sdispls[dst] + idx] = pattern(me, dst, idx);
+        }
+    }
+    (sendcounts, sdispls, sendbuf)
+}
+
+/// A byte that failed the pattern check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternMismatch {
+    /// Offset inside the block.
+    pub idx: usize,
+    /// The byte found in the receive buffer.
+    pub got: u8,
+    /// The pattern byte that should be there.
+    pub want: u8,
+}
+
+/// Check rank `me`'s received block from `src` against the pattern;
+/// `rdispls` are `me`'s packed receive displacements. Returns the first
+/// mismatch, letting each harness keep its own failure wording.
+pub fn check_block(
+    m: &SizeMatrix,
+    me: usize,
+    src: usize,
+    rdispls: &[usize],
+    recvbuf: &[u8],
+) -> Option<PatternMismatch> {
+    for idx in 0..m.get(src, me) {
+        let got = recvbuf[rdispls[src] + idx];
+        let want = pattern(src, me, idx);
+        if got != want {
+            return Some(PatternMismatch { idx, got, want });
+        }
+    }
+    None
+}
+
+/// Fold rank `rank`'s receive buffer into an order-sensitive digest.
+pub fn digest_rank_buf(mut digest: u64, rank: usize, buf: &[u8]) -> u64 {
+    digest = mix(digest ^ rank as u64);
+    for chunk in buf.chunks(8) {
+        let mut b = [0u8; 8];
+        b[..chunk.len()].copy_from_slice(chunk);
+        digest = mix(digest ^ u64::from_le_bytes(b));
+    }
+    digest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bruck_workload::Distribution;
+
+    #[test]
+    fn send_side_matches_block_check() {
+        let m = SizeMatrix::generate(Distribution::Uniform, 7, 4, 16);
+        // What rank 0 sends to rank 2 is exactly what the check expects
+        // rank 2 to receive from rank 0.
+        let (sendcounts, sdispls, sendbuf) = pattern_send_side(&m, 0);
+        let rdispls = packed_displs(&m.recvcounts(2));
+        let mut recvbuf = vec![0u8; m.recvcounts(2).iter().sum()];
+        recvbuf[rdispls[0]..rdispls[0] + sendcounts[2]]
+            .copy_from_slice(&sendbuf[sdispls[2]..sdispls[2] + sendcounts[2]]);
+        assert_eq!(check_block(&m, 2, 0, &rdispls, &recvbuf), None);
+        // Flip one byte and the check names it.
+        recvbuf[rdispls[0]] ^= 0xFF;
+        let mm = check_block(&m, 2, 0, &rdispls, &recvbuf).expect("mismatch found");
+        assert_eq!(mm.idx, 0);
+        assert_eq!(mm.want, pattern(0, 2, 0));
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let a = digest_rank_buf(digest_rank_buf(1, 0, b"aa"), 1, b"bb");
+        let b = digest_rank_buf(digest_rank_buf(1, 0, b"bb"), 1, b"aa");
+        assert_ne!(a, b);
+    }
+}

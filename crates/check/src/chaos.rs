@@ -38,12 +38,7 @@ use bruck_core::{
 };
 use bruck_workload::{Distribution, SizeMatrix};
 
-/// Deterministic pattern byte for (source, destination, offset-in-block) —
-/// the same convention as bruck-core's test utilities (which are test-only
-/// and thus not linkable from here).
-fn pattern(src: usize, dst: usize, idx: usize) -> u8 {
-    (src.wrapping_mul(167) ^ dst.wrapping_mul(59) ^ idx.wrapping_mul(13)) as u8
-}
+use crate::cells::{check_block, pattern_send_side};
 
 /// What a fault plan entitles us to demand of the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -256,15 +251,7 @@ fn run_world(
         // invisible) and prove it never drifts under injected faults.
         let mc = MeteredComm::new(&rc);
         let me = mc.rank();
-        let sendcounts = m.sendcounts(me);
-        let sdispls = packed_displs(&sendcounts);
-        let total: usize = sendcounts.iter().sum();
-        let mut sendbuf = vec![0u8; total];
-        for dst in 0..p {
-            for idx in 0..sendcounts[dst] {
-                sendbuf[sdispls[dst] + idx] = pattern(me, dst, idx);
-            }
-        }
+        let (sendcounts, sdispls, sendbuf) = pattern_send_side(&m, me);
         let recvcounts = m.recvcounts(me);
         let rdispls = packed_displs(&recvcounts);
         let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
@@ -295,23 +282,19 @@ fn classify_rank(
 ) -> Result<RankVerdict, String> {
     let p = matrix.p();
     let rdispls = packed_displs(&matrix.recvcounts(me));
-    let check_block = |src: usize, recvbuf: &[u8]| -> Result<(), String> {
-        let len = matrix.get(src, me);
-        for idx in 0..len {
-            let got = recvbuf[rdispls[src] + idx];
-            let want = pattern(src, me, idx);
-            if got != want {
-                return Err(format!(
-                    "SILENT CORRUPTION: block from {src} byte {idx}: got {got}, want {want}"
-                ));
-            }
+    let check_src = |src: usize, recvbuf: &[u8]| -> Result<(), String> {
+        match check_block(matrix, me, src, &rdispls, recvbuf) {
+            Some(mm) => Err(format!(
+                "SILENT CORRUPTION: block from {src} byte {}: got {}, want {}",
+                mm.idx, mm.got, mm.want
+            )),
+            None => Ok(()),
         }
-        Ok(())
     };
     match outcome {
         Ok(out) if out.is_lossless() => {
             for src in 0..p {
-                check_block(src, &recvbuf)?;
+                check_src(src, &recvbuf)?;
             }
             Ok(RankVerdict::Lossless(recvbuf))
         }
@@ -320,7 +303,7 @@ fn classify_rank(
                 return Err(format!("holes {:?} under a must-complete plan", report.missing_sources));
             }
             for src in (0..p).filter(|s| !report.missing_sources.contains(s)) {
-                check_block(src, &recvbuf)?;
+                check_src(src, &recvbuf)?;
             }
             Ok(RankVerdict::Holes(report.missing_sources))
         }

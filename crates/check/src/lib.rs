@@ -27,6 +27,14 @@
 //! deterministic simulator across seeded interleavings with a virtual clock,
 //! with recorded, replayable, shrinkable schedule traces (DESIGN.md §11).
 //!
+//! A sixth layer, the [`dpor`] module (binary `bruck-verify`), upgrades the
+//! schedule fuzzer to a *model checker*: stateless dynamic partial-order
+//! reduction exhaustively enumerates every inequivalent interleaving of the
+//! tiny-world cells, proves byte-identical outcomes and deadlock-freedom at
+//! every leaf, and exhaustively audits the event runtime's wakeup protocol
+//! with vector-clock happens-before checks (DESIGN.md §13). Shared payload
+//! helpers for the dynamic harnesses live in [`cells`].
+//!
 //! The verifier's model, guarantees, and non-guarantees are documented in
 //! DESIGN.md §8.
 
@@ -34,7 +42,9 @@
 #![deny(missing_docs)]
 
 pub mod analysis;
+pub mod cells;
 pub mod chaos;
+pub mod dpor;
 pub mod lint;
 pub mod matrix;
 pub mod model;

@@ -40,6 +40,12 @@
 //!   thinks is quiescent), so every spawn site outside the runtime must be
 //!   audited into the allowlist — currently the legacy rank-per-thread
 //!   backends (`thread_comm.rs`, `sim.rs`) only.
+//! * `no-hash-iteration` — the `HashMap` / `HashSet` types in `crates/core`
+//!   or `crates/comm` non-test code: their iteration order is unspecified
+//!   (and randomized across processes), which silently breaks the
+//!   bit-reproducibility the deterministic simulator, the schedule fuzzer,
+//!   and the DPOR model checker all stand on. Use `BTreeMap` / `BTreeSet`;
+//!   ordered iteration is never the bottleneck at these sizes.
 //! * `no-adhoc-condvar` — the `Condvar` type in `crates/comm` outside
 //!   `runtime.rs` and `mailbox.rs`: blocking/wakeup must go through the
 //!   readiness abstraction (`MatchStore` + waiter lists / the `Mailbox`
@@ -247,6 +253,8 @@ fn scan_file(rel: &str, text: &str, out: &mut Vec<LintFinding>) {
         rel == "crates/comm/src/runtime.rs" || rel == "crates/comm/src/mailbox.rs";
     let spawn_banned = rel.starts_with("crates/comm/") && !concurrency_site;
     let condvar_banned = rel.starts_with("crates/comm/") && !concurrency_site;
+    // Determinism-critical crates must not iterate hashed collections.
+    let hash_banned = rel.starts_with("crates/core/") || rel.starts_with("crates/comm/");
     // Whole-file test modules (`#[cfg(test)] mod foo_tests;` in the crate
     // root) carry the cfg on the *declaration*, invisible from the file
     // itself; go by the naming convention.
@@ -334,6 +342,14 @@ fn scan_file(rel: &str, text: &str, out: &mut Vec<LintFinding>) {
             if condvar_banned {
                 for _ in san.match_indices("Condvar") {
                     push("no-adhoc-condvar");
+                }
+            }
+            if hash_banned {
+                for _ in san.match_indices("HashMap") {
+                    push("no-hash-iteration");
+                }
+                for _ in san.match_indices("HashSet") {
+                    push("no-hash-iteration");
                 }
             }
             for _ in san.match_indices(".unwrap()") {
@@ -572,6 +588,25 @@ mod tests {
         assert!(scan_str("crates/check/src/lint.rs", src)
             .iter()
             .all(|f| f.rule != "no-adhoc-condvar"));
+    }
+
+    #[test]
+    fn hash_collections_flagged_in_core_and_comm_outside_tests() {
+        let src = "use std::collections::HashMap;\nfn f() { let s: HashSet<u32> = HashSet::new(); }\n";
+        let hits = scan_str("crates/comm/src/reliable.rs", src);
+        assert_eq!(hits.iter().filter(|f| f.rule == "no-hash-iteration").count(), 3, "{hits:?}");
+        assert!(scan_str("crates/core/src/radix.rs", src)
+            .iter()
+            .any(|f| f.rule == "no-hash-iteration"));
+        // The rule governs the determinism-critical crates only.
+        assert!(scan_str("crates/check/src/model.rs", src)
+            .iter()
+            .all(|f| f.rule != "no-hash-iteration"));
+        // Test code may hash (e.g. counting distinct schedule weights).
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn g() { let s = HashSet::new(); }\n}\n";
+        assert!(scan_str("crates/core/src/radix.rs", test_src)
+            .iter()
+            .all(|f| f.rule != "no-hash-iteration"));
     }
 
     #[test]

@@ -15,9 +15,10 @@
 //! recorded schedule is handed back so the caller (the `bruck-sim` binary)
 //! can save it to a trace file, print the one-command replay, and shrink it.
 
+use crate::cells::{check_block, digest_rank_buf, pattern_send_side};
 use bruck_comm::{
     shrink_choices, Communicator, FaultComm, FaultPlan, ReliableComm, ReliableConfig,
-    ScheduleTrace, SimComm, SimConfig,
+    ScheduleTrace, SimComm, SimConfig, SimStep,
 };
 use bruck_core::{
     alltoallv, packed_displs, resilient_alltoallv, AlltoallvAlgorithm, ExchangeOutcome,
@@ -25,20 +26,6 @@ use bruck_core::{
 };
 use bruck_workload::{Distribution, SizeMatrix};
 use std::time::Duration;
-
-/// Deterministic pattern byte for (source, destination, offset-in-block) —
-/// the same convention as the chaos harness.
-fn pattern(src: usize, dst: usize, idx: usize) -> u8 {
-    (src.wrapping_mul(167) ^ dst.wrapping_mul(59) ^ idx.wrapping_mul(13)) as u8
-}
-
-/// SplitMix64 step for result digests.
-fn mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
 
 /// Workload distributions the matrix draws from, by stable index (the index
 /// is what goes into a trace file's `meta` line, so order is part of the
@@ -185,6 +172,9 @@ pub struct CellOutcome {
     /// Digest of every rank's receive buffer (order-sensitive), for
     /// byte-identical comparison across runs.
     pub digest: u64,
+    /// Per-scheduling-point enabled sets + op footprints, recorded only by
+    /// [`run_cell_recorded`] (the DPOR explorer's entry point).
+    pub steps: Option<Vec<SimStep>>,
 }
 
 impl CellOutcome {
@@ -197,6 +187,17 @@ impl CellOutcome {
 /// Execute one cell under the simulator. `replay` substitutes a recorded
 /// schedule for the seeded one (used by `--replay` and by the shrinker).
 pub fn run_cell(cell: &SimCell, replay: Option<&[u32]>) -> CellOutcome {
+    run_cell_opts(cell, replay, false)
+}
+
+/// [`run_cell`] with step recording on: the outcome carries the enabled set
+/// and op footprint of every scheduling point, which the DPOR explorer
+/// turns into backtrack sets.
+pub fn run_cell_recorded(cell: &SimCell, replay: Option<&[u32]>) -> CellOutcome {
+    run_cell_opts(cell, replay, true)
+}
+
+fn run_cell_opts(cell: &SimCell, replay: Option<&[u32]>, record_steps: bool) -> CellOutcome {
     let m = SizeMatrix::generate(
         DISTRIBUTIONS[cell.dist_idx],
         cell.workload_seed,
@@ -207,20 +208,13 @@ pub fn run_cell(cell: &SimCell, replay: Option<&[u32]>) -> CellOutcome {
         seed: cell.sched_seed,
         replay: replay.map(<[u32]>::to_vec),
         meta: cell.encode_meta(),
+        record_steps,
     };
     let plan = fault_plan(&cell.fault, cell.sched_seed, cell.p);
     let m_ref = &m;
     let report = SimComm::try_run(cell.p, &cfg, move |comm| -> Result<Vec<u8>, String> {
         let me = comm.rank();
-        let sendcounts = m_ref.sendcounts(me);
-        let sdispls = packed_displs(&sendcounts);
-        let total: usize = sendcounts.iter().sum();
-        let mut sendbuf = vec![0u8; total];
-        for dst in 0..m_ref.p() {
-            for idx in 0..sendcounts[dst] {
-                sendbuf[sdispls[dst] + idx] = pattern(me, dst, idx);
-            }
-        }
+        let (sendcounts, sdispls, sendbuf) = pattern_send_side(m_ref, me);
         let recvcounts = m_ref.recvcounts(me);
         let rdispls = packed_displs(&recvcounts);
         let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
@@ -253,14 +247,11 @@ pub fn run_cell(cell: &SimCell, replay: Option<&[u32]>) -> CellOutcome {
             .map_err(|e| format!("rank {me}: exchange failed: {e}"))?;
         }
         for src in 0..m_ref.p() {
-            for idx in 0..m_ref.get(src, me) {
-                let got = recvbuf[rdispls[src] + idx];
-                let want = pattern(src, me, idx);
-                if got != want {
-                    return Err(format!(
-                        "rank {me}: byte {idx} of block from {src}: got {got}, want {want}"
-                    ));
-                }
+            if let Some(mm) = check_block(m_ref, me, src, &rdispls, &recvbuf) {
+                return Err(format!(
+                    "rank {me}: byte {} of block from {src}: got {}, want {}",
+                    mm.idx, mm.got, mm.want
+                ));
             }
         }
         Ok(recvbuf)
@@ -270,12 +261,7 @@ pub fn run_cell(cell: &SimCell, replay: Option<&[u32]>) -> CellOutcome {
     for (rank, out) in report.outcomes.iter().enumerate() {
         match out {
             Ok(Ok(buf)) => {
-                digest = mix(digest ^ rank as u64);
-                for chunk in buf.chunks(8) {
-                    let mut b = [0u8; 8];
-                    b[..chunk.len()].copy_from_slice(chunk);
-                    digest = mix(digest ^ u64::from_le_bytes(b));
-                }
+                digest = digest_rank_buf(digest, rank, buf);
             }
             Ok(Err(msg)) => {
                 failure.get_or_insert_with(|| msg.clone());
@@ -285,7 +271,7 @@ pub fn run_cell(cell: &SimCell, replay: Option<&[u32]>) -> CellOutcome {
             }
         }
     }
-    CellOutcome { failure, trace: report.trace, digest }
+    CellOutcome { failure, trace: report.trace, digest, steps: report.steps }
 }
 
 /// A failing cell, fully reproducible: the cell, the recorded schedule, and

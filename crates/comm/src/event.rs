@@ -365,17 +365,30 @@ impl<'w> EventComm<'w> {
         for (dest, tag, buf) in ctx.outbox.drain(..) {
             let mut inbox = world.inbox(dest);
             inbox.store.push(rank, tag, buf);
+            #[cfg(feature = "hb-audit")]
+            world.audit_record(rank, crate::runtime::AuditKind::Deposit { src: rank, dest, tag });
             let matches = inbox
                 .waiter
                 .as_ref()
                 .is_some_and(|w| w.src == rank && w.tag == tag);
             if matches {
-                inbox.waiter = None;
-                woken.push(dest);
+                if let Some(w) = inbox.waiter.take() {
+                    #[cfg(feature = "hb-audit")]
+                    world.audit_record(
+                        rank,
+                        crate::runtime::AuditKind::WaiterTaken {
+                            rank: dest,
+                            epoch: w.epoch,
+                            by: crate::runtime::WakeSource::Sender(rank),
+                        },
+                    );
+                    let _ = w;
+                    woken.push(dest);
+                }
             }
         }
         if !woken.is_empty() {
-            world.wake_on_message(&woken);
+            world.wake_on_message(rank, &woken);
         }
     }
 
@@ -447,6 +460,16 @@ impl<'w> EventComm<'w> {
                     }
                     inbox.waiter = Some(Waiter { src, tag, epoch: ctx.epoch });
                     drop(inbox);
+                    #[cfg(feature = "hb-audit")]
+                    self.world.audit_record(
+                        self.rank,
+                        crate::runtime::AuditKind::WaiterArmed {
+                            rank: self.rank,
+                            src,
+                            tag,
+                            epoch: ctx.epoch,
+                        },
+                    );
                     let deadline = timeout.map(|t| self.world.clock_now() + t);
                     ctx.park = Some(Park::Recv { deadline });
                     drop(ctx);

@@ -16,7 +16,7 @@
 //! turn drop/duplicate/corrupt back into clean MPI semantics, and use the
 //! deadline-aware receives to detect stalls and crashes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
@@ -192,7 +192,7 @@ struct FaultState {
     /// Data operations performed by this rank (sends + receives).
     ops: u64,
     /// Messages sent per destination (the per-edge index fault draws key on).
-    edge_msgs: HashMap<usize, u64>,
+    edge_msgs: BTreeMap<usize, u64>,
     /// Scripted stalls already fired (index into the plan's scripted list).
     fired: Vec<usize>,
     crashed: bool,

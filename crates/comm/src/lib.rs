@@ -86,8 +86,14 @@ pub use msgbuf::MsgBuf;
 pub use plan::ExchangePlan;
 pub use reliable::{ReliableComm, ReliableConfig};
 pub use reduce::ReduceOp;
-pub use runtime::{EventReport, EventWorld};
-pub use sim::{shrink_choices, ScheduleTrace, SimComm, SimConfig, SimReport, SimRun, SimWorld};
+pub use runtime::{
+    AuditEvent, AuditKind, EventReport, EventRun, EventStep, EventVerifyOpts, EventWorld,
+    WakeSource,
+};
+pub use sim::{
+    shrink_choices, ScheduleTrace, SimComm, SimConfig, SimOp, SimReport, SimRun, SimStep,
+    SimWorld,
+};
 pub use subcomm::{SubComm, SUBCOMM_MAX_TAG};
 pub use thread_comm::{ThreadComm, World};
 pub use trace::{

@@ -34,7 +34,7 @@
 //! All three backends therefore share one matching semantics (FIFO per key,
 //! non-destructive bounded receive, pop-and-trim hygiene) by construction.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -42,7 +42,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use crate::{MsgBuf, Tag};
 
 /// Per-(source, tag) FIFO queues of undelivered messages.
-type MatchQueues = HashMap<(usize, Tag), VecDeque<MsgBuf>>;
+type MatchQueues = BTreeMap<(usize, Tag), VecDeque<MsgBuf>>;
 
 /// Shared message-accounting counters for one world, updated on every deposit
 /// and pop so world-level leak assertions are O(1) loads instead of O(P)

@@ -35,7 +35,7 @@
 //! one round trip per message — this wrapper is for surviving hostile
 //! networks, not for peak throughput.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
@@ -137,12 +137,12 @@ fn parse_ack_frame(frame: &MsgBuf) -> Option<(u64, Tag)> {
 #[derive(Default)]
 struct ReliableState {
     /// Next sequence number to assign, per outgoing `(dest, tag)` channel.
-    next_seq: HashMap<(usize, Tag), u64>,
+    next_seq: BTreeMap<(usize, Tag), u64>,
     /// Next sequence number expected, per incoming `(src, tag)` channel.
-    expected: HashMap<(usize, Tag), u64>,
+    expected: BTreeMap<(usize, Tag), u64>,
     /// Verified, deduplicated, in-order payloads awaiting the application's
     /// receive, per `(src, tag)`.
-    stash: HashMap<(usize, Tag), VecDeque<MsgBuf>>,
+    stash: BTreeMap<(usize, Tag), VecDeque<MsgBuf>>,
 }
 
 /// A reliability wrapper around any [`Communicator`]. One wrapper per rank

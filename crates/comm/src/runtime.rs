@@ -55,10 +55,13 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
 use std::time::Duration;
 
+use crate::chaos::splitmix;
 use crate::clock::VirtualClock;
 use crate::event::{EventComm, ExecCtx, Inbox, Park, ReplayLog, TaskYield, Wake};
 use crate::mailbox::{MatchStore, StoreStats};
+use crate::sim::{ScheduleTrace, SimConfig};
 use crate::thread_comm::describe_panic;
+use crate::Tag;
 
 /// Scheduling state of one rank task. See the module docs for the lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +109,269 @@ enum TimerKind {
     Sleep,
 }
 
+// ---------------------------------------------------------------------------
+// Scheduled (verification) mode: deterministic single-worker pick policy.
+// ---------------------------------------------------------------------------
+
+/// One recorded scheduling point of a scheduled run
+/// ([`EventComm::run_scheduled`]): which rank the single worker picked and
+/// every rank that was runnable at that moment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventStep {
+    /// The rank picked (mirrors the entry appended to the trace's choices).
+    pub chosen: u32,
+    /// Every runnable rank at this point, ascending.
+    pub enabled: Vec<u32>,
+}
+
+/// Pick policy for scheduled runs: replay a choice list (lowest-runnable
+/// fallback, same contract as the simulator) or draw from a seeded stream;
+/// records every pick and its enabled set either way.
+struct PickPolicy {
+    replay: Option<VecDeque<u32>>,
+    rng: u64,
+    choices: Vec<u32>,
+    steps: Vec<EventStep>,
+    /// Runtime-detected no-progress verdict (scheduled mode converts the
+    /// "stuck" invariant panic into a reported value so the explorer can
+    /// treat it as a finding, not a crash).
+    verdict: Option<String>,
+}
+
+impl PickPolicy {
+    /// Pick one rank out of the ready queue and record the step. The ready
+    /// queue is non-empty.
+    fn pick(&mut self, ready: &mut VecDeque<usize>) -> usize {
+        let mut enabled: Vec<u32> = ready.iter().map(|&r| r as u32).collect();
+        enabled.sort_unstable();
+        let pick = match &mut self.replay {
+            Some(q) => match q.pop_front() {
+                Some(c) if enabled.contains(&c) => c as usize,
+                // Diverged or exhausted recording: lowest runnable.
+                _ => enabled[0] as usize,
+            },
+            None => {
+                self.rng = splitmix(self.rng);
+                enabled[(self.rng % enabled.len() as u64) as usize] as usize
+            }
+        };
+        self.choices.push(pick as u32);
+        self.steps.push(EventStep { chosen: pick as u32, enabled });
+        let pos = match ready.iter().position(|&r| r == pick) {
+            Some(p) => p,
+            None => panic!("picked rank {pick} is not in the ready queue"),
+        };
+        ready.remove(pos);
+        pick
+    }
+}
+
+/// Options for [`EventComm::run_scheduled`] — the verification entry point.
+#[derive(Debug, Default, Clone)]
+pub struct EventVerifyOpts {
+    /// Arm the happens-before audit recording layer (requires the
+    /// `hb-audit` cargo feature for the events to actually be recorded).
+    pub audit: bool,
+    #[cfg(feature = "seeded-bugs")]
+    lost_wakeup_bug: bool,
+}
+
+impl EventVerifyOpts {
+    /// Arm the guarded lost-wakeup bug in the message wake path: a woken
+    /// task is marked `Queued` but never enqueued. Detection of exactly
+    /// this bug is pinned by bruck-verify's regression tests.
+    #[cfg(feature = "seeded-bugs")]
+    pub fn with_lost_wakeup_bug(mut self) -> EventVerifyOpts {
+        self.lost_wakeup_bug = true;
+        self
+    }
+}
+
+/// Outcome of one scheduled run: per-rank results (with panics captured),
+/// the recorded schedule, the per-step enabled sets, and — when the runtime
+/// could not finish the world — the no-progress verdict.
+#[derive(Debug)]
+pub struct EventRun<T> {
+    /// One entry per rank: `None` if the rank never completed (the runtime
+    /// got stuck), else the closure's return or its panic as a string.
+    pub outcomes: Vec<Option<Result<T, String>>>,
+    /// The schedule that was executed, replayable via
+    /// [`EventComm::run_scheduled`] with `SimConfig::replay_trace`.
+    pub trace: ScheduleTrace,
+    /// Enabled set at every scheduling point, aligned with the trace.
+    pub steps: Vec<EventStep>,
+    /// Set when the scheduler proved it could make no progress with live
+    /// tasks left (the symptom a lost wakeup manifests as), or when the
+    /// worker died on a runtime invariant.
+    pub stuck: Option<String>,
+    /// The happens-before audit log (empty unless [`EventVerifyOpts::audit`]
+    /// was set and the `hb-audit` feature is compiled in).
+    #[cfg(feature = "hb-audit")]
+    pub audit: Vec<AuditEvent>,
+}
+
+// ---------------------------------------------------------------------------
+// Happens-before audit layer (compiled with the `hb-audit` feature).
+// ---------------------------------------------------------------------------
+
+/// Who performed a wake-path transition, for the audit log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeSource {
+    /// A depositing sender (the flushing rank).
+    Sender(usize),
+    /// The quiescence timer step.
+    Timer,
+    /// The deadlock sweep.
+    Sweep,
+    /// Park-commit requeue (a wake landed mid-unwind).
+    ParkCommit,
+}
+
+/// One wake-protocol transition, recorded by the audit layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditKind {
+    /// A message was deposited into `dest`'s store.
+    Deposit {
+        /// Sending rank.
+        src: usize,
+        /// Destination rank.
+        dest: usize,
+        /// Message tag.
+        tag: Tag,
+    },
+    /// A parking receive registered its readiness-list entry.
+    WaiterArmed {
+        /// The parking rank.
+        rank: usize,
+        /// Source the receive matches on.
+        src: usize,
+        /// Tag the receive matches on.
+        tag: Tag,
+        /// Epoch of the parking execution.
+        epoch: u64,
+    },
+    /// A waiter was removed from the readiness list. Every taken waiter
+    /// must be followed by a wake of that `(rank, epoch)` — the lost-wakeup
+    /// invariant the auditor checks.
+    WaiterTaken {
+        /// The rank whose waiter was taken.
+        rank: usize,
+        /// Epoch the waiter was registered under.
+        epoch: u64,
+        /// Who took it.
+        by: WakeSource,
+    },
+    /// A task was made runnable.
+    Enqueued {
+        /// The woken rank.
+        rank: usize,
+        /// The slot epoch the wake was applied at.
+        epoch: u64,
+        /// Who applied it.
+        by: WakeSource,
+    },
+    /// A wake landed while the task was still unwinding (`RunningWake`):
+    /// park-commit will requeue it.
+    WakeFlagged {
+        /// The woken rank.
+        rank: usize,
+        /// The slot epoch at flag time.
+        epoch: u64,
+    },
+    /// A worker started executing the task at the given (fresh) epoch.
+    ExecStart {
+        /// The executing rank.
+        rank: usize,
+        /// The new epoch.
+        epoch: u64,
+    },
+    /// Park-commit completed: the task is `Parked` at the given epoch.
+    ParkCommitted {
+        /// The parked rank.
+        rank: usize,
+        /// The parked epoch.
+        epoch: u64,
+    },
+    /// The task completed (returned or panicked).
+    TaskDone {
+        /// The finished rank.
+        rank: usize,
+    },
+    /// A stale wake (epoch or state mismatch) was correctly dropped.
+    StaleDrop {
+        /// The target rank.
+        rank: usize,
+        /// Epoch the wake was registered under.
+        wake_epoch: u64,
+        /// The slot's current epoch.
+        slot_epoch: u64,
+    },
+}
+
+/// One audit-log entry: the transition, the acting context (`rank`, or `p`
+/// for the scheduler's timer/sweep steps), and the actor's vector clock
+/// *after* the transition. Clocks have `p + 1` components; a woken task
+/// joins its waker's clock at its next `ExecStart`, so "taken happens-before
+/// the wake's observation" is checkable even on multi-worker runs where log
+/// order is not causality.
+#[derive(Debug, Clone)]
+pub struct AuditEvent {
+    /// The recorded transition.
+    pub kind: AuditKind,
+    /// Acting context: a rank, or `p` for scheduler steps.
+    pub actor: usize,
+    /// The actor's vector clock after this transition.
+    pub clock: Vec<u64>,
+}
+
+#[cfg(feature = "hb-audit")]
+struct AuditState {
+    events: Vec<AuditEvent>,
+    /// One clock per actor (`p` ranks + the scheduler context).
+    clocks: Vec<Vec<u64>>,
+    /// Clock to join into a rank at its next `ExecStart` (set by its waker).
+    pending_join: Vec<Option<Vec<u64>>>,
+}
+
+#[cfg(feature = "hb-audit")]
+impl AuditState {
+    fn new(p: usize) -> AuditState {
+        AuditState {
+            events: Vec::new(),
+            clocks: vec![vec![0; p + 1]; p + 1],
+            pending_join: vec![None; p],
+        }
+    }
+
+    fn record(&mut self, actor: usize, kind: AuditKind) {
+        if let AuditKind::ExecStart { rank, .. } = kind {
+            if let Some(j) = self.pending_join[rank].take() {
+                for (c, v) in self.clocks[rank].iter_mut().zip(&j) {
+                    *c = (*c).max(*v);
+                }
+            }
+        }
+        self.clocks[actor][actor] += 1;
+        let clock = self.clocks[actor].clone();
+        match kind {
+            AuditKind::Enqueued { rank, .. } | AuditKind::WakeFlagged { rank, .. } => {
+                let joined = match self.pending_join[rank].take() {
+                    Some(mut old) => {
+                        for (c, v) in old.iter_mut().zip(&clock) {
+                            *c = (*c).max(*v);
+                        }
+                        old
+                    }
+                    None => clock.clone(),
+                };
+                self.pending_join[rank] = Some(joined);
+            }
+            _ => {}
+        }
+        self.events.push(AuditEvent { kind, actor, clock });
+    }
+}
+
 /// Scheduler shared state (one mutex; workers also park on its condvar).
 struct Sched {
     ready: VecDeque<usize>,
@@ -119,6 +385,8 @@ struct Sched {
     /// A worker died on a runtime invariant violation: everyone bail out so
     /// the panic propagates instead of hanging the pool.
     aborted: bool,
+    /// Deterministic pick policy for scheduled (verification) runs.
+    policy: Option<PickPolicy>,
 }
 
 /// The shared world of one event-driven run: per-rank inboxes (sharded
@@ -131,6 +399,12 @@ pub struct EventWorld {
     clock: VirtualClock,
     stats: Arc<StoreStats>,
     workers: usize,
+    /// The happens-before audit log (armed only by scheduled runs).
+    #[cfg(feature = "hb-audit")]
+    audit: Option<Mutex<AuditState>>,
+    /// Guarded seeded bug: drop the enqueue of a message-woken parked task.
+    #[cfg(feature = "seeded-bugs")]
+    lost_wakeup_bug: bool,
 }
 
 /// Lock order (outermost first): inbox < slot < sched < clock. `ExecCtx`'s
@@ -138,7 +412,21 @@ pub struct EventWorld {
 /// of these.
 impl EventWorld {
     fn new(p: usize, workers: usize) -> EventWorld {
+        Self::new_opts(p, workers, None, false, false)
+    }
+
+    fn new_opts(
+        p: usize,
+        workers: usize,
+        policy: Option<PickPolicy>,
+        opts_audit: bool,
+        lost_wakeup_bug: bool,
+    ) -> EventWorld {
         assert!(p > 0, "communicator must have at least one rank");
+        // Recording and bug arming only make sense under the deterministic
+        // single-worker policy; `opts_audit` / `lost_wakeup_bug` are ignored
+        // without their cargo features.
+        let _ = (&policy, opts_audit, lost_wakeup_bug);
         let stats = StoreStats::new();
         EventWorld {
             inboxes: (0..p)
@@ -163,12 +451,31 @@ impl EventWorld {
                 live: p,
                 executions: 0,
                 aborted: false,
+                policy,
             }),
             work: Condvar::new(),
             clock: VirtualClock::new(),
             stats,
             workers,
+            #[cfg(feature = "hb-audit")]
+            audit: opts_audit.then(|| Mutex::new(AuditState::new(p))),
+            #[cfg(feature = "seeded-bugs")]
+            lost_wakeup_bug,
         }
+    }
+
+    /// Record one audit transition (no-op unless the run armed the audit).
+    #[cfg(feature = "hb-audit")]
+    pub(crate) fn audit_record(&self, actor: usize, kind: AuditKind) {
+        if let Some(a) = &self.audit {
+            a.lock().unwrap_or_else(|p| p.into_inner()).record(actor, kind);
+        }
+    }
+
+    /// The scheduler-context actor index for audit clocks.
+    #[cfg(feature = "hb-audit")]
+    fn sched_actor(&self) -> usize {
+        self.size()
     }
 
     pub(crate) fn size(&self) -> usize {
@@ -192,8 +499,8 @@ impl EventWorld {
     }
 
     /// Transition ranks whose waiter a depositor just took. Called by the
-    /// flushing sender with no inbox lock held.
-    pub(crate) fn wake_on_message(&self, ranks: &[usize]) {
+    /// flushing sender (`by`) with no inbox lock held.
+    pub(crate) fn wake_on_message(&self, by: usize, ranks: &[usize]) {
         let mut runnable = Vec::with_capacity(ranks.len());
         for &rank in ranks {
             let mut slot = self.slot(rank);
@@ -203,10 +510,32 @@ impl EventWorld {
                 TaskState::Running => {
                     slot.wake = Some(Wake::Message);
                     slot.state = TaskState::RunningWake;
+                    #[cfg(feature = "hb-audit")]
+                    self.audit_record(
+                        by,
+                        AuditKind::WakeFlagged { rank, epoch: slot.epoch },
+                    );
                 }
                 TaskState::Parked => {
                     slot.wake = Some(Wake::Message);
                     slot.state = TaskState::Queued;
+                    #[cfg(feature = "seeded-bugs")]
+                    if self.lost_wakeup_bug {
+                        // Seeded bug: the state transition happens but the
+                        // ready-queue push is lost. Schedule-dependent — it
+                        // only fires when the receiver parked before this
+                        // sender's flush — and manifests as a stuck world.
+                        continue;
+                    }
+                    #[cfg(feature = "hb-audit")]
+                    self.audit_record(
+                        by,
+                        AuditKind::Enqueued {
+                            rank,
+                            epoch: slot.epoch,
+                            by: WakeSource::Sender(by),
+                        },
+                    );
                     runnable.push(rank);
                 }
                 // A taken waiter is a single-shot wake: any other state
@@ -214,6 +543,7 @@ impl EventWorld {
                 other => panic!("message wake for rank {rank} in state {other:?}"),
             }
         }
+        let _ = by;
         if !runnable.is_empty() {
             self.enqueue(&runnable);
         }
@@ -280,6 +610,15 @@ impl EventWorld {
                 let mut inbox = self.inbox(e.rank);
                 if inbox.waiter.as_ref().is_some_and(|w| w.epoch == e.epoch) {
                     inbox.waiter = None;
+                    #[cfg(feature = "hb-audit")]
+                    self.audit_record(
+                        self.sched_actor(),
+                        AuditKind::WaiterTaken {
+                            rank: e.rank,
+                            epoch: e.epoch,
+                            by: WakeSource::Timer,
+                        },
+                    );
                 }
             }
             let mut slot = self.slot(e.rank);
@@ -289,7 +628,22 @@ impl EventWorld {
                     TimerKind::Sleep => Wake::SleepElapsed,
                 });
                 slot.state = TaskState::Queued;
+                #[cfg(feature = "hb-audit")]
+                self.audit_record(
+                    self.sched_actor(),
+                    AuditKind::Enqueued { rank: e.rank, epoch: e.epoch, by: WakeSource::Timer },
+                );
                 runnable.push(e.rank);
+            } else {
+                #[cfg(feature = "hb-audit")]
+                self.audit_record(
+                    self.sched_actor(),
+                    AuditKind::StaleDrop {
+                        rank: e.rank,
+                        wake_epoch: e.epoch,
+                        slot_epoch: slot.epoch,
+                    },
+                );
             }
         }
         runnable
@@ -304,10 +658,20 @@ impl EventWorld {
         for rank in 0..self.size() {
             let waiter = self.inbox(rank).waiter.take();
             let Some(w) = waiter else { continue };
+            #[cfg(feature = "hb-audit")]
+            self.audit_record(
+                self.sched_actor(),
+                AuditKind::WaiterTaken { rank, epoch: w.epoch, by: WakeSource::Sweep },
+            );
             let mut slot = self.slot(rank);
             if slot.state == TaskState::Parked && slot.epoch == w.epoch {
                 slot.wake = Some(Wake::Deadlocked);
                 slot.state = TaskState::Queued;
+                #[cfg(feature = "hb-audit")]
+                self.audit_record(
+                    self.sched_actor(),
+                    AuditKind::Enqueued { rank, epoch: w.epoch, by: WakeSource::Sweep },
+                );
                 runnable.push(rank);
             } else {
                 panic!("rank {rank}: dangling waiter (slot {:?} epoch {})", slot.state, slot.epoch);
@@ -367,6 +731,8 @@ where
         let slot = world.slot(rank);
         slot.epoch
     };
+    #[cfg(feature = "hb-audit")]
+    world.audit_record(rank, AuditKind::ExecStart { rank, epoch });
     let comm = EventComm::attach(world, rank, ctx);
     let out = catch_unwind(AssertUnwindSafe(|| f(&comm)));
     let mut ctx = comm.detach();
@@ -389,6 +755,8 @@ where
             slot.state = TaskState::Done;
             slot.log = None;
             drop(slot);
+            #[cfg(feature = "hb-audit")]
+            world.audit_record(rank, AuditKind::TaskDone { rank });
             world.task_done();
         }
         Err(payload) if payload.is::<TaskYield>() => {
@@ -411,12 +779,19 @@ where
                         Park::Recv { deadline: None } => {}
                     }
                     drop(slot);
+                    #[cfg(feature = "hb-audit")]
+                    world.audit_record(rank, AuditKind::ParkCommitted { rank, epoch });
                 }
                 // A sender deposited our message while we were unwinding:
                 // skip the park, go straight back to the ready queue.
                 TaskState::RunningWake => {
                     slot.state = TaskState::Queued;
                     drop(slot);
+                    #[cfg(feature = "hb-audit")]
+                    world.audit_record(
+                        rank,
+                        AuditKind::Enqueued { rank, epoch, by: WakeSource::ParkCommit },
+                    );
                     world.enqueue(&[rank]);
                 }
                 other => panic!("park-commit for rank {rank} in state {other:?}"),
@@ -428,6 +803,8 @@ where
             slot.state = TaskState::Done;
             slot.log = None;
             drop(slot);
+            #[cfg(feature = "hb-audit")]
+            world.audit_record(rank, AuditKind::TaskDone { rank });
             world.task_done();
         }
     }
@@ -446,7 +823,21 @@ where
                 if s.aborted {
                     return;
                 }
-                if let Some(r) = s.ready.pop_front() {
+                if !s.ready.is_empty() {
+                    let r = match s.policy.take() {
+                        // Scheduled mode: the policy chooses among every
+                        // runnable rank and records the scheduling point.
+                        // (Taken and restored so the borrows don't overlap.)
+                        Some(mut pol) => {
+                            let r = pol.pick(&mut s.ready);
+                            s.policy = Some(pol);
+                            r
+                        }
+                        None => match s.ready.pop_front() {
+                            Some(r) => r,
+                            None => panic!("ready queue emptied while popping"),
+                        },
+                    };
                     s.executions += 1;
                     break r;
                 }
@@ -477,11 +868,23 @@ where
                             s = world.lock_sched();
                             if runnable.is_empty() {
                                 if s.live > 0 && s.ready.is_empty() {
-                                    panic!(
+                                    let msg = format!(
                                         "event runtime stuck: {} live tasks but nothing \
                                          runnable, no timers, no waiters",
                                         s.live
                                     );
+                                    // Scheduled mode reports the no-progress
+                                    // verdict as a value (the lost-wakeup
+                                    // symptom the explorer hunts); normal
+                                    // runs keep the loud invariant panic.
+                                    match &mut s.policy {
+                                        Some(pol) => {
+                                            pol.verdict = Some(msg);
+                                            s.aborted = true;
+                                            return;
+                                        }
+                                        None => panic!("{msg}"),
+                                    }
                                 }
                             } else {
                                 s.ready.extend(runnable.iter().copied());
@@ -620,6 +1023,90 @@ impl EventComm<'_> {
         let (outcomes, report) = run_inner(p, workers, &f);
         (propagate(outcomes), report)
     }
+
+    /// Run an SPMD region under the *scheduled* (verification) mode: a
+    /// single worker whose every pick among the runnable ranks is made by a
+    /// deterministic policy — replayed from `cfg.replay` (lowest-runnable
+    /// fallback, same contract as [`crate::SimComm`]) or drawn from
+    /// `cfg.seed` — and recorded as a [`ScheduleTrace`] plus per-step
+    /// enabled sets.
+    ///
+    /// Unlike [`EventComm::run`], nothing panics out of this entry point:
+    /// per-rank panics are captured as strings, ranks that never completed
+    /// come back as `None`, and a no-progress world (the lost-wakeup
+    /// symptom) is reported in [`EventRun::stuck`]. This is the substrate
+    /// `bruck-verify`'s wakeup-protocol auditor explores.
+    pub fn run_scheduled<T, F>(p: usize, cfg: &SimConfig, opts: EventVerifyOpts, f: F) -> EventRun<T>
+    where
+        T: Send,
+        F: Fn(&EventComm<'_>) -> T + Sync,
+    {
+        assert!(p > 0, "world size must be at least 1");
+        install_yield_hook();
+        let policy = PickPolicy {
+            replay: cfg.replay.clone().map(VecDeque::from),
+            rng: splitmix(cfg.seed ^ 0x5eed_5c4e_d01e_d001),
+            choices: Vec::new(),
+            steps: Vec::new(),
+            verdict: None,
+        };
+        #[cfg(feature = "seeded-bugs")]
+        let bug = opts.lost_wakeup_bug;
+        #[cfg(not(feature = "seeded-bugs"))]
+        let bug = false;
+        let world = EventWorld::new_opts(p, 1, Some(policy), opts.audit, bug);
+        let results: Vec<Mutex<Option<Outcome<T>>>> = (0..p).map(|_| Mutex::new(None)).collect();
+        let f = &f;
+        let join_err = std::thread::scope(|scope| {
+            let world = &world;
+            let results = &results;
+            let h = std::thread::Builder::new()
+                .name("bruck-verify-worker".into())
+                .spawn_scoped(scope, move || worker_loop(world, f, results))
+                .unwrap_or_else(|e| panic!("failed to spawn scheduled worker: {e}"));
+            h.join().err()
+        });
+        let pol = {
+            let mut s = world.lock_sched();
+            match s.policy.take() {
+                Some(p) => p,
+                None => panic!("scheduled run lost its pick policy"),
+            }
+        };
+        let stuck = match join_err {
+            Some(payload) => {
+                Some(format!("worker panicked: {}", describe_panic(payload.as_ref())))
+            }
+            None => pol.verdict,
+        };
+        let outcomes = results
+            .into_iter()
+            .map(|cell| {
+                cell.into_inner().unwrap_or_else(|p| p.into_inner()).take().map(|o| match o {
+                    Ok(v) => Ok(v),
+                    Err(payload) => Err(describe_panic(payload.as_ref())),
+                })
+            })
+            .collect();
+        #[cfg(feature = "hb-audit")]
+        let audit = world
+            .audit
+            .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()).events)
+            .unwrap_or_default();
+        EventRun {
+            outcomes,
+            trace: ScheduleTrace {
+                p,
+                seed: cfg.seed,
+                meta: cfg.meta.clone(),
+                choices: pol.choices,
+            },
+            steps: pol.steps,
+            stuck,
+            #[cfg(feature = "hb-audit")]
+            audit,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -684,6 +1171,164 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn scheduled_runs_are_deterministic_and_replayable() {
+        let ring = |comm: &EventComm<'_>| {
+            let me = comm.rank();
+            let right = (me + 1) % comm.size();
+            let left = (me + comm.size() - 1) % comm.size();
+            comm.send(right, 5, &[me as u8]).unwrap();
+            comm.recv(left, 5).unwrap()[0] as usize
+        };
+        let cfg = SimConfig::from_seed(42);
+        let a = EventComm::run_scheduled(3, &cfg, EventVerifyOpts::default(), ring);
+        assert!(a.stuck.is_none(), "stuck: {:?}", a.stuck);
+        for (me, out) in a.outcomes.iter().enumerate() {
+            assert_eq!(*out, Some(Ok((me + 2) % 3)));
+        }
+        assert_eq!(a.steps.len(), a.trace.choices.len());
+        for (step, &choice) in a.steps.iter().zip(&a.trace.choices) {
+            assert_eq!(step.chosen, choice);
+            assert!(step.enabled.contains(&choice));
+        }
+        // Same seed reproduces the schedule; replaying the trace does too.
+        let b = EventComm::run_scheduled(3, &cfg, EventVerifyOpts::default(), ring);
+        assert_eq!(b.trace.choices, a.trace.choices);
+        let c = EventComm::run_scheduled(
+            3,
+            &SimConfig::replay_trace(&a.trace),
+            EventVerifyOpts::default(),
+            ring,
+        );
+        assert_eq!(c.trace.choices, a.trace.choices);
+        assert_eq!(c.steps, a.steps);
+    }
+
+    #[test]
+    fn scheduled_replay_forces_the_chosen_interleaving() {
+        // Force rank 1 to run (and park) before rank 0 ever executes.
+        let cfg = SimConfig {
+            seed: 0,
+            replay: Some(vec![1, 0]),
+            meta: String::new(),
+            record_steps: false,
+        };
+        let run = EventComm::run_scheduled(2, &cfg, EventVerifyOpts::default(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, &[7]).unwrap();
+                0
+            } else {
+                comm.recv(0, 3).unwrap()[0]
+            }
+        });
+        assert!(run.stuck.is_none());
+        assert_eq!(run.outcomes[1], Some(Ok(7)));
+        assert_eq!(&run.trace.choices[..2], &[1, 0]);
+    }
+
+    #[cfg(feature = "hb-audit")]
+    #[test]
+    fn audit_log_records_the_wake_protocol() {
+        let cfg = SimConfig {
+            seed: 0,
+            replay: Some(vec![1, 0]),
+            meta: String::new(),
+            record_steps: false,
+        };
+        let opts = EventVerifyOpts { audit: true, ..Default::default() };
+        let run = EventComm::run_scheduled(2, &cfg, opts, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, &[7]).unwrap();
+            } else {
+                comm.recv(0, 3).unwrap();
+            }
+        });
+        assert!(run.stuck.is_none());
+        // Rank 1 parked first, so the protocol must show: waiter armed by 1,
+        // deposit + waiter taken + enqueue by 0, then rank 1 finishing.
+        let kinds: Vec<&AuditKind> = run.audit.iter().map(|e| &e.kind).collect();
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, AuditKind::WaiterArmed { rank: 1, src: 0, tag: 3, .. })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, AuditKind::Deposit { src: 0, dest: 1, tag: 3 })));
+        assert!(kinds.iter().any(|k| matches!(
+            k,
+            AuditKind::WaiterTaken { rank: 1, by: WakeSource::Sender(0), .. }
+        )));
+        assert!(kinds.iter().any(|k| matches!(
+            k,
+            AuditKind::Enqueued { rank: 1, by: WakeSource::Sender(0), .. }
+        )));
+        assert!(kinds.iter().any(|k| matches!(k, AuditKind::TaskDone { rank: 1 })));
+        // The woken rank's next ExecStart joins the waker's clock: its clock
+        // must dominate the enqueue event's clock (happens-before visible).
+        let enq_clock = run
+            .audit
+            .iter()
+            .find(|e| matches!(e.kind, AuditKind::Enqueued { rank: 1, .. }))
+            .map(|e| e.clock.clone())
+            .expect("enqueue recorded");
+        let wake_exec = run
+            .audit
+            .iter()
+            .filter(|e| matches!(e.kind, AuditKind::ExecStart { rank: 1, .. }))
+            .next_back()
+            .expect("rank 1 re-executed");
+        for (a, b) in wake_exec.clock.iter().zip(&enq_clock) {
+            assert!(a >= b, "wake exec clock must dominate the enqueue clock");
+        }
+    }
+
+    #[cfg(feature = "seeded-bugs")]
+    #[test]
+    fn seeded_lost_wakeup_goes_stuck_under_a_parking_schedule() {
+        // Receiver parks first, then the sender's flush loses the enqueue.
+        let cfg = SimConfig {
+            seed: 0,
+            replay: Some(vec![1, 0]),
+            meta: String::new(),
+            record_steps: false,
+        };
+        let opts = EventVerifyOpts::default().with_lost_wakeup_bug();
+        let run = EventComm::run_scheduled(2, &cfg, opts, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, &[7]).unwrap();
+                0
+            } else {
+                comm.recv(0, 3).unwrap()[0]
+            }
+        });
+        let stuck = run.stuck.expect("lost wakeup must leave the world stuck");
+        assert!(stuck.contains("stuck"), "unexpected verdict: {stuck}");
+        assert_eq!(run.outcomes[0], Some(Ok(0)), "sender still completes");
+        assert_eq!(run.outcomes[1], None, "lost receiver never completes");
+        // The sender-first schedule dodges the bug: the message is already
+        // in the store when the receiver first executes, so nobody parks.
+        let dodge = SimConfig {
+            seed: 0,
+            replay: Some(vec![0, 1]),
+            meta: String::new(),
+            record_steps: false,
+        };
+        let ok = EventComm::run_scheduled(
+            2,
+            &dodge,
+            EventVerifyOpts::default().with_lost_wakeup_bug(),
+            |comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 3, &[7]).unwrap();
+                    0
+                } else {
+                    comm.recv(0, 3).unwrap()[0]
+                }
+            },
+        );
+        assert!(ok.stuck.is_none(), "schedule-dependent bug fired unconditionally");
+        assert_eq!(ok.outcomes[1], Some(Ok(7)));
     }
 
     #[test]

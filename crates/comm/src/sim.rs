@@ -79,44 +79,60 @@ impl ScheduleTrace {
         out
     }
 
-    /// Parse the `bruck-sim-trace v1` text format.
+    /// Parse the `bruck-sim-trace v1` text format. Error messages name the
+    /// offending line (1-based) and quote its content, so a corrupted or
+    /// hand-edited trace file points straight at the damage.
     pub fn parse(text: &str) -> Result<ScheduleTrace, String> {
-        let mut lines = text.lines();
+        let mut lines = text.lines().enumerate();
         match lines.next() {
-            Some("bruck-sim-trace v1") => {}
-            other => return Err(format!("bad trace header: {other:?}")),
+            Some((_, "bruck-sim-trace v1")) => {}
+            Some((_, other)) => {
+                return Err(format!("line 1: bad trace header {other:?} (want \"bruck-sim-trace v1\")"))
+            }
+            None => return Err("line 1: empty input (want \"bruck-sim-trace v1\" header)".into()),
         }
         let mut p = None;
         let mut seed = None;
         let mut meta = String::new();
         let mut choices = None;
-        for line in lines {
+        for (idx, line) in lines {
+            let lineno = idx + 1;
             let line = line.trim_end();
             if line.is_empty() {
                 continue;
             }
             let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
             match key {
-                "p" => p = Some(rest.parse::<usize>().map_err(|e| format!("bad p: {e}"))?),
+                "p" => {
+                    p = Some(rest.parse::<usize>().map_err(|e| {
+                        format!("line {lineno}: bad p in {line:?}: {e}")
+                    })?)
+                }
                 "seed" => {
-                    seed = Some(rest.parse::<u64>().map_err(|e| format!("bad seed: {e}"))?)
+                    seed = Some(rest.parse::<u64>().map_err(|e| {
+                        format!("line {lineno}: bad seed in {line:?}: {e}")
+                    })?)
                 }
                 "meta" => meta = rest.to_string(),
                 "choices" => {
                     let mut v = Vec::new();
                     for tok in rest.split_whitespace() {
-                        v.push(tok.parse::<u32>().map_err(|e| format!("bad choice: {e}"))?);
+                        v.push(tok.parse::<u32>().map_err(|e| {
+                            format!("line {lineno}: bad choice {tok:?} in choices line: {e}")
+                        })?);
                     }
                     choices = Some(v);
                 }
-                other => return Err(format!("unknown trace field: {other}")),
+                other => {
+                    return Err(format!("line {lineno}: unknown trace field {other:?} in {line:?}"))
+                }
             }
         }
         Ok(ScheduleTrace {
-            p: p.ok_or("missing p")?,
-            seed: seed.ok_or("missing seed")?,
+            p: p.ok_or("truncated trace: missing \"p\" line")?,
+            seed: seed.ok_or("truncated trace: missing \"seed\" line")?,
             meta,
-            choices: choices.ok_or("missing choices")?,
+            choices: choices.ok_or("truncated trace: missing \"choices\" line")?,
         })
     }
 
@@ -137,6 +153,60 @@ impl std::fmt::Display for ScheduleTrace {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&self.serialize())
     }
+}
+
+// ---------------------------------------------------------------------------
+// Step recording: the dependency footprint a model checker needs.
+// ---------------------------------------------------------------------------
+
+/// The dependency footprint of the operation a rank will execute the next
+/// time it is scheduled. Recorded (when [`SimConfig::record_steps`] is set)
+/// for every rank in the enabled set at every scheduling point, so an
+/// external explorer (DPOR in `bruck-check`) can decide which pairs of
+/// scheduling choices commute without re-running the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimOp {
+    /// The rank has attached but not yet reached its first communicator
+    /// call: its first slice of execution is purely local.
+    Spawn,
+    /// About to deposit into `dest`'s store under key `(self, tag)`.
+    Send {
+        /// Destination rank.
+        dest: usize,
+        /// Message tag.
+        tag: Tag,
+    },
+    /// About to pop (or block on) key `(src, tag)` in its own store.
+    Recv {
+        /// Source rank.
+        src: usize,
+        /// Message tag.
+        tag: Tag,
+        /// True for `recv_buf_timeout`: the op also observes the virtual
+        /// clock, so it is dependent on every other clock-coupled op.
+        timed: bool,
+    },
+    /// About to peek key `(src, tag)` in its own store.
+    Probe {
+        /// Source rank.
+        src: usize,
+        /// Message tag.
+        tag: Tag,
+    },
+    /// Virtual-time sleep (clock-coupled).
+    Sleep,
+}
+
+/// One recorded scheduling point: which rank the scheduler picked and every
+/// rank that was runnable at that moment, each with the footprint of the op
+/// it would have executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimStep {
+    /// The rank the scheduler picked (mirrors the entry appended to
+    /// [`ScheduleTrace::choices`] at this point).
+    pub chosen: u32,
+    /// Every runnable rank at this point, ascending, with its pending op.
+    pub enabled: Vec<(u32, SimOp)>,
 }
 
 // ---------------------------------------------------------------------------
@@ -163,18 +233,27 @@ pub struct SimConfig {
     pub replay: Option<Vec<u32>>,
     /// Free-form context copied into the resulting [`ScheduleTrace::meta`].
     pub meta: String,
+    /// Record a [`SimStep`] (enabled set + op footprints) at every
+    /// scheduling point. Off by default: recording allocates per pick, and
+    /// only the model checker reads it.
+    pub record_steps: bool,
 }
 
 impl SimConfig {
     /// Random scheduling from `seed`.
     pub fn from_seed(seed: u64) -> SimConfig {
-        SimConfig { seed, replay: None, meta: String::new() }
+        SimConfig { seed, replay: None, meta: String::new(), record_steps: false }
     }
 
     /// Replay the choices of a recorded trace (deterministic lowest-ready
     /// fallback once they run out).
     pub fn replay_trace(trace: &ScheduleTrace) -> SimConfig {
-        SimConfig { seed: trace.seed, replay: Some(trace.choices.clone()), meta: trace.meta.clone() }
+        SimConfig {
+            seed: trace.seed,
+            replay: Some(trace.choices.clone()),
+            meta: trace.meta.clone(),
+            record_steps: false,
+        }
     }
 }
 
@@ -187,6 +266,10 @@ pub struct SimReport<T> {
     pub outcomes: Vec<Result<T, String>>,
     /// The schedule that was actually executed.
     pub trace: ScheduleTrace,
+    /// Per-scheduling-point enabled sets and op footprints, present iff
+    /// [`SimConfig::record_steps`] was set. Aligned 1:1 with
+    /// [`ScheduleTrace::choices`].
+    pub steps: Option<Vec<SimStep>>,
 }
 
 impl<T> SimReport<T> {
@@ -243,6 +326,14 @@ struct SimState {
     mode: SchedMode,
     /// Every pick made so far — the schedule trace being recorded.
     choices: Vec<u32>,
+    /// The op each rank will execute when next scheduled. Registered at op
+    /// entry, *before* the yield, so every scheduling point sees a current
+    /// footprint for every enabled rank.
+    pending: Vec<SimOp>,
+    /// Recorded scheduling points (empty unless `record` is set).
+    steps: Vec<SimStep>,
+    /// Whether to record [`SimStep`]s.
+    record: bool,
     /// Threads attached so far; scheduling starts when all `p` are in.
     started: usize,
 }
@@ -272,6 +363,9 @@ impl SimWorld {
                 rng: splitmix(cfg.seed ^ 0x51ED_5EED_0BAD_CAFE),
                 mode,
                 choices: Vec::new(),
+                pending: vec![SimOp::Spawn; p],
+                steps: Vec::new(),
+                record: cfg.record_steps,
                 started: 0,
             }),
             cv: Condvar::new(),
@@ -308,6 +402,11 @@ impl SimWorld {
                     }
                 };
                 st.choices.push(pick as u32);
+                if st.record {
+                    let enabled =
+                        ready.iter().map(|&r| (r as u32, st.pending[r])).collect();
+                    st.steps.push(SimStep { chosen: pick as u32, enabled });
+                }
                 st.current = Some(pick);
                 self.cv.notify_all();
                 return;
@@ -414,6 +513,7 @@ impl SimWorld {
             return Err(CommError::InvalidRank { rank: dest, size: self.p });
         }
         let mut st = self.lock();
+        st.pending[rank] = SimOp::Send { dest, tag };
         st = self.yield_turn(st, rank);
         st.queues[dest].push(rank, tag, buf);
         // Hand-off: a rank parked in a matching receive becomes runnable.
@@ -440,6 +540,7 @@ impl SimWorld {
             return Err(CommError::InvalidRank { rank: src, size: self.p });
         }
         let mut st = self.lock();
+        st.pending[rank] = SimOp::Recv { src, tag, timed: timeout.is_some() };
         st = self.yield_turn(st, rank);
         let op_start = st.now;
         let deadline = timeout.map(|t| op_start + t);
@@ -488,12 +589,14 @@ impl SimWorld {
             return Err(CommError::InvalidRank { rank: src, size: self.p });
         }
         let mut st = self.lock();
+        st.pending[rank] = SimOp::Probe { src, tag };
         st = self.yield_turn(st, rank);
         Ok(st.queues[rank].peek_len(src, tag))
     }
 
     fn sim_sleep(&self, rank: usize, d: Duration) {
         let mut st = self.lock();
+        st.pending[rank] = SimOp::Sleep;
         if d.is_zero() {
             drop(self.yield_turn(st, rank));
             return;
@@ -530,7 +633,7 @@ impl SimComm<'_> {
         F: Fn(&SimComm<'_>) -> T + Sync,
         T: Send,
     {
-        let (outcomes, trace) = Self::run_inner(p, &SimConfig::from_seed(seed), &f);
+        let (outcomes, trace, _) = Self::run_inner(p, &SimConfig::from_seed(seed), &f);
         let mut results = Vec::with_capacity(p);
         for o in outcomes {
             match o {
@@ -549,7 +652,7 @@ impl SimComm<'_> {
         F: Fn(&SimComm<'_>) -> T + Sync,
         T: Send,
     {
-        let (outcomes, trace) = Self::run_inner(p, cfg, &f);
+        let (outcomes, trace, steps) = Self::run_inner(p, cfg, &f);
         let outcomes = outcomes
             .into_iter()
             .map(|o| {
@@ -564,14 +667,14 @@ impl SimComm<'_> {
                 })
             })
             .collect();
-        SimReport { outcomes, trace }
+        SimReport { outcomes, trace, steps }
     }
 
     fn run_inner<T, F>(
         p: usize,
         cfg: &SimConfig,
         f: &F,
-    ) -> (Vec<Result<T, Box<dyn std::any::Any + Send>>>, ScheduleTrace)
+    ) -> (Vec<Result<T, Box<dyn std::any::Any + Send>>>, ScheduleTrace, Option<Vec<SimStep>>)
     where
         F: Fn(&SimComm<'_>) -> T + Sync,
         T: Send,
@@ -599,15 +702,16 @@ impl SimComm<'_> {
                 .map(|h| h.join().unwrap_or_else(|payload| Err(payload)))
                 .collect::<Vec<_>>()
         });
-        let st = world.lock();
+        let mut st = world.lock();
         let trace = ScheduleTrace {
             p,
             seed: world.seed,
             meta: cfg.meta.clone(),
             choices: st.choices.clone(),
         };
+        let steps = cfg.record_steps.then(|| std::mem::take(&mut st.steps));
         drop(st);
-        (outcomes, trace)
+        (outcomes, trace, steps)
     }
 }
 
@@ -855,6 +959,95 @@ mod tests {
         assert_eq!(ScheduleTrace::load(&path).unwrap(), t);
         let _ = std::fs::remove_file(&path);
         assert!(ScheduleTrace::parse("not a trace").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_bad_header_naming_the_line() {
+        let err = ScheduleTrace::parse("bruck-sim-trace v9\np 2\nseed 1\nchoices 0\n")
+            .unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        assert!(err.contains("bruck-sim-trace v9"), "{err}");
+        let err = ScheduleTrace::parse("").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_non_numeric_fields_naming_the_line() {
+        let err = ScheduleTrace::parse("bruck-sim-trace v1\np two\nseed 1\nchoices 0\n")
+            .unwrap_err();
+        assert!(err.starts_with("line 2:") && err.contains("bad p"), "{err}");
+        let err = ScheduleTrace::parse("bruck-sim-trace v1\np 2\nseed xx\nchoices 0\n")
+            .unwrap_err();
+        assert!(err.starts_with("line 3:") && err.contains("bad seed"), "{err}");
+        let err = ScheduleTrace::parse("bruck-sim-trace v1\np 2\nseed 1\nchoices 0 1 oops 3\n")
+            .unwrap_err();
+        assert!(err.starts_with("line 4:") && err.contains("\"oops\""), "{err}");
+        let err = ScheduleTrace::parse("bruck-sim-trace v1\np 2\nbogus 7\nchoices 0\n")
+            .unwrap_err();
+        assert!(err.starts_with("line 3:") && err.contains("unknown trace field"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_truncated_traces() {
+        let err = ScheduleTrace::parse("bruck-sim-trace v1\nseed 1\nchoices 0\n").unwrap_err();
+        assert!(err.contains("missing \"p\""), "{err}");
+        let err = ScheduleTrace::parse("bruck-sim-trace v1\np 2\nchoices 0\n").unwrap_err();
+        assert!(err.contains("missing \"seed\""), "{err}");
+        let err = ScheduleTrace::parse("bruck-sim-trace v1\np 2\nseed 1\n").unwrap_err();
+        assert!(err.contains("missing \"choices\""), "{err}");
+    }
+
+    #[test]
+    fn trace_roundtrip_property_over_seeded_traces() {
+        // Property: serialize ∘ parse is the identity for arbitrary traces,
+        // including empty choice lists and meta with internal spaces.
+        let mut z = 0xBADC_0FFE_u64;
+        for case in 0..64 {
+            z = splitmix(z);
+            let n = (z % 40) as usize;
+            let mut choices = Vec::with_capacity(n);
+            for _ in 0..n {
+                z = splitmix(z);
+                choices.push((z % 8) as u32);
+            }
+            let t = ScheduleTrace {
+                p: (case % 7) + 1,
+                seed: z,
+                meta: if case % 3 == 0 { String::new() } else { format!("cell a=b c={case}") },
+                choices,
+            };
+            let parsed = ScheduleTrace::parse(&t.serialize()).unwrap();
+            assert_eq!(parsed, t, "round-trip failed for case {case}");
+        }
+    }
+
+    #[test]
+    fn recorded_steps_align_with_choices_and_carry_footprints() {
+        let mut cfg = SimConfig::from_seed(42);
+        cfg.record_steps = true;
+        let report = SimComm::try_run(2, &cfg, |comm| {
+            let peer = 1 - comm.rank();
+            if comm.rank() == 0 {
+                comm.send(peer, 7, b"x").unwrap();
+            } else {
+                comm.recv(peer, 7).unwrap();
+            }
+        });
+        assert!(report.all_ok());
+        let steps = report.steps.as_ref().expect("steps recorded");
+        assert_eq!(steps.len(), report.trace.choices.len());
+        for (step, &choice) in steps.iter().zip(&report.trace.choices) {
+            assert_eq!(step.chosen, choice);
+            assert!(step.enabled.iter().any(|&(r, _)| r == choice));
+        }
+        // The send and the matching recv footprints must both appear.
+        let all: Vec<SimOp> =
+            steps.iter().flat_map(|s| s.enabled.iter().map(|&(_, op)| op)).collect();
+        assert!(all.contains(&SimOp::Send { dest: 1, tag: 7 }));
+        assert!(all.contains(&SimOp::Recv { src: 0, tag: 7, timed: false }));
+        // Recording off → no steps.
+        let off = SimComm::try_run(2, &SimConfig::from_seed(42), |comm| comm.rank());
+        assert!(off.steps.is_none());
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! `ModelComm` produces the same [`Schedule`] type from a single-threaded
 //! symbolic execution and can. The analysis passes accept either source.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -213,7 +213,7 @@ struct TraceInner {
     schedule: Schedule,
     /// Sender clocks (by message id) awaiting their receive, FIFO per key —
     /// mirrors the runtime's own non-overtaking matching.
-    inflight: HashMap<(usize, usize, Tag), VecDeque<usize>>,
+    inflight: BTreeMap<(usize, usize, Tag), VecDeque<usize>>,
 }
 
 impl TraceState {
@@ -224,7 +224,7 @@ impl TraceState {
             inner: Mutex::new(TraceInner {
                 clocks: vec![VectorClock::new(p); p],
                 schedule: Schedule::new(p),
-                inflight: HashMap::new(),
+                inflight: BTreeMap::new(),
             }),
         })
     }

@@ -69,6 +69,7 @@ fn run_collector(seed: u64, choices: Option<&[u32]>) -> (Vec<u8>, ScheduleTrace)
         seed,
         replay: choices.map(<[u32]>::to_vec),
         meta: "sim_regression window collector".to_string(),
+        record_steps: false,
     };
     let report = SimComm::try_run(P, &cfg, buggy_window_collect);
     assert!(report.all_ok(), "collector must not panic: {:?}", report.outcomes);

@@ -25,6 +25,15 @@ cargo run --release -p bruck-check --bin bruck-chaos -- --smoke
 # the report prints the seed plus a saved trace file under target/bruck-sim/
 # and the one-command replay.
 cargo run --release -p bruck-check --bin bruck-sim -- --smoke
+# Exhaustive-interleaving gate (DESIGN.md §13): DPOR over SimComm walks every
+# inequivalent schedule of the tiny-world matrix (the report prints explored
+# vs. inequivalent vs. naive counts per cell and requires >=10x pruning),
+# and the event-runtime wakeup audit checks every worker-pick interleaving
+# of the protocol scenarios against the vector-clock invariants. The second
+# run arms the seeded lost-wakeup bug and fails unless the auditor finds it
+# and shrinks the witness.
+cargo run --release -p bruck-check --bin bruck-verify -- --smoke
+cargo run --release -p bruck-check --bin bruck-verify -- --with-bug
 # Bench smoke with observability artifacts: BENCH_PR4.json (per-cell report,
 # metering overhead advisory) and BENCH_PR4.trace.json (chrome trace_events).
 # Exits non-zero on any metering consistency error.
