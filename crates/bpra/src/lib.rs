@@ -37,6 +37,7 @@ mod exchange;
 mod graphs;
 mod kcfa;
 pub mod parser;
+mod recover;
 pub mod pointsto;
 mod relation;
 mod tc;
@@ -54,6 +55,9 @@ pub use pointsto::{
 };
 pub use graphs::{graph1_like, graph2_like};
 pub use kcfa::{facts_at, kcfa_like_run, volume_multiplier, KcfaConfig, KcfaResult};
+pub use recover::{
+    exchange_tuples_recovering, heal_membership, recovering_closure, RecoveringTcResult,
+};
 pub use relation::Relation;
 pub use tc::{sequential_closure, transitive_closure, TcIteration, TcResult};
 pub use tuple::{decode_all, encode_all, encode_into, owner, Tuple, TUPLE_BYTES};

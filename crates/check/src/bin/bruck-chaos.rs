@@ -1,15 +1,26 @@
 //! `bruck-chaos`: fault-injection soak for the resilient alltoallv stack.
 //!
-//! Runs an algorithm × fault-plan × seed matrix, each cell on a fresh
-//! threaded world with `FaultComm` → `ReliableComm` → `resilient_alltoallv`
-//! layered, under a per-cell watchdog. Asserts the crash-only property:
-//! byte-identical completion or a typed error within the deadline — never a
-//! hang, never silent corruption.
+//! Two matrices share the binary:
+//!
+//! * The **fault soak** (default): algorithm × fault-plan × seed, each cell
+//!   on a fresh threaded world with `FaultComm` → `ReliableComm` →
+//!   `resilient_alltoallv` layered, under a per-cell watchdog. Asserts the
+//!   crash-only property: byte-identical completion or a typed error within
+//!   the deadline — never a hang, never silent corruption.
+//! * The **recovery matrix** (`--recovery-smoke`): algorithm × crash phase
+//!   class under the deterministic simulator, driving the full self-healing
+//!   stack (`recovering_alltoallv`: detect → agree → shrink → retry) and
+//!   asserting typed `Recovered` endings, byte-correctness on the survivor
+//!   view, and same-seed digest determinism. `--out FILE` writes the
+//!   virtual-time MTTR per cell as line-JSON (the committed
+//!   `BENCH_PR8.json`); `--check-against FILE` regression-checks fresh
+//!   MTTRs against such a baseline (>1.6x drift advisory, >8x fatal).
 //!
 //! Usage:
 //!   bruck-chaos [--smoke] [--seeds 1,2,3]
+//!   bruck-chaos --recovery-smoke [--seeds 1] [--out FILE] [--check-against FILE]
 //!
-//! `--smoke` runs the CI-sized matrix (wired into scripts/verify.sh).
+//! `--smoke` runs the CI-sized fault matrix (wired into scripts/verify.sh).
 //! Seeds come from `--seeds`, else the `BRUCK_CHAOS_SEEDS` environment
 //! variable (comma-separated), else built-in defaults.
 
@@ -17,15 +28,22 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use bruck_check::chaos::{run_matrix, seeds_from_env, ChaosConfig};
+use bruck_check::recovery::{
+    bench_json_line, check_against_baseline, run_recovery_matrix, RecoveryMatrixConfig,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
+    let mut recovery = false;
     let mut cli_seeds: Option<Vec<u64>> = None;
+    let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => smoke = true,
+            "--recovery-smoke" => recovery = true,
             "--seeds" => {
                 i += 1;
                 let Some(list) = args.get(i) else {
@@ -35,8 +53,28 @@ fn main() -> ExitCode {
                 cli_seeds =
                     Some(list.split(',').filter_map(|t| t.trim().parse().ok()).collect());
             }
+            "--out" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--out needs a file path");
+                    return ExitCode::from(2);
+                };
+                out = Some(path.clone());
+            }
+            "--check-against" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--check-against needs a file path");
+                    return ExitCode::from(2);
+                };
+                baseline = Some(path.clone());
+            }
             "--help" | "-h" => {
-                println!("usage: bruck-chaos [--smoke] [--seeds 1,2,3]");
+                println!(
+                    "usage: bruck-chaos [--smoke] [--seeds 1,2,3]\n       \
+                     bruck-chaos --recovery-smoke [--seeds 1] [--out FILE] \
+                     [--check-against FILE]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -45,6 +83,10 @@ fn main() -> ExitCode {
             }
         }
         i += 1;
+    }
+
+    if recovery {
+        return run_recovery(cli_seeds, out, baseline);
     }
 
     let seeds = match cli_seeds {
@@ -79,6 +121,87 @@ fn main() -> ExitCode {
         start.elapsed()
     );
     if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_recovery(
+    cli_seeds: Option<Vec<u64>>,
+    out: Option<String>,
+    baseline: Option<String>,
+) -> ExitCode {
+    let seed = cli_seeds.and_then(|s| s.first().copied()).unwrap_or(1);
+    let cfg = RecoveryMatrixConfig { seed, ..RecoveryMatrixConfig::default() };
+    println!(
+        "bruck-chaos: recovery matrix, p={} victim={} seed={} ({} algorithms x 4 phases)",
+        cfg.p,
+        cfg.victim,
+        cfg.seed,
+        cfg.algorithms.len(),
+    );
+    let start = Instant::now();
+    let reports = run_recovery_matrix(&cfg, |r| match (&r.violation, &r.mttr) {
+        (None, Some(cm)) => println!(
+            "  PASS {:<32} crash@{:<4} cycles={} attempts={} mttr={:.1?}",
+            r.label,
+            r.crash_after_ops,
+            cm.cycles,
+            cm.attempts,
+            cm.mttr.total()
+        ),
+        (None, None) => println!("  PASS {:<32}", r.label),
+        (Some(v), _) => println!("  FAIL {:<32} {v}", r.label),
+    });
+    let failures = reports.iter().filter(|r| r.violation.is_some()).count();
+    println!(
+        "bruck-chaos: {} recovery cells, {failures} failures, {:.1?} total",
+        reports.len(),
+        start.elapsed()
+    );
+
+    if let Some(path) = out {
+        let mut body = String::new();
+        for r in &reports {
+            if let Some(line) = bench_json_line(r) {
+                body.push_str(&line);
+                body.push('\n');
+            }
+        }
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("bruck-chaos: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("bruck-chaos: wrote MTTR baseline to {path}");
+    }
+
+    let mut fatal_regressions = 0usize;
+    if let Some(path) = baseline {
+        match std::fs::read_to_string(&path) {
+            Ok(body) => {
+                let (advisories, fatals) = check_against_baseline(&body, &reports);
+                for a in &advisories {
+                    println!("  ADVISORY {a}");
+                }
+                for f in &fatals {
+                    println!("  FATAL    {f}");
+                }
+                fatal_regressions = fatals.len();
+                println!(
+                    "bruck-chaos: baseline check vs {path}: {} advisories, {} fatal",
+                    advisories.len(),
+                    fatals.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("bruck-chaos: cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if failures == 0 && fatal_regressions == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

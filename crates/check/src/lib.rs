@@ -35,6 +35,15 @@
 //! with vector-clock happens-before checks (DESIGN.md §13). Shared payload
 //! helpers for the dynamic harnesses live in [`cells`].
 //!
+//! A seventh layer, the [`recovery`] module (also under `bruck-chaos`, via
+//! `--recovery-smoke`), exercises the *self-healing* stack end to end:
+//! every alltoallv algorithm × crash phase class (negotiate/pack/data/unpack)
+//! on a simulated world with a scripted victim, driving failure detection,
+//! survivor agreement, communicator shrink, and epoch retry to a typed
+//! `Recovered` ending — byte-correct on the survivor view, same-seed
+//! digest-deterministic, with virtual-time MTTR regression-checked against
+//! the committed `BENCH_PR8.json` (DESIGN.md §14).
+//!
 //! The verifier's model, guarantees, and non-guarantees are documented in
 //! DESIGN.md §8.
 
@@ -48,4 +57,5 @@ pub mod dpor;
 pub mod lint;
 pub mod matrix;
 pub mod model;
+pub mod recovery;
 pub mod sim_matrix;

@@ -46,6 +46,13 @@
 //!   bit-reproducibility the deterministic simulator, the schedule fuzzer,
 //!   and the DPOR model checker all stand on. Use `BTreeMap` / `BTreeSet`;
 //!   ordered iteration is never the bottleneck at these sizes.
+//! * `no-discarded-comm-error` — `let _ =` on a communication call (a
+//!   `.send_buf(` / `.recv_buf(` / `.quiesce(` / collective call, etc.) in
+//!   `crates/core` or `crates/comm` non-test code: since the self-healing
+//!   membership layer landed, a swallowed `CommError` can hide the exact
+//!   failure evidence the detector/agreement cycle exists to act on. Every
+//!   deliberate best-effort discard (e.g. the post-exchange ARQ drain) must
+//!   be audited into the allowlist; everything else handles or propagates.
 //! * `no-adhoc-condvar` — the `Condvar` type in `crates/comm` outside
 //!   `runtime.rs` and `mailbox.rs`: blocking/wakeup must go through the
 //!   readiness abstraction (`MatchStore` + waiter lists / the `Mailbox`
@@ -352,6 +359,27 @@ fn scan_file(rel: &str, text: &str, out: &mut Vec<LintFinding>) {
                     push("no-hash-iteration");
                 }
             }
+            if hash_banned && san.trim_start().starts_with("let _ =") {
+                // Same core/comm scope as the determinism rules: a
+                // discarded Result from a communication call swallows the
+                // failure evidence the recovery stack runs on.
+                const COMM_CALLS: [&str; 11] = [
+                    ".send_buf(",
+                    ".recv_buf(",
+                    ".recv_into(",
+                    ".recv_buf_timeout(",
+                    ".send_reliable(",
+                    ".quiesce(",
+                    ".barrier(",
+                    ".allreduce_u64(",
+                    ".allgather_u64(",
+                    ".bcast_bytes(",
+                    ".alltoall_counts(",
+                ];
+                if COMM_CALLS.iter().any(|c| san.contains(c)) {
+                    push("no-discarded-comm-error");
+                }
+            }
             for _ in san.match_indices(".unwrap()") {
                 push("no-unwrap");
             }
@@ -607,6 +635,48 @@ mod tests {
         assert!(scan_str("crates/core/src/radix.rs", test_src)
             .iter()
             .all(|f| f.rule != "no-hash-iteration"));
+    }
+
+    #[test]
+    fn discarded_comm_error_flagged_in_core_and_comm_outside_tests() {
+        let src = "fn f(c: &C) {\n    let _ = c.send_buf(1, 7, buf);\n}\n";
+        assert!(scan_str("crates/comm/src/fault.rs", src)
+            .iter()
+            .any(|f| f.rule == "no-discarded-comm-error"));
+        assert!(scan_str("crates/core/src/nonuniform/resilient.rs", src)
+            .iter()
+            .any(|f| f.rule == "no-discarded-comm-error"));
+        // Collectives and the ARQ drain are covered too.
+        let drain = "fn f(rc: &R) {\n    let _ = rc.quiesce(a, b);\n}\n";
+        assert!(scan_str("crates/core/src/nonuniform/resilient.rs", drain)
+            .iter()
+            .any(|f| f.rule == "no-discarded-comm-error"));
+        // Binding the result (even unused) is not a discard...
+        let bound = "fn f(c: &C) {\n    let _sent = c.send_buf(1, 7, buf);\n}\n";
+        assert!(scan_str("crates/comm/src/fault.rs", bound)
+            .iter()
+            .all(|f| f.rule != "no-discarded-comm-error"));
+        // ...discarding a non-comm call is fine...
+        let other = "fn f() {\n    let _ = vec.pop();\n}\n";
+        assert!(scan_str("crates/comm/src/fault.rs", other)
+            .iter()
+            .all(|f| f.rule != "no-discarded-comm-error"));
+        // ...the rule governs the core/comm crates only...
+        assert!(scan_str("crates/check/src/chaos.rs", src)
+            .iter()
+            .all(|f| f.rule != "no-discarded-comm-error"));
+        // ...and test code may drain best-effort.
+        let test_src = concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn g(c: &C) {\n",
+            "        let _ = c.recv_buf(0, 1);\n",
+            "    }\n",
+            "}\n",
+        );
+        assert!(scan_str("crates/comm/src/fault.rs", test_src)
+            .iter()
+            .all(|f| f.rule != "no-discarded-comm-error"));
     }
 
     #[test]

@@ -230,6 +230,14 @@ impl<'a, C: Communicator + ?Sized> FaultComm<'a, C> {
         self.lock().crashed
     }
 
+    /// Data-plane operations completed so far on this rank — the counter
+    /// scripted faults key on. Run a scenario once fault-free and read this
+    /// to calibrate `after_ops` thresholds that land a crash inside a
+    /// specific protocol phase.
+    pub fn ops(&self) -> u64 {
+        self.lock().ops
+    }
+
     fn lock(&self) -> MutexGuard<'_, FaultState> {
         self.state.lock().unwrap_or_else(|p| p.into_inner())
     }

@@ -62,9 +62,12 @@ mod fault;
 mod mailbox;
 mod metered;
 mod msgbuf;
+mod agree;
+mod detect;
 mod plan;
 mod reliable;
 mod reduce;
+mod retry;
 mod runtime;
 mod sim;
 mod subcomm;
@@ -83,9 +86,12 @@ pub use metered::{
     ChannelTotals, Histogram, MeteredComm, Metrics, PeerCounters, TagCounters, HIST_BUCKETS,
 };
 pub use msgbuf::MsgBuf;
+pub use agree::{agree_survivors, AgreeConfig, AgreeOutcome};
+pub use detect::{detect_failures, DetectorConfig, Suspicion};
 pub use plan::ExchangePlan;
 pub use reliable::{ReliableComm, ReliableConfig};
 pub use reduce::ReduceOp;
+pub use retry::RetryPolicy;
 pub use runtime::{
     AuditEvent, AuditKind, EventReport, EventRun, EventStep, EventVerifyOpts, EventWorld,
     WakeSource,
@@ -94,7 +100,7 @@ pub use sim::{
     shrink_choices, ScheduleTrace, SimComm, SimConfig, SimOp, SimReport, SimRun, SimStep,
     SimWorld,
 };
-pub use subcomm::{SubComm, SUBCOMM_MAX_TAG};
+pub use subcomm::{ShrinkComm, SubComm, SUBCOMM_MAX_TAG};
 pub use thread_comm::{ThreadComm, World};
 pub use trace::{
     BlockedOn, Event, EventKind, MsgRecord, Schedule, TraceComm, TraceState, VectorClock,

@@ -185,6 +185,33 @@ impl ExchangePlan {
     pub fn alloc_recvbuf(&self) -> Vec<u8> {
         vec![0u8; self.recv_bytes()]
     }
+
+    /// Project a negotiated plan onto a shrunken world: keep only the rows
+    /// and columns of ranks whose `alive` flag is set, in rank order, and
+    /// re-pack the displacements densely. This remaps pending plan state
+    /// across a membership repair (`crate::ShrinkComm`) **without a fresh
+    /// counts handshake** — the surviving pairwise counts were already
+    /// agreed in the dead epoch's negotiation and do not change when
+    /// bystanders are evicted.
+    ///
+    /// `alive.len()` must equal the plan's world size and must keep at
+    /// least one rank.
+    pub fn remap_survivors(&self, alive: &[bool]) -> CommResult<ExchangePlan> {
+        if alive.len() != self.sendcounts.len() {
+            return Err(CommError::BadArgument("alive mask length != plan world size"));
+        }
+        if !alive.iter().any(|&a| a) {
+            return Err(CommError::BadArgument("alive mask keeps no ranks"));
+        }
+        let keep = |counts: &[usize]| -> Vec<usize> {
+            counts
+                .iter()
+                .zip(alive)
+                .filter_map(|(&c, &a)| if a { Some(c) } else { None })
+                .collect()
+        };
+        ExchangePlan::from_counts(keep(&self.sendcounts), keep(&self.recvcounts))
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +255,21 @@ mod tests {
         assert_eq!(plan.rdispls(), &[0, 1, 2]);
         assert_eq!(plan.send_bytes(), 5);
         assert_eq!(plan.recv_bytes(), 3);
+    }
+
+    #[test]
+    fn remap_survivors_projects_counts_and_repacks() {
+        let plan =
+            ExchangePlan::from_counts(vec![3, 5, 7, 2, 4], vec![10, 0, 6, 1, 9]).unwrap();
+        // Evict ranks 1 and 3.
+        let alive = [true, false, true, false, true];
+        let shrunk = plan.remap_survivors(&alive).unwrap();
+        assert_eq!(shrunk.sendcounts(), &[3, 7, 4]);
+        assert_eq!(shrunk.recvcounts(), &[10, 6, 9]);
+        assert_eq!(shrunk.sdispls(), &[0, 3, 10]);
+        assert_eq!(shrunk.rdispls(), &[0, 10, 16]);
+        assert!(plan.remap_survivors(&[true, false]).is_err(), "wrong length");
+        assert!(plan.remap_survivors(&[false; 5]).is_err(), "empty world");
     }
 
     #[test]

@@ -40,6 +40,7 @@ use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
 use crate::chaos::splitmix;
+use crate::retry::RetryPolicy;
 use crate::{CommError, CommResult, Communicator, MsgBuf, Tag, RESERVED_TAG_BASE};
 
 /// Wire tag carrying framed application payloads.
@@ -71,6 +72,16 @@ impl Default for ReliableConfig {
             max_retries: 6,
             backoff_cap: Duration::from_millis(320),
         }
+    }
+}
+
+impl ReliableConfig {
+    /// The ack-deadline schedule as a [`RetryPolicy`]: jitter-free bounded
+    /// exponential backoff starting at `ack_timeout`, capped at
+    /// `backoff_cap`, for `max_retries + 1` attempts. This is the single
+    /// source of truth for the ARQ's retransmission timing.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy::exponential(self.ack_timeout, self.backoff_cap, self.max_retries)
     }
 }
 
@@ -271,10 +282,10 @@ impl<'a, C: Communicator + ?Sized> ReliableComm<'a, C> {
             seq
         };
         let frame = build_data_frame(seq, tag, &payload);
-        let mut rto = self.cfg.ack_timeout;
-        for _attempt in 0..=self.cfg.max_retries {
+        let policy = self.cfg.retry_policy();
+        for attempt in 0..policy.attempts() {
             self.inner.send_buf(dest, RELIABLE_DATA_TAG, frame.clone())?;
-            let deadline = self.inner.now() + rto;
+            let deadline = self.inner.now() + policy.delay(attempt);
             loop {
                 let handled = self.service_incoming()?;
                 if self.take_ack(dest, tag, seq)? {
@@ -287,7 +298,6 @@ impl<'a, C: Communicator + ?Sized> ReliableComm<'a, C> {
                     self.idle_pause();
                 }
             }
-            rto = (rto * 2).min(self.cfg.backoff_cap);
         }
         Err(CommError::RankFailed { rank: dest })
     }
@@ -545,6 +555,46 @@ mod tests {
                 assert_eq!(big, [7; 16]);
             }
         });
+    }
+
+    #[test]
+    fn retry_policy_pins_the_pre_refactor_ack_schedule() {
+        // send_reliable used to compute its retransmission deadlines inline:
+        //   rto = ack_timeout; per attempt: wait rto; rto = min(rto * 2, cap)
+        // The shared RetryPolicy must reproduce that schedule bit-for-bit,
+        // for the default config and for skewed ones (cap below base, zero
+        // retries, cap not a power-of-two multiple of base).
+        let cases = [
+            ReliableConfig::default(),
+            ReliableConfig {
+                ack_timeout: Duration::from_millis(10),
+                max_retries: 5,
+                backoff_cap: Duration::from_millis(40),
+            },
+            ReliableConfig {
+                ack_timeout: Duration::from_millis(25),
+                max_retries: 8,
+                backoff_cap: Duration::from_millis(90),
+            },
+            ReliableConfig {
+                ack_timeout: Duration::from_millis(50),
+                max_retries: 0,
+                backoff_cap: Duration::from_millis(10),
+            },
+        ];
+        for cfg in cases {
+            let mut legacy = Vec::new();
+            let mut rto = cfg.ack_timeout;
+            for _attempt in 0..=cfg.max_retries {
+                legacy.push(rto);
+                rto = (rto * 2).min(cfg.backoff_cap);
+            }
+            assert_eq!(
+                cfg.retry_policy().schedule(),
+                legacy,
+                "schedule drifted for {cfg:?}"
+            );
+        }
     }
 
     #[test]

@@ -85,6 +85,110 @@ impl<'a, C: Communicator + ?Sized> SubComm<'a, C> {
     }
 }
 
+/// The repaired communicator after a membership shrink: survivors of an
+/// agreed eviction ([`crate::agree_survivors`]) renumbered into a dense
+/// `0..survivors.len()` world over the original parent communicator.
+///
+/// This is [`SubComm`] machinery with recovery semantics layered on:
+///
+/// * The member list is the **agreed survivor set** — every survivor builds
+///   the identical communicator from [`crate::AgreeOutcome::survivors`]
+///   with no further handshake (agreement already synchronized the view;
+///   a collective split here could itself trip over the dead ranks).
+/// * The tag context is derived from the **membership epoch**
+///   (`(epoch mod 63) + 1`), so consecutive epochs always map the same
+///   logical tag to different wire tags: straggler traffic from the epoch
+///   that died can never be matched by the repaired world's exchanges.
+/// * [`ShrinkComm::shrink_rank`] / [`ShrinkComm::parent_rank`] translate
+///   between the worlds, so pending per-destination state (plans, buffers)
+///   can be remapped instead of rebuilt — see
+///   [`crate::ExchangePlan::remap_survivors`].
+pub struct ShrinkComm<'a, C: Communicator + ?Sized> {
+    sub: SubComm<'a, C>,
+    epoch: u32,
+}
+
+impl<'a, C: Communicator + ?Sized> ShrinkComm<'a, C> {
+    /// Build the epoch-`epoch` repaired world over `parent` from the agreed
+    /// `survivors` (sorted parent ranks; must include the caller). Purely
+    /// local — no communication.
+    pub fn new(parent: &'a C, survivors: Vec<usize>, epoch: u32) -> CommResult<Self> {
+        if survivors.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(CommError::BadArgument("survivors must be sorted and unique"));
+        }
+        let ctx = (epoch % 63) + 1;
+        let sub = SubComm::from_members(parent, survivors, ctx)?;
+        Ok(ShrinkComm { sub, epoch })
+    }
+
+    /// The membership epoch this communicator belongs to.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// The survivor set (parent ranks, in dense rank order).
+    pub fn survivors(&self) -> &[usize] {
+        self.sub.members()
+    }
+
+    /// The parent rank of dense survivor rank `r`.
+    pub fn parent_rank(&self, r: usize) -> usize {
+        self.sub.parent_rank(r)
+    }
+
+    /// The dense survivor rank of `parent_rank`, or `None` if it was
+    /// evicted.
+    pub fn shrink_rank(&self, parent_rank: usize) -> Option<usize> {
+        self.sub.members().iter().position(|&m| m == parent_rank)
+    }
+}
+
+impl<C: Communicator + ?Sized> Communicator for ShrinkComm<'_, C> {
+    fn rank(&self) -> usize {
+        self.sub.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.sub.size()
+    }
+
+    fn now(&self) -> std::time::Duration {
+        self.sub.now()
+    }
+
+    fn sleep(&self, d: std::time::Duration) {
+        self.sub.sleep(d)
+    }
+
+    fn send_buf(&self, dest: usize, tag: Tag, buf: MsgBuf) -> CommResult<()> {
+        self.sub.send_buf(dest, tag, buf)
+    }
+
+    fn recv_buf(&self, src: usize, tag: Tag) -> CommResult<MsgBuf> {
+        self.sub.recv_buf(src, tag)
+    }
+
+    fn recv_buf_timeout(&self, src: usize, tag: Tag, timeout: std::time::Duration) -> CommResult<MsgBuf> {
+        self.sub.recv_buf_timeout(src, tag, timeout)
+    }
+
+    fn send(&self, dest: usize, tag: Tag, data: &[u8]) -> CommResult<()> {
+        self.sub.send(dest, tag, data)
+    }
+
+    fn recv(&self, src: usize, tag: Tag) -> CommResult<Vec<u8>> {
+        self.sub.recv(src, tag)
+    }
+
+    fn recv_into(&self, src: usize, tag: Tag, buf: &mut [u8]) -> CommResult<usize> {
+        self.sub.recv_into(src, tag, buf)
+    }
+
+    fn probe(&self, src: usize, tag: Tag) -> CommResult<Option<usize>> {
+        self.sub.probe(src, tag)
+    }
+}
+
 fn splitmix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -224,6 +328,64 @@ mod tests {
         ThreadComm::run(2, |comm| {
             let sub = SubComm::split(comm, 0, comm.rank() as u64).unwrap();
             assert!(sub.send(0, SUBCOMM_MAX_TAG, &[]).is_err());
+        });
+    }
+
+    #[test]
+    fn shrink_renumbers_survivors_densely() {
+        let out = ThreadComm::run(5, |comm| {
+            let me = comm.rank();
+            if me == 2 {
+                return None; // the evicted rank builds nothing
+            }
+            let shrink = ShrinkComm::new(comm, vec![0, 1, 3, 4], 7).unwrap();
+            // Ring ping on the dense world proves translation works.
+            let peer = (shrink.rank() + 1) % shrink.size();
+            shrink.send(peer, 3, &[me as u8]).unwrap();
+            let from = shrink.recv((shrink.rank() + shrink.size() - 1) % shrink.size(), 3).unwrap();
+            Some((shrink.rank(), shrink.size(), shrink.shrink_rank(4), from[0]))
+        });
+        assert_eq!(out[0], Some((0, 4, Some(3), 4)));
+        assert_eq!(out[1], Some((1, 4, Some(3), 0)));
+        assert_eq!(out[3], Some((2, 4, Some(3), 1)));
+        assert_eq!(out[4], Some((3, 4, Some(3), 3)));
+    }
+
+    #[test]
+    fn consecutive_epochs_are_tag_isolated() {
+        // Same members, same logical tag, two successive epochs: each
+        // epoch's receive must match only its own epoch's send.
+        ThreadComm::run(2, |comm| {
+            let me = comm.rank();
+            let old = ShrinkComm::new(comm, vec![0, 1], 4).unwrap();
+            let new = ShrinkComm::new(comm, vec![0, 1], 5).unwrap();
+            let peer = 1 - me;
+            old.send(peer, 11, &[b'o', me as u8]).unwrap();
+            new.send(peer, 11, &[b'n', me as u8]).unwrap();
+            assert_eq!(new.recv(peer, 11).unwrap(), vec![b'n', peer as u8]);
+            assert_eq!(old.recv(peer, 11).unwrap(), vec![b'o', peer as u8]);
+        });
+    }
+
+    #[test]
+    fn shrink_collectives_run_on_the_dense_world() {
+        let sums = ThreadComm::run(4, |comm| {
+            if comm.rank() == 1 {
+                return 0;
+            }
+            let shrink = ShrinkComm::new(comm, vec![0, 2, 3], 1).unwrap();
+            shrink.allreduce_u64(comm.rank() as u64, ReduceOp::Sum).unwrap()
+        });
+        assert_eq!(sums, vec![5, 0, 5, 5]);
+    }
+
+    #[test]
+    fn shrink_rejects_unsorted_or_foreign_survivor_lists() {
+        ThreadComm::run(3, |comm| {
+            if comm.rank() == 0 {
+                assert!(ShrinkComm::new(comm, vec![1, 0], 0).is_err(), "unsorted");
+                assert!(ShrinkComm::new(comm, vec![1, 2], 0).is_err(), "caller evicted");
+            }
         });
     }
 }

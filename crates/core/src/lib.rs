@@ -75,10 +75,11 @@ pub use model::{
 };
 pub use nonuniform::{
     adaptive_alltoallv, alltoallv, alltoallw, hierarchical_alltoallv, packed_displs, padded_alltoall, padded_bruck, piece_len,
-    piece_offset, ranka_two_stage_alltoallv, reference_alltoallv, resilient_alltoallv,
-    sloav_alltoallv, sloav_alltoallv_timed, spread_out_alltoallv, two_phase_bruck,
-    two_phase_bruck_timed, vendor_alltoallv, AlltoallvAlgorithm, ExchangeOutcome,
-    NonuniformPhases, PartialExchange, ResilientConfig, DEFAULT_GROUP_SIZE, VENDOR_WINDOW,
+    piece_offset, ranka_two_stage_alltoallv, recovering_alltoallv, reference_alltoallv,
+    resilient_alltoallv, sloav_alltoallv, sloav_alltoallv_timed, spread_out_alltoallv,
+    two_phase_bruck, two_phase_bruck_timed, vendor_alltoallv, AlltoallvAlgorithm,
+    ExchangeOutcome, Mttr, NonuniformPhases, PartialExchange, Recovery, RecoveringConfig,
+    RecoveryOutcome, ResilientConfig, DEFAULT_GROUP_SIZE, VENDOR_WINDOW,
 };
 pub use phases::PhaseTimes;
 pub use radix::{

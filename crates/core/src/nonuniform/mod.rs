@@ -12,6 +12,7 @@ mod alltoallw;
 mod hierarchical;
 mod padded;
 mod padded_alltoall;
+mod recovering;
 mod reference;
 mod resilient;
 mod sloav;
@@ -26,6 +27,7 @@ pub use alltoallw::alltoallw;
 pub use hierarchical::{hierarchical_alltoallv, DEFAULT_GROUP_SIZE};
 pub use padded::padded_bruck;
 pub use padded_alltoall::padded_alltoall;
+pub use recovering::{recovering_alltoallv, Mttr, Recovery, RecoveringConfig, RecoveryOutcome};
 pub use reference::reference_alltoallv;
 pub use resilient::{resilient_alltoallv, ExchangeOutcome, PartialExchange, ResilientConfig};
 pub use sloav::sloav_alltoallv;

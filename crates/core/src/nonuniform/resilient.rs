@@ -126,7 +126,7 @@ impl Default for ResilientConfig {
 
 /// Is this error a runtime fault (fall back) rather than a caller bug
 /// (propagate)?
-fn is_fault(e: &CommError) -> bool {
+pub(crate) fn is_fault(e: &CommError) -> bool {
     matches!(e, CommError::Timeout { .. } | CommError::RankFailed { .. })
 }
 

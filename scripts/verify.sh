@@ -19,6 +19,15 @@ cargo run --release -p bruck-check --bin bruck-check
 # soak matrix under a watchdog, asserting the crash-only property. Seeds can
 # be overridden with BRUCK_CHAOS_SEEDS=1,2,3.
 cargo run --release -p bruck-check --bin bruck-chaos -- --smoke
+# Self-healing recovery gate (DESIGN.md §14): every alltoallv algorithm ×
+# crash phase class (negotiate/pack/data/unpack) on a 5-rank simulated world
+# with a scripted victim, driving detect -> agree -> shrink -> retry to a
+# typed Recovered ending — byte-correct on the survivor view, same-seed
+# digest-deterministic. Virtual-time MTTR per cell is compared against the
+# committed BENCH_PR8.json (> 1.6x drift advisory, > 8x fails; MTTR is
+# virtual-time, so drift means the protocol itself changed). Regenerate with:
+#   cargo run --release -p bruck-check --bin bruck-chaos -- --recovery-smoke --out BENCH_PR8.json
+cargo run --release -p bruck-check --bin bruck-chaos -- --recovery-smoke --check-against BENCH_PR8.json
 # Deterministic-simulation gate (DESIGN.md §11): the algorithm × workload ×
 # schedule-seed matrix under the cooperative SimComm scheduler. Every cell
 # runs twice and must produce byte-identical traces and results; on failure
