@@ -53,6 +53,15 @@
 //!   failure evidence the detector/agreement cycle exists to act on. Every
 //!   deliberate best-effort discard (e.g. the post-exchange ARQ drain) must
 //!   be audited into the allowlist; everything else handles or propagates.
+//! * `no-direct-variant-call` — a call to one of the nine legacy
+//!   non-uniform variant functions (`two_phase_bruck(`, `sloav_alltoallv(`,
+//!   …) in non-test code outside `crates/core/src/nonuniform/engine.rs`:
+//!   since the configurable engine landed, the variants are *named config
+//!   points* of one parameter space, and every production call must route
+//!   through the engine (`alltoallv` / `configurable_alltoallv`) so config
+//!   snapping, validation, and the tuner's key accounting stay in one
+//!   place. Definitions (`fn two_phase_bruck`) are not calls and are
+//!   exempt; migration stragglers get a counted allowlist budget.
 //! * `no-adhoc-condvar` — the `Condvar` type in `crates/comm` outside
 //!   `runtime.rs` and `mailbox.rs`: blocking/wakeup must go through the
 //!   readiness abstraction (`MatchStore` + waiter lists / the `Mailbox`
@@ -262,6 +271,10 @@ fn scan_file(rel: &str, text: &str, out: &mut Vec<LintFinding>) {
     let condvar_banned = rel.starts_with("crates/comm/") && !concurrency_site;
     // Determinism-critical crates must not iterate hashed collections.
     let hash_banned = rel.starts_with("crates/core/") || rel.starts_with("crates/comm/");
+    // The engine's dispatch table is the one sanctioned variant-call site;
+    // everything else routes through it.
+    let variant_call_banned =
+        rel.starts_with("crates/") && rel != "crates/core/src/nonuniform/engine.rs";
     // Whole-file test modules (`#[cfg(test)] mod foo_tests;` in the crate
     // root) carry the cfg on the *declaration*, invisible from the file
     // itself; go by the naming convention.
@@ -378,6 +391,35 @@ fn scan_file(rel: &str, text: &str, out: &mut Vec<LintFinding>) {
                 ];
                 if COMM_CALLS.iter().any(|c| san.contains(c)) {
                     push("no-discarded-comm-error");
+                }
+            }
+            if variant_call_banned {
+                // The nine legacy variant entry points, matched as *calls*:
+                // name immediately followed by `(`, preceded by a
+                // non-identifier character, and not a definition (generic
+                // definitions `fn name<C: ...>(` never match `name(`, but
+                // monomorphic helpers could, so `fn ` is checked too).
+                const VARIANT_CALLS: [&str; 9] = [
+                    "reference_alltoallv(",
+                    "spread_out_alltoallv(",
+                    "vendor_alltoallv(",
+                    "padded_bruck(",
+                    "padded_alltoall(",
+                    "two_phase_bruck(",
+                    "sloav_alltoallv(",
+                    "hierarchical_alltoallv(",
+                    "ranka_two_stage_alltoallv(",
+                ];
+                for call in VARIANT_CALLS {
+                    for (pos, _) in san.match_indices(call) {
+                        let before = san[..pos].chars().next_back();
+                        let ident_before =
+                            before.is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+                        let is_def = san[..pos].trim_end().ends_with("fn");
+                        if !ident_before && !is_def {
+                            push("no-direct-variant-call");
+                        }
+                    }
                 }
             }
             for _ in san.match_indices(".unwrap()") {
@@ -677,6 +719,37 @@ mod tests {
         assert!(scan_str("crates/comm/src/fault.rs", test_src)
             .iter()
             .all(|f| f.rule != "no-discarded-comm-error"));
+    }
+
+    #[test]
+    fn direct_variant_call_flagged_outside_engine() {
+        let call = "fn f(c: &C) { two_phase_bruck(c, s, sc, sd, r, rc, rd) }\n";
+        assert!(scan_str("crates/core/src/nonuniform/mod.rs", call)
+            .iter()
+            .any(|f| f.rule == "no-direct-variant-call"));
+        assert!(scan_str("crates/bench/src/bin/figures.rs", call)
+            .iter()
+            .any(|f| f.rule == "no-direct-variant-call"));
+        // The engine's dispatch table is the sanctioned call site.
+        assert!(scan_str("crates/core/src/nonuniform/engine.rs", call)
+            .iter()
+            .all(|f| f.rule != "no-direct-variant-call"));
+        // Definitions are not calls...
+        let def = "pub fn two_phase_bruck(c: &C) -> CommResult<()> {\n";
+        assert!(scan_str("crates/core/src/nonuniform/two_phase.rs", def)
+            .iter()
+            .all(|f| f.rule != "no-direct-variant-call"));
+        // ...nor are prefixed identifiers or mentions in comments/strings.
+        let prefixed = "fn f() { timed_two_phase_bruck(c) } // two_phase_bruck( in a comment\n";
+        assert!(scan_str("crates/core/src/nonuniform/timed.rs", prefixed)
+            .iter()
+            .all(|f| f.rule != "no-direct-variant-call"));
+        // Test code may call variants directly (differential baselines).
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    fn g(c: &C) { sloav_alltoallv(c) }\n}\n";
+        assert!(scan_str("crates/core/src/nonuniform/sloav.rs", test_src)
+            .iter()
+            .all(|f| f.rule != "no-direct-variant-call"));
     }
 
     #[test]

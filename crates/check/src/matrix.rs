@@ -20,7 +20,10 @@
 use std::sync::Mutex;
 
 use bruck_comm::{Communicator, ExchangePlan, VectorCollectives};
-use bruck_core::{alltoall, alltoallv, packed_displs, AlltoallAlgorithm, AlltoallvAlgorithm};
+use bruck_core::{
+    alltoall, alltoallv, configurable_alltoallv_general, packed_displs, AlltoallAlgorithm,
+    AlltoallvAlgorithm, EngineConfig, EngineTopology, IntermediateLayout, PaddingRule,
+};
 use bruck_workload::{Distribution, SizeMatrix};
 
 use crate::analysis::{analyze, check_layout, Finding};
@@ -128,6 +131,61 @@ pub fn check_alltoallv(algo: AlltoallvAlgorithm, m: &SizeMatrix, label: &str) ->
     CaseReport { name, findings }
 }
 
+/// Verify one engine config through the *generalized* machinery (no
+/// snap-to-variant dispatch) against one size matrix — this is what holds
+/// the knob-space product points, not just the named ones, to the same
+/// symbolic-execution analyses as the legacy variants.
+pub fn check_engine(cfg: &EngineConfig, m: &SizeMatrix, label: &str) -> CaseReport {
+    let p = m.p();
+    let name = format!("engine/{}/{label}/p={p}", cfg.key());
+    let wrong: Mutex<Vec<Finding>> = Mutex::new(Vec::new());
+    let ext = extract(p, |comm| {
+        let me = comm.rank();
+        let sendcounts = m.sendcounts(me);
+        let sdispls = packed_displs(&sendcounts);
+        let mut sendbuf = vec![0u8; sendcounts.iter().sum()];
+        for dst in 0..p {
+            for idx in 0..sendcounts[dst] {
+                sendbuf[sdispls[dst] + idx] = pattern(me, dst, idx);
+            }
+        }
+        let recvcounts = m.recvcounts(me);
+        let rdispls = packed_displs(&recvcounts);
+        let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+        configurable_alltoallv_general(
+            comm, cfg, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts, &rdispls,
+        )?;
+        verify_v(me, m, &recvbuf, &rdispls, &wrong);
+        Ok(())
+    });
+    let mut findings = wrong.into_inner().unwrap_or_else(|e| e.into_inner());
+    findings.extend(analyze(&ext));
+    CaseReport { name, findings }
+}
+
+/// General-only engine configs the matrix sweeps alongside the nine named
+/// points — product-space members the legacy API could not express.
+fn engine_off_points() -> Vec<EngineConfig> {
+    vec![
+        // Radix-4 two-phase Bruck (separate metadata message).
+        EngineConfig { radix: 4, ..EngineConfig::as_two_phase() },
+        // Radix-3 block-view Bruck with the combined payload.
+        EngineConfig { radix: 3, ..EngineConfig::as_sloav() },
+        // Tightly throttled direct exchange.
+        EngineConfig { throttle_window: Some(2), ..EngineConfig::as_spread_out() },
+        // Threshold padding: pads these 16-byte-cap matrices, so the Bruck
+        // topology routes onto the uniform-step schedule.
+        EngineConfig {
+            topology: EngineTopology::Bruck,
+            radix: 2,
+            throttle_window: None,
+            padding: PaddingRule::Threshold(64),
+            layout: IntermediateLayout::Monolithic,
+            two_phase_split: true,
+        },
+    ]
+}
+
 /// Verify a negotiated-plan execution: `ExchangePlan::negotiate` from send
 /// counts only, layout-check the plan's displacements, then run `algo` with
 /// the plan's arrays.
@@ -226,6 +284,18 @@ pub fn run_full_matrix() -> Vec<CaseReport> {
             }
         }
     }
+    // Engine configs through the generalized machinery: the nine named
+    // points plus off-point members of the knob space, at a prime and a
+    // power-of-two size.
+    for &p in &[3usize, 8] {
+        let m = SizeMatrix::generate(Distribution::Normal, 0xE2617E + p as u64, p, 16);
+        for (cfg, _) in EngineConfig::named_points() {
+            reports.push(check_engine(&cfg, &m, "normal"));
+        }
+        for cfg in engine_off_points() {
+            reports.push(check_engine(&cfg, &m, "normal"));
+        }
+    }
     // Negotiated plans: the counts handshake composes with every variant.
     for &p in &[3usize, 8] {
         let m = SizeMatrix::generate(Distribution::POWER_LAW_STEEP, 0xBEEF + p as u64, p, 16);
@@ -290,6 +360,14 @@ mod tests {
     fn one_plan_case_is_clean() {
         let m = SizeMatrix::generate(Distribution::Uniform, 11, 4, 16);
         let r = check_plan(AlltoallvAlgorithm::Sloav, &m, "uniform");
+        assert!(r.is_clean(), "{}: {:?}", r.name, r.findings);
+    }
+
+    #[test]
+    fn one_engine_case_is_clean() {
+        let m = SizeMatrix::generate(Distribution::Normal, 13, 5, 16);
+        let cfg = EngineConfig { radix: 3, ..EngineConfig::as_two_phase() };
+        let r = check_engine(&cfg, &m, "normal");
         assert!(r.is_clean(), "{}: {:?}", r.name, r.findings);
     }
 

@@ -8,7 +8,10 @@
 //! trace.
 
 use bruck_comm::{Communicator, SimComm};
-use bruck_core::{alltoallv, packed_displs, AlltoallvAlgorithm};
+use bruck_core::{
+    alltoallv, configurable_alltoallv_general, packed_displs, AlltoallvAlgorithm, EngineConfig,
+    EngineTopology, IntermediateLayout, PaddingRule,
+};
 use bruck_workload::{Distribution, SizeMatrix};
 
 const SCHED_SEEDS: std::ops::Range<u64> = 0..16;
@@ -57,6 +60,78 @@ fn every_algorithm_delivers_identical_bytes_across_16_schedules() {
             assert_eq!(
                 got, baseline,
                 "{algo:?}: recv bytes differ between sched seeds {} and {seed}",
+                SCHED_SEEDS.start
+            );
+        }
+    }
+}
+
+/// Like [`exchange`], but through the engine's generalized machinery (no
+/// snap-to-variant dispatch), so off-point knob combinations are swept too.
+fn exchange_engine(cfg: &EngineConfig, m: &SizeMatrix, sched_seed: u64) -> Vec<Vec<u8>> {
+    let p = m.p();
+    let run = SimComm::run(p, sched_seed, |comm| {
+        let me = comm.rank();
+        let sendcounts = m.sendcounts(me);
+        let sdispls = packed_displs(&sendcounts);
+        let mut sendbuf = vec![0u8; sendcounts.iter().sum()];
+        for (i, b) in sendbuf.iter_mut().enumerate() {
+            *b = (me.wrapping_mul(151) ^ i.wrapping_mul(29)) as u8;
+        }
+        let recvcounts = m.recvcounts(me);
+        let rdispls = packed_displs(&recvcounts);
+        let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+        configurable_alltoallv_general(
+            comm, cfg, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts, &rdispls,
+        )
+        .unwrap();
+        for src in 0..p {
+            let sender_displs = packed_displs(&m.sendcounts(src));
+            for i in 0..recvcounts[src] {
+                let expect =
+                    (src.wrapping_mul(151) ^ (sender_displs[me] + i).wrapping_mul(29)) as u8;
+                assert_eq!(
+                    recvbuf[rdispls[src] + i],
+                    expect,
+                    "{} sched_seed={sched_seed} src={src} i={i}",
+                    cfg.key()
+                );
+            }
+        }
+        recvbuf
+    });
+    run.results
+}
+
+/// Every engine config — the nine named points plus off-point product-space
+/// members — is schedule-independent across the same 16-seed sweep.
+#[test]
+fn every_engine_config_delivers_identical_bytes_across_16_schedules() {
+    let p = 5;
+    let m = SizeMatrix::generate(Distribution::Normal, 0xC33, p, 32);
+    let mut configs: Vec<EngineConfig> =
+        EngineConfig::named_points().iter().map(|(cfg, _)| *cfg).collect();
+    configs.extend([
+        EngineConfig { radix: 4, ..EngineConfig::as_two_phase() },
+        EngineConfig { radix: 3, ..EngineConfig::as_sloav() },
+        EngineConfig { throttle_window: Some(2), ..EngineConfig::as_spread_out() },
+        EngineConfig {
+            topology: EngineTopology::Bruck,
+            radix: 2,
+            throttle_window: None,
+            padding: PaddingRule::Threshold(64),
+            layout: IntermediateLayout::Monolithic,
+            two_phase_split: true,
+        },
+    ]);
+    for cfg in configs {
+        let baseline = exchange_engine(&cfg, &m, SCHED_SEEDS.start);
+        for seed in SCHED_SEEDS.start + 1..SCHED_SEEDS.end {
+            assert_eq!(
+                exchange_engine(&cfg, &m, seed),
+                baseline,
+                "{}: recv bytes differ between sched seeds {} and {seed}",
+                cfg.key(),
                 SCHED_SEEDS.start
             );
         }

@@ -147,6 +147,9 @@ pub struct Metrics {
     pub recv_wait_ns: Histogram,
     /// Payload sizes of logical-channel sends, in bytes.
     pub sent_sizes: Histogram,
+    /// Measurement identity stamped by [`MeteredComm::with_key`]; `None`
+    /// for unkeyed meters.
+    pub key: Option<String>,
 }
 
 impl Metrics {
@@ -279,13 +282,26 @@ impl MeterState {
 /// other message: the meter observes interface traffic, not network links.
 pub struct MeteredComm<'a, C: Communicator + ?Sized> {
     inner: &'a C,
+    key: Option<String>,
     state: Mutex<MeterState>,
 }
 
 impl<'a, C: Communicator + ?Sized> MeteredComm<'a, C> {
     /// Wrap `inner`, starting all counters at zero.
     pub fn new(inner: &'a C) -> Self {
-        MeteredComm { inner, state: Mutex::new(MeterState::sized(inner.size())) }
+        MeteredComm { inner, key: None, state: Mutex::new(MeterState::sized(inner.size())) }
+    }
+
+    /// Wrap `inner` and stamp every [`Metrics`] snapshot with `key` — the
+    /// measurement identity (e.g. a tuning key like `p=8 density=500
+    /// dist=uniform config=bruck:…`) that downstream consumers such as the
+    /// auto-tuner use to attribute samples without a side channel.
+    pub fn with_key(inner: &'a C, key: impl Into<String>) -> Self {
+        MeteredComm {
+            inner,
+            key: Some(key.into()),
+            state: Mutex::new(MeterState::sized(inner.size())),
+        }
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, MeterState> {
@@ -312,6 +328,7 @@ impl<'a, C: Communicator + ?Sized> MeteredComm<'a, C> {
             per_tag_sent: s.per_tag_sent.clone(),
             recv_wait_ns: s.recv_wait_ns.clone(),
             sent_sizes: s.sent_sizes.clone(),
+            key: self.key.clone(),
         }
     }
 
@@ -565,6 +582,19 @@ mod tests {
         // Every data frame is acked, so even fault-free wire traffic is
         // 2× logical; drops push it strictly higher.
         assert!(total_wire > 2 * total_app, "drop plan should force retransmits");
+    }
+
+    #[test]
+    fn key_is_stamped_on_snapshots_and_survives_reset() {
+        ThreadComm::run(2, |comm| {
+            let plain = MeteredComm::new(comm);
+            assert_eq!(plain.metrics().key, None);
+            let keyed = MeteredComm::with_key(comm, "p=2 config=oracle");
+            assert_eq!(keyed.metrics().key.as_deref(), Some("p=2 config=oracle"));
+            // reset() zeros counters but keeps the measurement identity.
+            keyed.reset();
+            assert_eq!(keyed.metrics().key.as_deref(), Some("p=2 config=oracle"));
+        });
     }
 
     #[test]

@@ -74,12 +74,14 @@ pub use model::{
     two_phase_bruck_cost, CostParams,
 };
 pub use nonuniform::{
-    adaptive_alltoallv, alltoallv, alltoallw, hierarchical_alltoallv, packed_displs, padded_alltoall, padded_bruck, piece_len,
-    piece_offset, ranka_two_stage_alltoallv, recovering_alltoallv, reference_alltoallv,
-    resilient_alltoallv, sloav_alltoallv, sloav_alltoallv_timed, spread_out_alltoallv,
-    two_phase_bruck, two_phase_bruck_timed, vendor_alltoallv, AlltoallvAlgorithm,
-    ExchangeOutcome, Mttr, NonuniformPhases, PartialExchange, Recovery, RecoveringConfig,
-    RecoveryOutcome, ResilientConfig, DEFAULT_GROUP_SIZE, VENDOR_WINDOW,
+    adaptive_alltoallv, alltoallv, alltoallw, configurable_alltoallv,
+    configurable_alltoallv_general, hierarchical_alltoallv, packed_displs, padded_alltoall,
+    padded_bruck, piece_len, piece_offset, ranka_two_stage_alltoallv, recovering_alltoallv,
+    reference_alltoallv, resilient_alltoallv, sloav_alltoallv, sloav_alltoallv_timed,
+    spread_out_alltoallv, two_phase_bruck, two_phase_bruck_timed, vendor_alltoallv,
+    AlltoallvAlgorithm, EngineConfig, EngineTopology, ExchangeOutcome, IntermediateLayout, Mttr,
+    NonuniformPhases, PaddingRule, PartialExchange, Recovery, RecoveringConfig, RecoveryOutcome,
+    ResilientConfig, DEFAULT_GROUP_SIZE, VENDOR_WINDOW,
 };
 pub use phases::PhaseTimes;
 pub use radix::{

@@ -1,0 +1,1201 @@
+//! The configurable non-uniform all-to-all engine: one parameterized
+//! algorithm that subsumes every hand-written variant in this crate.
+//!
+//! The paper's variants (two-phase, spread-out, padded, SLOAV, …) are points
+//! in a small knob space — *Configurable Non-uniform All-to-all Algorithms*
+//! (arXiv 2411.02581) decomposes them into orthogonal parameters, and this
+//! module implements that decomposition over our existing kernels:
+//!
+//! | knob | values | what it selects |
+//! |---|---|---|
+//! | [`EngineTopology`] | oracle / direct / bruck / leader / two-stage | message pattern family |
+//! | `radix` | `r ≥ 2` | Bruck digit base: `(r−1)·⌈log_r P⌉` steps, `⌈log_r P⌉` forwards |
+//! | `throttle_window` | `None` / `Some(w)` | outstanding pairs for direct exchanges |
+//! | [`PaddingRule`] | never / always / threshold | pad blocks to the global max `N` first |
+//! | [`IntermediateLayout`] | monolithic / block-views | staging store for Bruck forwarding |
+//! | `two_phase_split` | bool | decoupled metadata message vs. combined buffer |
+//!
+//! Every legacy variant is a **named config point** ([`EngineConfig::as_two_phase`],
+//! [`EngineConfig::as_spread_out`], …). The production entry point
+//! [`configurable_alltoallv`] *snaps* exact named points to the hand-tuned
+//! kernels (which carry the pinned `bruck-probe` spans the conformance suite
+//! asserts on) and runs the generalized machinery for every other point;
+//! [`configurable_alltoallv_general`] always runs the generalized machinery.
+//! The differential gauntlet (`tests/engine_equivalence.rs`) proves the snap
+//! is semantics-free: at each named point the general path is byte-identical
+//! *and* per-tag message-count-identical to the legacy kernel on every
+//! backend, so the engine is a strict generalization, not a ninth sibling.
+
+use bruck_comm::{CommError, CommResult, Communicator, MsgBuf, ReduceOp};
+
+use super::validate_v;
+use crate::common::{add_mod, data_tag, meta_tag, rotation_index, sub_mod, SPREAD_TAG};
+use crate::radix::{radix_schedule, radix_step_rel_indices, zero_rotation_bruck_radix};
+use crate::nonuniform::{
+    hierarchical_alltoallv, padded_alltoall, padded_bruck, ranka_two_stage_alltoallv,
+    reference_alltoallv, sloav_alltoallv, spread_out_alltoallv, two_phase_bruck,
+    vendor_alltoallv, AlltoallvAlgorithm, DEFAULT_GROUP_SIZE, VENDOR_WINDOW,
+};
+
+/// When to pad every block to the global maximum size `N` before exchanging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaddingRule {
+    /// Never pad: exchange exact block sizes (metadata where needed).
+    Never,
+    /// Always pad (the §3.1 padded family): one allreduce finds `N`, blocks
+    /// travel as `N`-byte slots, a final scan strips the padding.
+    Always,
+    /// Pad only when the global maximum block size is at most this many
+    /// bytes — the model-driven regime switch of inequality (3), §3.3.
+    Threshold(usize),
+}
+
+/// Where intermediate (store-and-forward) blocks live during Bruck steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntermediateLayout {
+    /// One monolithic `P × N` working buffer with zero-rotation routing and
+    /// in-place final delivery (two-phase Bruck's §6.1 improvement). Costs
+    /// one allreduce up front to size the buffer.
+    Monolithic,
+    /// A pointer array of per-offset block views with basic-Bruck routing
+    /// and a final scan (SLOAV's two-layer layout). No allreduce.
+    BlockViews,
+}
+
+/// The message-pattern family a config runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineTopology {
+    /// Blocking pairwise oracle (tests and tiny worlds).
+    Oracle,
+    /// Direct pairwise exchange: every block travels exactly once
+    /// (spread-out / vendor / padded-alltoall family).
+    Direct,
+    /// Radix-`r` Bruck store-and-forward (padded / two-phase / SLOAV family).
+    Bruck,
+    /// Leader-based hierarchical exchange over groups.
+    Leader {
+        /// Ranks per group (leaders are the rank-0 member of each group).
+        group: usize,
+    },
+    /// Ranka et al.'s balanced two-stage decomposition.
+    TwoStage,
+}
+
+/// One point in the engine's knob space. See the [module docs](self) for the
+/// knob table and the config-point ↔ legacy-variant mapping.
+///
+/// Knobs that a topology does not consult are *don't-cares*: the canonical
+/// form (what the named constructors produce and [`EngineConfig::key`]
+/// serializes) pins them to `radix = 2`, `throttle_window = None`,
+/// `layout = Monolithic`, `two_phase_split = false`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EngineConfig {
+    /// Message-pattern family.
+    pub topology: EngineTopology,
+    /// Bruck digit base (`≥ 2`); consulted by [`EngineTopology::Bruck`] only.
+    pub radix: usize,
+    /// Outstanding-pair window for direct exchanges (`None` = all `P − 1`
+    /// pairs in flight); consulted by [`EngineTopology::Direct`] only.
+    pub throttle_window: Option<usize>,
+    /// Pad-to-uniform rule; consulted by `Direct` and `Bruck`.
+    pub padding: PaddingRule,
+    /// Intermediate staging layout; consulted by unpadded `Bruck` only.
+    pub layout: IntermediateLayout,
+    /// `true`: each Bruck step sends a separate 4-byte-per-block metadata
+    /// message, then the packed data (two-phase coupling). `false`: one
+    /// combined `[sizes][blocks]` buffer preceded by an 8-byte total-size
+    /// exchange (SLOAV coupling). Consulted by unpadded `Bruck` only.
+    pub two_phase_split: bool,
+}
+
+/// Canonical don't-care defaults (see [`EngineConfig`] docs).
+const CANONICAL: EngineConfig = EngineConfig {
+    topology: EngineTopology::Oracle,
+    radix: 2,
+    throttle_window: None,
+    padding: PaddingRule::Never,
+    layout: IntermediateLayout::Monolithic,
+    two_phase_split: false,
+};
+
+impl EngineConfig {
+    /// The pairwise oracle ([`AlltoallvAlgorithm::Reference`]).
+    pub fn as_reference() -> EngineConfig {
+        EngineConfig { topology: EngineTopology::Oracle, ..CANONICAL }
+    }
+
+    /// All pairs in flight, no padding ([`AlltoallvAlgorithm::SpreadOut`]).
+    pub fn as_spread_out() -> EngineConfig {
+        EngineConfig { topology: EngineTopology::Direct, ..CANONICAL }
+    }
+
+    /// Window of [`VENDOR_WINDOW`] outstanding pairs
+    /// ([`AlltoallvAlgorithm::Vendor`]).
+    pub fn as_vendor() -> EngineConfig {
+        EngineConfig {
+            topology: EngineTopology::Direct,
+            throttle_window: Some(VENDOR_WINDOW),
+            ..CANONICAL
+        }
+    }
+
+    /// Pad → windowed direct exchange → scan
+    /// ([`AlltoallvAlgorithm::PaddedAlltoall`]).
+    pub fn as_padded_alltoall() -> EngineConfig {
+        EngineConfig {
+            topology: EngineTopology::Direct,
+            throttle_window: Some(VENDOR_WINDOW),
+            padding: PaddingRule::Always,
+            ..CANONICAL
+        }
+    }
+
+    /// Pad → radix-2 Zero Rotation Bruck → scan
+    /// ([`AlltoallvAlgorithm::PaddedBruck`]).
+    pub fn as_padded_bruck() -> EngineConfig {
+        EngineConfig {
+            topology: EngineTopology::Bruck,
+            padding: PaddingRule::Always,
+            ..CANONICAL
+        }
+    }
+
+    /// Coupled split metadata/data over a monolithic working buffer
+    /// ([`AlltoallvAlgorithm::TwoPhaseBruck`]).
+    pub fn as_two_phase() -> EngineConfig {
+        EngineConfig {
+            topology: EngineTopology::Bruck,
+            layout: IntermediateLayout::Monolithic,
+            two_phase_split: true,
+            ..CANONICAL
+        }
+    }
+
+    /// Combined buffers over a block-view pointer array
+    /// ([`AlltoallvAlgorithm::Sloav`]).
+    pub fn as_sloav() -> EngineConfig {
+        EngineConfig {
+            topology: EngineTopology::Bruck,
+            layout: IntermediateLayout::BlockViews,
+            two_phase_split: false,
+            ..CANONICAL
+        }
+    }
+
+    /// Leader-based hierarchical exchange with groups of
+    /// [`DEFAULT_GROUP_SIZE`] ([`AlltoallvAlgorithm::Hierarchical`]).
+    pub fn as_hierarchical() -> EngineConfig {
+        EngineConfig {
+            topology: EngineTopology::Leader { group: DEFAULT_GROUP_SIZE },
+            ..CANONICAL
+        }
+    }
+
+    /// Ranka et al.'s two-stage decomposition
+    /// ([`AlltoallvAlgorithm::RankaTwoStage`]).
+    pub fn as_ranka_two_stage() -> EngineConfig {
+        EngineConfig { topology: EngineTopology::TwoStage, ..CANONICAL }
+    }
+
+    /// The named config point reproducing `algo`.
+    pub fn for_algorithm(algo: AlltoallvAlgorithm) -> EngineConfig {
+        match algo {
+            AlltoallvAlgorithm::Reference => Self::as_reference(),
+            AlltoallvAlgorithm::SpreadOut => Self::as_spread_out(),
+            AlltoallvAlgorithm::Vendor => Self::as_vendor(),
+            AlltoallvAlgorithm::PaddedBruck => Self::as_padded_bruck(),
+            AlltoallvAlgorithm::PaddedAlltoall => Self::as_padded_alltoall(),
+            AlltoallvAlgorithm::TwoPhaseBruck => Self::as_two_phase(),
+            AlltoallvAlgorithm::Sloav => Self::as_sloav(),
+            AlltoallvAlgorithm::Hierarchical => Self::as_hierarchical(),
+            AlltoallvAlgorithm::RankaTwoStage => Self::as_ranka_two_stage(),
+        }
+    }
+
+    /// Every named config point, paired with the variant it reproduces.
+    pub fn named_points() -> [(EngineConfig, AlltoallvAlgorithm); 9] {
+        AlltoallvAlgorithm::ALL.map(|a| (Self::for_algorithm(a), a))
+    }
+
+    /// The legacy variant this config is an exact point of, if any — only
+    /// the knobs the topology actually consults participate in the match,
+    /// so don't-care fields never block recognition.
+    pub fn as_algorithm(&self) -> Option<AlltoallvAlgorithm> {
+        match self.topology {
+            EngineTopology::Oracle => Some(AlltoallvAlgorithm::Reference),
+            EngineTopology::TwoStage => Some(AlltoallvAlgorithm::RankaTwoStage),
+            EngineTopology::Leader { group } => {
+                (group == DEFAULT_GROUP_SIZE).then_some(AlltoallvAlgorithm::Hierarchical)
+            }
+            EngineTopology::Direct => match (self.throttle_window, self.padding) {
+                (None, PaddingRule::Never) => Some(AlltoallvAlgorithm::SpreadOut),
+                (Some(VENDOR_WINDOW), PaddingRule::Never) => Some(AlltoallvAlgorithm::Vendor),
+                (Some(VENDOR_WINDOW), PaddingRule::Always) => {
+                    Some(AlltoallvAlgorithm::PaddedAlltoall)
+                }
+                _ => None,
+            },
+            EngineTopology::Bruck => {
+                if self.radix != 2 {
+                    return None;
+                }
+                match (self.padding, self.layout, self.two_phase_split) {
+                    // The padded path ignores layout/split: any radix-2
+                    // always-padded Bruck is exactly PaddedBruck.
+                    (PaddingRule::Always, _, _) => Some(AlltoallvAlgorithm::PaddedBruck),
+                    (PaddingRule::Never, IntermediateLayout::Monolithic, true) => {
+                        Some(AlltoallvAlgorithm::TwoPhaseBruck)
+                    }
+                    (PaddingRule::Never, IntermediateLayout::BlockViews, false) => {
+                        Some(AlltoallvAlgorithm::Sloav)
+                    }
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Reject configs outside the knob space.
+    pub fn validate(&self) -> CommResult<()> {
+        if self.radix < 2 {
+            return Err(CommError::BadArgument("engine radix must be at least 2"));
+        }
+        if self.throttle_window == Some(0) {
+            return Err(CommError::BadArgument("throttle window must be at least 1"));
+        }
+        if let EngineTopology::Leader { group } = self.topology {
+            if group == 0 {
+                return Err(CommError::BadArgument("leader group must be at least 1"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Stable text key for this config — the serialization used by
+    /// `tuning.table` and the `bruck-tune` artifact. Only knobs the topology
+    /// consults appear, so the key is canonical by construction.
+    pub fn key(&self) -> String {
+        let pad = |p: PaddingRule| match p {
+            PaddingRule::Never => "never".to_string(),
+            PaddingRule::Always => "always".to_string(),
+            PaddingRule::Threshold(t) => format!("le{t}"),
+        };
+        match self.topology {
+            EngineTopology::Oracle => "oracle".to_string(),
+            EngineTopology::TwoStage => "twostage".to_string(),
+            EngineTopology::Leader { group } => format!("leader:g={group}"),
+            EngineTopology::Direct => {
+                let w = match self.throttle_window {
+                    None => "none".to_string(),
+                    Some(w) => w.to_string(),
+                };
+                format!("direct:w={w}:pad={}", pad(self.padding))
+            }
+            EngineTopology::Bruck => {
+                let layout = match self.layout {
+                    IntermediateLayout::Monolithic => "mono",
+                    IntermediateLayout::BlockViews => "views",
+                };
+                let split = if self.two_phase_split { "meta" } else { "combined" };
+                format!(
+                    "bruck:r={}:layout={layout}:split={split}:pad={}",
+                    self.radix,
+                    pad(self.padding)
+                )
+            }
+        }
+    }
+
+    /// Parse a [`EngineConfig::key`] string back into a (canonical) config.
+    /// Errors name the offending token.
+    pub fn parse_key(s: &str) -> Result<EngineConfig, String> {
+        let mut parts = s.split(':');
+        let head = parts.next().unwrap_or("");
+        let parse_pad = |v: &str| -> Result<PaddingRule, String> {
+            match v {
+                "never" => Ok(PaddingRule::Never),
+                "always" => Ok(PaddingRule::Always),
+                t if t.starts_with("le") => t[2..]
+                    .parse()
+                    .map(PaddingRule::Threshold)
+                    .map_err(|_| format!("bad padding threshold in {t:?}")),
+                other => Err(format!("unknown padding rule {other:?}")),
+            }
+        };
+        let mut cfg = match head {
+            "oracle" => EngineConfig::as_reference(),
+            "twostage" => EngineConfig::as_ranka_two_stage(),
+            "leader" => {
+                EngineConfig { topology: EngineTopology::Leader { group: 0 }, ..CANONICAL }
+            }
+            "direct" => EngineConfig { topology: EngineTopology::Direct, ..CANONICAL },
+            "bruck" => EngineConfig { topology: EngineTopology::Bruck, ..CANONICAL },
+            other => return Err(format!("unknown engine topology {other:?}")),
+        };
+        for tok in parts {
+            let (k, v) = tok.split_once('=').ok_or_else(|| format!("bad token {tok:?}"))?;
+            match (head, k) {
+                ("leader", "g") => {
+                    let group =
+                        v.parse().map_err(|_| format!("bad leader group {v:?}"))?;
+                    cfg.topology = EngineTopology::Leader { group };
+                }
+                ("direct", "w") => {
+                    cfg.throttle_window = if v == "none" {
+                        None
+                    } else {
+                        Some(v.parse().map_err(|_| format!("bad window {v:?}"))?)
+                    };
+                }
+                ("direct", "pad") | ("bruck", "pad") => cfg.padding = parse_pad(v)?,
+                ("bruck", "r") => {
+                    cfg.radix = v.parse().map_err(|_| format!("bad radix {v:?}"))?;
+                }
+                ("bruck", "layout") => {
+                    cfg.layout = match v {
+                        "mono" => IntermediateLayout::Monolithic,
+                        "views" => IntermediateLayout::BlockViews,
+                        other => return Err(format!("unknown layout {other:?}")),
+                    };
+                }
+                ("bruck", "split") => {
+                    cfg.two_phase_split = match v {
+                        "meta" => true,
+                        "combined" => false,
+                        other => return Err(format!("unknown split mode {other:?}")),
+                    };
+                }
+                _ => return Err(format!("unknown key {k:?} for topology {head:?}")),
+            }
+        }
+        if let EngineTopology::Leader { group: 0 } = cfg.topology {
+            return Err("leader config requires g=<group>".to_string());
+        }
+        Ok(cfg)
+    }
+}
+
+/// Dispatch to the hand-tuned legacy kernel for `algo` — the snap target of
+/// [`configurable_alltoallv`] and the body of [`crate::alltoallv`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dispatch_variant<C: Communicator + ?Sized>(
+    algo: AlltoallvAlgorithm,
+    comm: &C,
+    sendbuf: &[u8],
+    sendcounts: &[usize],
+    sdispls: &[usize],
+    recvbuf: &mut [u8],
+    recvcounts: &[usize],
+    rdispls: &[usize],
+) -> CommResult<()> {
+    match algo {
+        AlltoallvAlgorithm::Reference => {
+            reference_alltoallv(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
+        }
+        AlltoallvAlgorithm::SpreadOut => {
+            spread_out_alltoallv(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
+        }
+        AlltoallvAlgorithm::Vendor => {
+            vendor_alltoallv(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
+        }
+        AlltoallvAlgorithm::PaddedBruck => {
+            padded_bruck(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
+        }
+        AlltoallvAlgorithm::PaddedAlltoall => {
+            padded_alltoall(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
+        }
+        AlltoallvAlgorithm::TwoPhaseBruck => {
+            two_phase_bruck(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
+        }
+        AlltoallvAlgorithm::Sloav => {
+            sloav_alltoallv(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
+        }
+        AlltoallvAlgorithm::Hierarchical => hierarchical_alltoallv(
+            comm,
+            sendbuf,
+            sendcounts,
+            sdispls,
+            recvbuf,
+            recvcounts,
+            rdispls,
+            DEFAULT_GROUP_SIZE,
+        ),
+        AlltoallvAlgorithm::RankaTwoStage => ranka_two_stage_alltoallv(
+            comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls,
+        ),
+    }
+}
+
+/// The production engine entry (same contract as `MPI_Alltoallv`): exact
+/// named config points snap to the hand-tuned kernels (probe spans and
+/// conformance pins live there); every other point runs the generalized
+/// machinery. The snap is proven semantics-free by the differential gauntlet
+/// — see the [module docs](self).
+#[allow(clippy::too_many_arguments)]
+pub fn configurable_alltoallv<C: Communicator + ?Sized>(
+    comm: &C,
+    cfg: &EngineConfig,
+    sendbuf: &[u8],
+    sendcounts: &[usize],
+    sdispls: &[usize],
+    recvbuf: &mut [u8],
+    recvcounts: &[usize],
+    rdispls: &[usize],
+) -> CommResult<()> {
+    cfg.validate()?;
+    if let Some(algo) = cfg.as_algorithm() {
+        return dispatch_variant(
+            algo, comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls,
+        );
+    }
+    configurable_alltoallv_general(
+        comm, cfg, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls,
+    )
+}
+
+/// The generalized engine, with no snapping: every config — named points
+/// included — runs the parameterized machinery. This is the subject of the
+/// differential gauntlet and the knob-space property tests.
+#[allow(clippy::too_many_arguments)]
+pub fn configurable_alltoallv_general<C: Communicator + ?Sized>(
+    comm: &C,
+    cfg: &EngineConfig,
+    sendbuf: &[u8],
+    sendcounts: &[usize],
+    sdispls: &[usize],
+    recvbuf: &mut [u8],
+    recvcounts: &[usize],
+    rdispls: &[usize],
+) -> CommResult<()> {
+    cfg.validate()?;
+    match cfg.topology {
+        EngineTopology::Oracle => {
+            reference_alltoallv(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
+        }
+        EngineTopology::TwoStage => ranka_two_stage_alltoallv(
+            comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls,
+        ),
+        EngineTopology::Leader { group } => hierarchical_alltoallv(
+            comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls, group,
+        ),
+        EngineTopology::Direct => direct_general(
+            comm, cfg, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls,
+        ),
+        EngineTopology::Bruck => bruck_general(
+            comm, cfg, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls,
+        ),
+    }
+}
+
+/// Global maximum block size (one allreduce) — the `N` of the paper.
+fn global_n_max<C: Communicator + ?Sized>(comm: &C, sendcounts: &[usize]) -> CommResult<usize> {
+    let local_max = sendcounts.iter().copied().max().unwrap_or(0);
+    Ok(comm.allreduce_u64(local_max as u64, ReduceOp::Max)? as usize)
+}
+
+/// Evaluate the padding rule. `Never` costs nothing; `Always`/`Threshold`
+/// cost the sizing allreduce. Returns `Some(n_max)` when blocks must pad.
+fn padding_n_max<C: Communicator + ?Sized>(
+    comm: &C,
+    rule: PaddingRule,
+    sendcounts: &[usize],
+) -> CommResult<Option<usize>> {
+    match rule {
+        PaddingRule::Never => Ok(None),
+        PaddingRule::Always => Ok(Some(global_n_max(comm, sendcounts)?)),
+        PaddingRule::Threshold(t) => {
+            let n_max = global_n_max(comm, sendcounts)?;
+            Ok((n_max <= t).then_some(n_max))
+        }
+    }
+}
+
+/// Generalized direct (pairwise) exchange: spread-out / vendor / padded
+/// alltoall, parameterized by window and padding.
+#[allow(clippy::too_many_arguments)]
+fn direct_general<C: Communicator + ?Sized>(
+    comm: &C,
+    cfg: &EngineConfig,
+    sendbuf: &[u8],
+    sendcounts: &[usize],
+    sdispls: &[usize],
+    recvbuf: &mut [u8],
+    recvcounts: &[usize],
+    rdispls: &[usize],
+) -> CommResult<()> {
+    let p = validate_v(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)?;
+    let me = comm.rank();
+
+    match padding_n_max(comm, cfg.padding, sendcounts)? {
+        Some(n_max) => {
+            if n_max == 0 {
+                return Ok(()); // nothing anywhere (all blocks empty)
+            }
+            let mut padded_send = vec![0u8; p * n_max];
+            for dst in 0..p {
+                let d = sdispls[dst];
+                padded_send[dst * n_max..dst * n_max + sendcounts[dst]]
+                    .copy_from_slice(&sendbuf[d..d + sendcounts[dst]]);
+            }
+            let mut padded_recv = vec![0u8; p * n_max];
+            padded_recv[me * n_max..(me + 1) * n_max]
+                .copy_from_slice(&padded_send[me * n_max..(me + 1) * n_max]);
+            let packed = MsgBuf::from_vec(padded_send);
+            windowed_pairwise(comm, cfg.throttle_window, p, me, |i| {
+                let dest = add_mod(me, i, p);
+                comm.isend_buf(dest, SPREAD_TAG, packed.slice(dest * n_max..(dest + 1) * n_max))
+            }, |i| {
+                let src = sub_mod(me, i, p);
+                comm.recv_into(src, SPREAD_TAG, &mut padded_recv[src * n_max..(src + 1) * n_max])
+                    .map(drop)
+            })?;
+            for src in 0..p {
+                let want = recvcounts[src];
+                recvbuf[rdispls[src]..rdispls[src] + want]
+                    .copy_from_slice(&padded_recv[src * n_max..src * n_max + want]);
+            }
+            Ok(())
+        }
+        None => {
+            recvbuf[rdispls[me]..rdispls[me] + recvcounts[me]]
+                .copy_from_slice(&sendbuf[sdispls[me]..sdispls[me] + sendcounts[me]]);
+            if p == 1 {
+                return Ok(());
+            }
+            let packed = MsgBuf::copy_from_slice(sendbuf);
+            // recvbuf is borrowed mutably inside the recv closure, so the
+            // windowed driver cannot also capture it; split per-source.
+            let rbuf = std::cell::RefCell::new(recvbuf);
+            windowed_pairwise(comm, cfg.throttle_window, p, me, |i| {
+                let dest = add_mod(me, i, p);
+                comm.isend_buf(
+                    dest,
+                    SPREAD_TAG,
+                    packed.slice(sdispls[dest]..sdispls[dest] + sendcounts[dest]),
+                )
+            }, |i| {
+                let src = sub_mod(me, i, p);
+                let mut rb = rbuf.borrow_mut();
+                let n = comm.recv_into(
+                    src,
+                    SPREAD_TAG,
+                    &mut rb[rdispls[src]..rdispls[src] + recvcounts[src]],
+                )?;
+                debug_assert_eq!(n, recvcounts[src], "peer sent unexpected block size");
+                Ok(())
+            })
+        }
+    }
+}
+
+/// Drive the `P − 1` pairwise exchanges in windows of `window` outstanding
+/// pairs (`None` = one unthrottled batch): post the window's sends, drain
+/// its receives, advance — the exact op order of `vendor_alltoallv`, and of
+/// `spread_out_alltoallv` when the window covers all pairs.
+fn windowed_pairwise<C: Communicator + ?Sized>(
+    _comm: &C,
+    window: Option<usize>,
+    p: usize,
+    _me: usize,
+    mut send: impl FnMut(usize) -> CommResult<()>,
+    mut recv: impl FnMut(usize) -> CommResult<()>,
+) -> CommResult<()> {
+    let w = window.unwrap_or(p.saturating_sub(1)).max(1);
+    let mut next = 1usize;
+    while next < p {
+        let batch_end = (next + w).min(p);
+        for i in next..batch_end {
+            send(i)?;
+        }
+        for i in next..batch_end {
+            recv(i)?;
+        }
+        next = batch_end;
+    }
+    Ok(())
+}
+
+/// Generalized Bruck exchange: padding → uniform radix Bruck; otherwise the
+/// non-uniform radix loop in the configured layout/coupling.
+#[allow(clippy::too_many_arguments)]
+fn bruck_general<C: Communicator + ?Sized>(
+    comm: &C,
+    cfg: &EngineConfig,
+    sendbuf: &[u8],
+    sendcounts: &[usize],
+    sdispls: &[usize],
+    recvbuf: &mut [u8],
+    recvcounts: &[usize],
+    rdispls: &[usize],
+) -> CommResult<()> {
+    let p = validate_v(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)?;
+
+    if let Some(n_max) = padding_n_max(comm, cfg.padding, sendcounts)? {
+        if n_max == 0 {
+            return Ok(());
+        }
+        let mut padded_send = vec![0u8; p * n_max];
+        for dst in 0..p {
+            let d = sdispls[dst];
+            padded_send[dst * n_max..dst * n_max + sendcounts[dst]]
+                .copy_from_slice(&sendbuf[d..d + sendcounts[dst]]);
+        }
+        let mut padded_recv = vec![0u8; p * n_max];
+        zero_rotation_bruck_radix(comm, &padded_send, &mut padded_recv, n_max, cfg.radix)?;
+        for src in 0..p {
+            let want = recvcounts[src];
+            recvbuf[rdispls[src]..rdispls[src] + want]
+                .copy_from_slice(&padded_recv[src * n_max..src * n_max + want]);
+        }
+        return Ok(());
+    }
+
+    match cfg.layout {
+        IntermediateLayout::Monolithic => bruck_monolithic(
+            comm,
+            cfg.radix,
+            cfg.two_phase_split,
+            sendbuf,
+            sendcounts,
+            sdispls,
+            recvbuf,
+            recvcounts,
+            rdispls,
+        ),
+        IntermediateLayout::BlockViews => bruck_block_views(
+            comm,
+            cfg.radix,
+            cfg.two_phase_split,
+            sendbuf,
+            sendcounts,
+            sdispls,
+            recvbuf,
+            recvcounts,
+            rdispls,
+        ),
+    }
+}
+
+/// Non-uniform radix Bruck over a monolithic `P × N` working buffer with
+/// zero-rotation routing and in-place final delivery. `split = true, radix
+/// = 2` is wire-identical to [`two_phase_bruck`]; `crate::two_phase_bruck_radix`
+/// is a thin shim over this loop.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn bruck_monolithic<C: Communicator + ?Sized>(
+    comm: &C,
+    radix: usize,
+    split: bool,
+    sendbuf: &[u8],
+    sendcounts: &[usize],
+    sdispls: &[usize],
+    recvbuf: &mut [u8],
+    recvcounts: &[usize],
+    rdispls: &[usize],
+) -> CommResult<()> {
+    let p = validate_v(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)?;
+    let me = comm.rank();
+
+    // The monolithic buffer needs the global maximum block size.
+    let n_max = global_n_max(comm, sendcounts)?;
+
+    recvbuf[rdispls[me]..rdispls[me] + recvcounts[me]]
+        .copy_from_slice(&sendbuf[sdispls[me]..sdispls[me] + sendcounts[me]]);
+    if p == 1 {
+        return Ok(());
+    }
+
+    let mut working = vec![0u8; p * n_max];
+    let rot = rotation_index(me, p);
+    let mut cur_size: Vec<usize> = (0..p).map(|j| sendcounts[rot[j]]).collect();
+    let mut in_working = vec![false; p];
+
+    let mut slots: Vec<usize> = Vec::new();
+
+    for (idx, weight, d) in radix_schedule(p, radix) {
+        let hop = (d * weight) % p;
+        let dest = sub_mod(me, hop, p);
+        let src = add_mod(me, hop, p);
+
+        slots.clear();
+        slots.extend(radix_step_rel_indices(p, weight, d, radix).map(|i| add_mod(i, me, p)));
+
+        let mut sizes_wire: Vec<u8> = Vec::with_capacity(slots.len() * 4);
+        for &j in &slots {
+            let sz = u32::try_from(cur_size[j])
+                .map_err(|_| CommError::BadArgument("block size exceeds u32 metadata"))?;
+            sizes_wire.extend_from_slice(&sz.to_le_bytes());
+        }
+        let meta_len = slots.len() * 4;
+
+        let pack_payload = |out: &mut Vec<u8>,
+                            working: &[u8],
+                            cur_size: &[usize],
+                            in_working: &[bool]| {
+            for &j in &slots {
+                let sz = cur_size[j];
+                if in_working[j] {
+                    out.extend_from_slice(&working[j * n_max..j * n_max + sz]);
+                } else {
+                    let dd = sdispls[rot[j]];
+                    out.extend_from_slice(&sendbuf[dd..dd + sz]);
+                }
+            }
+        };
+
+        // (meta bytes, payload region) of the received step, in either
+        // coupling: split sends sizes then payload on separate tags;
+        // combined prepends the sizes to one buffer behind an 8-byte
+        // total-size exchange.
+        let (meta_got, data_got, data_base) = if split {
+            let meta_got = comm.sendrecv_buf(
+                dest,
+                meta_tag(idx),
+                MsgBuf::from_vec(sizes_wire),
+                src,
+                meta_tag(idx),
+            )?;
+            if meta_got.len() != meta_len {
+                return Err(CommError::BadArgument("metadata length mismatch"));
+            }
+            let mut data_wire: Vec<u8> = Vec::new();
+            pack_payload(&mut data_wire, &working, &cur_size, &in_working);
+            let data_got = comm.sendrecv_buf(
+                dest,
+                data_tag(idx),
+                MsgBuf::from_vec(data_wire),
+                src,
+                data_tag(idx),
+            )?;
+            (meta_got, data_got, 0usize)
+        } else {
+            let mut combined = sizes_wire;
+            pack_payload(&mut combined, &working, &cur_size, &in_working);
+            let total = (combined.len() as u64).to_le_bytes();
+            let their_total = comm.sendrecv_buf(
+                dest,
+                meta_tag(idx),
+                MsgBuf::copy_from_slice(&total),
+                src,
+                meta_tag(idx),
+            )?;
+            let their_total = u64::from_le_bytes(
+                their_total
+                    .as_slice()
+                    .try_into()
+                    .map_err(|_| CommError::BadArgument("bad size header"))?,
+            ) as usize;
+            let got = comm.sendrecv_buf(
+                dest,
+                data_tag(idx),
+                MsgBuf::from_vec(combined),
+                src,
+                data_tag(idx),
+            )?;
+            if got.len() != their_total || got.len() < meta_len {
+                return Err(CommError::BadArgument("combined buffer length mismatch"));
+            }
+            (got.slice(0..meta_len), got.clone(), meta_len)
+        };
+
+        // Scatter: a block is home once every digit above the current
+        // position is zero — rel < weight · radix.
+        let done_bound = weight.saturating_mul(radix);
+        let mut at = data_base;
+        for (si, &j) in slots.iter().enumerate() {
+            let sz = u32::from_le_bytes(
+                meta_got[si * 4..si * 4 + 4]
+                    .try_into()
+                    .map_err(|_| CommError::BadArgument("bad metadata entry"))?,
+            ) as usize;
+            if at + sz > data_got.len() {
+                return Err(CommError::BadArgument("data payload length mismatch"));
+            }
+            let rel = sub_mod(j, me, p);
+            if rel < done_bound {
+                debug_assert_eq!(sz, recvcounts[j], "recvcounts disagrees with routed size");
+                recvbuf[rdispls[j]..rdispls[j] + sz].copy_from_slice(&data_got[at..at + sz]);
+            } else {
+                working[j * n_max..j * n_max + sz].copy_from_slice(&data_got[at..at + sz]);
+            }
+            in_working[j] = true;
+            cur_size[j] = sz;
+            at += sz;
+        }
+        if at != data_got.len() {
+            return Err(CommError::BadArgument("data payload length mismatch"));
+        }
+    }
+    Ok(())
+}
+
+/// Non-uniform radix Bruck over SLOAV's two-layer block-view layout:
+/// offset-keyed refcounted views, basic-Bruck direction, final scan.
+/// `split = false, radix = 2` is wire-identical to [`sloav_alltoallv`].
+#[allow(clippy::too_many_arguments)]
+fn bruck_block_views<C: Communicator + ?Sized>(
+    comm: &C,
+    radix: usize,
+    split: bool,
+    sendbuf: &[u8],
+    sendcounts: &[usize],
+    sdispls: &[usize],
+    recvbuf: &mut [u8],
+    recvcounts: &[usize],
+    rdispls: &[usize],
+) -> CommResult<()> {
+    let p = validate_v(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)?;
+    let me = comm.rank();
+
+    let mut temp: Vec<Option<MsgBuf>> = vec![None; p];
+    let mut sizes: Vec<usize> = (0..p).map(|i| sendcounts[add_mod(me, i, p)]).collect();
+
+    for (idx, weight, d) in radix_schedule(p, radix) {
+        let hop = (d * weight) % p;
+        let dest = add_mod(me, hop, p); // basic-Bruck direction
+        let src = sub_mod(me, hop, p);
+        let offsets: Vec<usize> = radix_step_rel_indices(p, weight, d, radix).collect();
+
+        let mut sizes_wire = Vec::with_capacity(offsets.len() * 4);
+        for &i in &offsets {
+            let sz = u32::try_from(sizes[i])
+                .map_err(|_| CommError::BadArgument("block size exceeds u32 metadata"))?;
+            sizes_wire.extend_from_slice(&sz.to_le_bytes());
+        }
+        let meta_len = offsets.len() * 4;
+
+        let pack_payload = |out: &mut Vec<u8>, temp: &[Option<MsgBuf>], sizes: &[usize]| {
+            for &i in &offsets {
+                match &temp[i] {
+                    Some(block) => out.extend_from_slice(block),
+                    None => {
+                        let dd = sdispls[add_mod(me, i, p)];
+                        out.extend_from_slice(&sendbuf[dd..dd + sizes[i]]);
+                    }
+                }
+            }
+        };
+
+        let (meta_got, data_got, data_base) = if split {
+            let meta_got = comm.sendrecv_buf(
+                dest,
+                meta_tag(idx),
+                MsgBuf::from_vec(sizes_wire),
+                src,
+                meta_tag(idx),
+            )?;
+            if meta_got.len() != meta_len {
+                return Err(CommError::BadArgument("metadata length mismatch"));
+            }
+            let mut data_wire: Vec<u8> = Vec::new();
+            pack_payload(&mut data_wire, &temp, &sizes);
+            let data_got = comm.sendrecv_buf(
+                dest,
+                data_tag(idx),
+                MsgBuf::from_vec(data_wire),
+                src,
+                data_tag(idx),
+            )?;
+            (meta_got, data_got, 0usize)
+        } else {
+            let mut combined = sizes_wire;
+            pack_payload(&mut combined, &temp, &sizes);
+            let total = (combined.len() as u64).to_le_bytes();
+            let their_total = comm.sendrecv_buf(
+                dest,
+                meta_tag(idx),
+                MsgBuf::copy_from_slice(&total),
+                src,
+                meta_tag(idx),
+            )?;
+            let their_total = u64::from_le_bytes(
+                their_total
+                    .as_slice()
+                    .try_into()
+                    .map_err(|_| CommError::BadArgument("bad size header"))?,
+            ) as usize;
+            let got = comm.sendrecv_buf(
+                dest,
+                data_tag(idx),
+                MsgBuf::from_vec(combined),
+                src,
+                data_tag(idx),
+            )?;
+            if got.len() != their_total || got.len() < meta_len {
+                return Err(CommError::BadArgument("combined buffer length mismatch"));
+            }
+            (got.slice(0..meta_len), got.clone(), meta_len)
+        };
+
+        let mut at = data_base;
+        for (oi, &i) in offsets.iter().enumerate() {
+            let sz = u32::from_le_bytes(
+                meta_got[oi * 4..oi * 4 + 4]
+                    .try_into()
+                    .map_err(|_| CommError::BadArgument("bad metadata entry"))?,
+            ) as usize;
+            if at + sz > data_got.len() {
+                return Err(CommError::BadArgument("data payload length mismatch"));
+            }
+            temp[i] = Some(data_got.slice(at..at + sz));
+            sizes[i] = sz;
+            at += sz;
+        }
+        if at != data_got.len() {
+            return Err(CommError::BadArgument("data payload length mismatch"));
+        }
+    }
+
+    // Final scan (+ implicit rotation): offset i came from (me − i) mod P.
+    for i in 0..p {
+        let src_rank = sub_mod(me, i, p);
+        let want = recvcounts[src_rank];
+        let out = &mut recvbuf[rdispls[src_rank]..rdispls[src_rank] + want];
+        match &temp[i] {
+            Some(block) => {
+                debug_assert_eq!(block.len(), want, "routed size disagrees with recvcounts");
+                out.copy_from_slice(block);
+            }
+            None => {
+                // Only the self block (offset 0) never travels.
+                debug_assert_eq!(i, 0);
+                let dd = sdispls[add_mod(me, i, p)];
+                out.copy_from_slice(&sendbuf[dd..dd + want]);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{build_send, check_recv, TEST_SIZES};
+    use super::*;
+    use crate::packed_displs;
+    use bruck_comm::ThreadComm;
+    use bruck_workload::{Distribution, SizeMatrix};
+
+    fn run_general(cfg: &EngineConfig, m: &SizeMatrix) {
+        let p = m.p();
+        ThreadComm::run(p, |comm| {
+            let me = comm.rank();
+            let (sendbuf, sendcounts, sdispls) = build_send(me, m);
+            let recvcounts = m.recvcounts(me);
+            let rdispls = packed_displs(&recvcounts);
+            let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+            configurable_alltoallv_general(
+                comm, cfg, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts, &rdispls,
+            )
+            .unwrap_or_else(|e| panic!("{} failed: {e}", cfg.key()));
+            check_recv(me, m, &recvbuf, &rdispls);
+        });
+    }
+
+    #[test]
+    fn named_points_round_trip_to_their_algorithms() {
+        for (cfg, algo) in EngineConfig::named_points() {
+            assert_eq!(cfg.as_algorithm(), Some(algo), "{}", cfg.key());
+            assert_eq!(EngineConfig::for_algorithm(algo), cfg);
+        }
+    }
+
+    #[test]
+    fn dont_care_knobs_never_block_recognition() {
+        // A direct config with a non-default radix is still spread-out.
+        let mut cfg = EngineConfig::as_spread_out();
+        cfg.radix = 7;
+        cfg.two_phase_split = true;
+        assert_eq!(cfg.as_algorithm(), Some(AlltoallvAlgorithm::SpreadOut));
+        // Padded Bruck ignores layout and split.
+        let mut cfg = EngineConfig::as_padded_bruck();
+        cfg.layout = IntermediateLayout::BlockViews;
+        cfg.two_phase_split = true;
+        assert_eq!(cfg.as_algorithm(), Some(AlltoallvAlgorithm::PaddedBruck));
+    }
+
+    #[test]
+    fn off_points_are_not_recognized() {
+        for cfg in [
+            EngineConfig { radix: 4, ..EngineConfig::as_two_phase() },
+            EngineConfig {
+                throttle_window: Some(8),
+                ..EngineConfig::as_spread_out()
+            },
+            EngineConfig {
+                padding: PaddingRule::Threshold(64),
+                ..EngineConfig::as_padded_bruck()
+            },
+            EngineConfig { two_phase_split: false, ..EngineConfig::as_two_phase() },
+            EngineConfig { two_phase_split: true, ..EngineConfig::as_sloav() },
+            EngineConfig {
+                topology: EngineTopology::Leader { group: 3 },
+                ..CANONICAL
+            },
+        ] {
+            assert_eq!(cfg.as_algorithm(), None, "{}", cfg.key());
+        }
+    }
+
+    #[test]
+    fn key_round_trips_for_named_and_general_points() {
+        let mut configs: Vec<EngineConfig> =
+            EngineConfig::named_points().iter().map(|(c, _)| *c).collect();
+        configs.extend([
+            EngineConfig { radix: 4, ..EngineConfig::as_two_phase() },
+            EngineConfig { radix: 3, ..EngineConfig::as_sloav() },
+            EngineConfig { radix: 5, ..EngineConfig::as_padded_bruck() },
+            EngineConfig {
+                throttle_window: Some(8),
+                padding: PaddingRule::Threshold(64),
+                ..EngineConfig::as_spread_out()
+            },
+            EngineConfig {
+                topology: EngineTopology::Leader { group: 4 },
+                ..CANONICAL
+            },
+            EngineConfig { two_phase_split: false, ..EngineConfig::as_two_phase() },
+            EngineConfig { two_phase_split: true, ..EngineConfig::as_sloav() },
+        ]);
+        for cfg in configs {
+            let key = cfg.key();
+            let parsed = EngineConfig::parse_key(&key)
+                .unwrap_or_else(|e| panic!("{key}: {e}"));
+            assert_eq!(parsed.key(), key);
+            assert_eq!(parsed.as_algorithm(), cfg.as_algorithm(), "{key}");
+        }
+    }
+
+    #[test]
+    fn parse_key_rejects_malformed_keys() {
+        for bad in [
+            "frobnicate",
+            "bruck:r=x",
+            "bruck:radix=2",
+            "direct:w=0x10",
+            "leader",
+            "leader:g=zero",
+            "bruck:layout=circular",
+            "bruck:split=maybe",
+            "direct:pad=le",
+        ] {
+            assert!(EngineConfig::parse_key(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_knobs() {
+        assert!(EngineConfig { radix: 1, ..EngineConfig::as_two_phase() }.validate().is_err());
+        assert!(EngineConfig {
+            throttle_window: Some(0),
+            ..EngineConfig::as_spread_out()
+        }
+        .validate()
+        .is_err());
+        assert!(EngineConfig {
+            topology: EngineTopology::Leader { group: 0 },
+            ..CANONICAL
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn general_path_correct_at_every_named_point() {
+        let m = SizeMatrix::generate(Distribution::POWER_LAW_STEEP, 0xE9, 9, 40);
+        for (cfg, _) in EngineConfig::named_points() {
+            run_general(&cfg, &m);
+        }
+    }
+
+    #[test]
+    fn general_path_correct_across_the_product_space() {
+        // Off-point combos: new radices, windows, couplings, and the
+        // threshold padding rule on both sides of the threshold.
+        let m = SizeMatrix::generate(Distribution::Normal, 0x5EED, 8, 32);
+        for cfg in [
+            EngineConfig { radix: 3, ..EngineConfig::as_two_phase() },
+            EngineConfig { radix: 8, ..EngineConfig::as_two_phase() },
+            EngineConfig { radix: 4, ..EngineConfig::as_sloav() },
+            EngineConfig { radix: 3, ..EngineConfig::as_padded_bruck() },
+            EngineConfig { two_phase_split: false, ..EngineConfig::as_two_phase() },
+            EngineConfig { two_phase_split: true, ..EngineConfig::as_sloav() },
+            EngineConfig { throttle_window: Some(2), ..EngineConfig::as_spread_out() },
+            EngineConfig { throttle_window: None, ..EngineConfig::as_padded_alltoall() },
+            EngineConfig {
+                padding: PaddingRule::Threshold(1_000_000),
+                ..EngineConfig::as_two_phase()
+            },
+            EngineConfig {
+                padding: PaddingRule::Threshold(1),
+                ..EngineConfig::as_two_phase()
+            },
+            EngineConfig {
+                topology: EngineTopology::Leader { group: 3 },
+                ..CANONICAL
+            },
+        ] {
+            run_general(&cfg, &m);
+        }
+    }
+
+    #[test]
+    fn general_path_survives_every_world_size() {
+        for p in TEST_SIZES {
+            let m = SizeMatrix::generate(Distribution::Uniform, 0xC0DE + p as u64, p, 24);
+            run_general(&EngineConfig { radix: 3, ..EngineConfig::as_two_phase() }, &m);
+            run_general(
+                &EngineConfig { two_phase_split: true, ..EngineConfig::as_sloav() },
+                &m,
+            );
+        }
+    }
+
+    #[test]
+    fn zero_blocks_and_skew_survive_the_general_path() {
+        let zero = SizeMatrix::uniform(6, 0);
+        let mut rows = vec![vec![0usize; 9]; 9];
+        rows[1][6] = 100;
+        rows[4][4] = 7;
+        rows[8][0] = 1;
+        let skew = SizeMatrix::from_rows(rows);
+        for m in [&zero, &skew] {
+            for cfg in [
+                EngineConfig { radix: 3, ..EngineConfig::as_two_phase() },
+                EngineConfig { two_phase_split: false, ..EngineConfig::as_two_phase() },
+                EngineConfig { two_phase_split: true, ..EngineConfig::as_sloav() },
+                EngineConfig { throttle_window: Some(2), ..EngineConfig::as_spread_out() },
+            ] {
+                run_general(&cfg, m);
+            }
+        }
+    }
+
+    #[test]
+    fn production_entry_snaps_and_general_agree() {
+        let m = SizeMatrix::generate(Distribution::Uniform, 0xABBA, 8, 24);
+        let p = m.p();
+        for (cfg, _) in EngineConfig::named_points() {
+            let outs = ThreadComm::run(p, |comm| {
+                let me = comm.rank();
+                let (sendbuf, sendcounts, sdispls) = build_send(me, &m);
+                let recvcounts = m.recvcounts(me);
+                let rdispls = packed_displs(&recvcounts);
+                let mut snapped = vec![0u8; recvcounts.iter().sum()];
+                configurable_alltoallv(
+                    comm, &cfg, &sendbuf, &sendcounts, &sdispls, &mut snapped, &recvcounts,
+                    &rdispls,
+                )
+                .unwrap();
+                let mut general = vec![0u8; recvcounts.iter().sum()];
+                configurable_alltoallv_general(
+                    comm, &cfg, &sendbuf, &sendcounts, &sdispls, &mut general, &recvcounts,
+                    &rdispls,
+                )
+                .unwrap();
+                (snapped, general)
+            });
+            for (snapped, general) in outs {
+                assert_eq!(snapped, general, "{}", cfg.key());
+            }
+        }
+    }
+}

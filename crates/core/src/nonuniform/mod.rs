@@ -9,6 +9,7 @@
 
 mod adaptive;
 mod alltoallw;
+pub(crate) mod engine;
 mod hierarchical;
 mod padded;
 mod padded_alltoall;
@@ -24,6 +25,10 @@ mod vendor;
 
 pub use adaptive::adaptive_alltoallv;
 pub use alltoallw::alltoallw;
+pub use engine::{
+    configurable_alltoallv, configurable_alltoallv_general, EngineConfig, EngineTopology,
+    IntermediateLayout, PaddingRule,
+};
 pub use hierarchical::{hierarchical_alltoallv, DEFAULT_GROUP_SIZE};
 pub use padded::padded_bruck;
 pub use padded_alltoall::padded_alltoall;
@@ -96,7 +101,8 @@ impl AlltoallvAlgorithm {
     }
 }
 
-/// Dispatch a non-uniform all-to-all by algorithm id.
+/// Dispatch a non-uniform all-to-all by algorithm id — a shim over the
+/// configurable engine's named config points (see [`engine`]).
 #[allow(clippy::too_many_arguments)]
 pub fn alltoallv<C: Communicator + ?Sized>(
     algo: AlltoallvAlgorithm,
@@ -108,42 +114,9 @@ pub fn alltoallv<C: Communicator + ?Sized>(
     recvcounts: &[usize],
     rdispls: &[usize],
 ) -> CommResult<()> {
-    match algo {
-        AlltoallvAlgorithm::Reference => {
-            reference_alltoallv(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
-        }
-        AlltoallvAlgorithm::SpreadOut => {
-            spread_out_alltoallv(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
-        }
-        AlltoallvAlgorithm::Vendor => {
-            vendor_alltoallv(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
-        }
-        AlltoallvAlgorithm::PaddedBruck => {
-            padded_bruck(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
-        }
-        AlltoallvAlgorithm::PaddedAlltoall => {
-            padded_alltoall(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
-        }
-        AlltoallvAlgorithm::TwoPhaseBruck => {
-            two_phase_bruck(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
-        }
-        AlltoallvAlgorithm::Sloav => {
-            sloav_alltoallv(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
-        }
-        AlltoallvAlgorithm::Hierarchical => hierarchical_alltoallv(
-            comm,
-            sendbuf,
-            sendcounts,
-            sdispls,
-            recvbuf,
-            recvcounts,
-            rdispls,
-            DEFAULT_GROUP_SIZE,
-        ),
-        AlltoallvAlgorithm::RankaTwoStage => ranka_two_stage_alltoallv(
-            comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls,
-        ),
-    }
+    engine::dispatch_variant(
+        algo, comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls,
+    )
 }
 
 /// Exclusive prefix sums: the packed displacement array for a counts array.

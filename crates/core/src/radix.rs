@@ -12,10 +12,9 @@
 //! for both the uniform Zero Rotation Bruck and the non-uniform two-phase
 //! Bruck, and the bench suite ablates the radix.
 
-use bruck_comm::{CommError, CommResult, Communicator, MsgBuf, ReduceOp};
+use bruck_comm::{CommResult, Communicator, MsgBuf};
 
-use crate::common::{add_mod, data_tag, meta_tag, rotation_index, sub_mod, uniform_step_tag};
-use crate::nonuniform::validate_v;
+use crate::common::{add_mod, rotation_index, sub_mod, uniform_step_tag};
 use crate::uniform::validate_uniform;
 
 /// The `k`-th base-`r` digit of `i`.
@@ -106,6 +105,8 @@ pub fn zero_rotation_bruck_radix<C: Communicator + ?Sized>(
 
 /// Radix-`r` two-phase Bruck (non-uniform all-to-all). `radix = 2` computes
 /// exactly what [`crate::two_phase_bruck`] computes, with the same wire tags.
+/// A shim over the configurable engine's monolithic Bruck loop (split
+/// metadata/data coupling) — the engine owns the generalized machinery.
 #[allow(clippy::too_many_arguments)]
 pub fn two_phase_bruck_radix<C: Communicator + ?Sized>(
     comm: &C,
@@ -117,82 +118,9 @@ pub fn two_phase_bruck_radix<C: Communicator + ?Sized>(
     rdispls: &[usize],
     radix: usize,
 ) -> CommResult<()> {
-    let p = validate_v(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)?;
-    let me = comm.rank();
-
-    let local_max = sendcounts.iter().copied().max().unwrap_or(0);
-    let n_max = comm.allreduce_u64(local_max as u64, ReduceOp::Max)? as usize;
-
-    recvbuf[rdispls[me]..rdispls[me] + recvcounts[me]]
-        .copy_from_slice(&sendbuf[sdispls[me]..sdispls[me] + sendcounts[me]]);
-    if p == 1 {
-        return Ok(());
-    }
-
-    let mut working = vec![0u8; p * n_max];
-    let rot = rotation_index(me, p);
-    let mut cur_size: Vec<usize> = (0..p).map(|j| sendcounts[rot[j]]).collect();
-    let mut in_working = vec![false; p];
-
-    let mut slots: Vec<usize> = Vec::new();
-
-    for (idx, weight, d) in radix_schedule(p, radix) {
-        let hop = (d * weight) % p;
-        let dest = sub_mod(me, hop, p);
-        let src = add_mod(me, hop, p);
-
-        slots.clear();
-        slots.extend(radix_step_rel_indices(p, weight, d, radix).map(|i| add_mod(i, me, p)));
-
-        let mut meta_wire: Vec<u8> = Vec::with_capacity(slots.len() * 4);
-        for &j in &slots {
-            let sz = u32::try_from(cur_size[j])
-                .map_err(|_| CommError::BadArgument("block size exceeds u32 metadata"))?;
-            meta_wire.extend_from_slice(&sz.to_le_bytes());
-        }
-        let meta_got =
-            comm.sendrecv_buf(dest, meta_tag(idx), MsgBuf::from_vec(meta_wire), src, meta_tag(idx))?;
-        if meta_got.len() != slots.len() * 4 {
-            return Err(CommError::BadArgument("metadata length mismatch"));
-        }
-
-        let mut data_wire: Vec<u8> = Vec::new();
-        for &j in &slots {
-            let sz = cur_size[j];
-            if in_working[j] {
-                data_wire.extend_from_slice(&working[j * n_max..j * n_max + sz]);
-            } else {
-                let dd = sdispls[rot[j]];
-                data_wire.extend_from_slice(&sendbuf[dd..dd + sz]);
-            }
-        }
-        let data_got =
-            comm.sendrecv_buf(dest, data_tag(idx), MsgBuf::from_vec(data_wire), src, data_tag(idx))?;
-
-        // A block is home after this sub-step iff all its digits above the
-        // current position are zero: rel < radix^(k+1) = weight·radix.
-        let done_bound = weight.saturating_mul(radix);
-        let mut at = 0;
-        for (si, &j) in slots.iter().enumerate() {
-            let sz = u32::from_le_bytes(
-                meta_got[si * 4..si * 4 + 4].try_into().expect("4-byte metadata entry"),
-            ) as usize;
-            let rel = sub_mod(j, me, p);
-            if rel < done_bound {
-                debug_assert_eq!(sz, recvcounts[j], "recvcounts disagrees with routed size");
-                recvbuf[rdispls[j]..rdispls[j] + sz].copy_from_slice(&data_got[at..at + sz]);
-            } else {
-                working[j * n_max..j * n_max + sz].copy_from_slice(&data_got[at..at + sz]);
-            }
-            in_working[j] = true;
-            cur_size[j] = sz;
-            at += sz;
-        }
-        if at != data_got.len() {
-            return Err(CommError::BadArgument("data payload length mismatch"));
-        }
-    }
-    Ok(())
+    crate::nonuniform::engine::bruck_monolithic(
+        comm, radix, true, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls,
+    )
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@ mod source;
 mod sweep;
 mod trace;
 mod tracegen;
+mod tuner;
 
 pub use fit::{calibrate, fit_error, FitSample};
 pub use par::par_map;
@@ -46,3 +47,6 @@ pub use source::{DistSource, MatrixSource, SizeSource};
 pub use sweep::{crossover_n, predict, sweep, SweepPoint};
 pub use trace::{CommTrace, RankLoad, Step, StepKind};
 pub use tracegen::{nonuniform_trace, uniform_trace, NonuniformAlgo, RankSample, UniformAlgo};
+pub use tuner::{
+    predict_config, AutoTuner, TuningEntry, TuningKey, TuningTable, TUNING_TABLE_HEADER,
+};

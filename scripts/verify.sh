@@ -55,3 +55,10 @@ cargo run --release -p bruck-bench --bin smoke -- BENCH_PR4.json BENCH_PR4.trace
 # committed artifact itself is regenerated with:
 #   cargo run --release -p bruck-bench --bin bruck-scale -- --out BENCH_PR6.json
 cargo run --release -p bruck-bench --bin bruck-scale -- --smoke --check-against BENCH_PR6.json
+# Auto-tuner gate (DESIGN.md §15): the configurable engine's candidate set on
+# EventComm (production snap-dispatch entry point inside the measurement),
+# wall clocks fed through the observe -> refit -> select state machine, each
+# cell compared to the committed BENCH_PR9.json with the same advisory/fatal
+# bars as bruck-scale. The committed artifact and tuning table regenerate with:
+#   cargo run --release -p bruck-bench --bin bruck-tune -- --smoke --out BENCH_PR9.json --table tuning.table
+cargo run --release -p bruck-bench --bin bruck-tune -- --smoke --check-against BENCH_PR9.json

@@ -1,0 +1,276 @@
+//! The differential test gauntlet: the configurable engine at each named
+//! config point must be **byte-identical** and **schedule-count-identical**
+//! to the legacy variant it subsumes.
+//!
+//! Three layers of evidence, per (algorithm × distribution × world size):
+//!
+//! 1. **Metered differential on ThreadComm** — legacy variant and
+//!    `configurable_alltoallv_general` (no snapping) run back-to-back under
+//!    separate [`MeteredComm`]s: receive buffers, per-tag send counters
+//!    (messages *and* bytes), per-peer counters, and both channel totals
+//!    (logical + reserved, i.e. allreduce traffic) must agree exactly.
+//! 2. **Closed-form schedule counts** — the general engine's per-tag metered
+//!    counts must equal `bruck-model`'s byte-exact trace predictions
+//!    ([`nonuniform_trace`]), the same oracle `tests/trace_validation.rs`
+//!    holds the legacy variants to. Equality against the *model*, not just
+//!    the sibling implementation, is what makes the engine's schedule
+//!    provably the paper's.
+//! 3. **Cross-backend byte identity** — legacy vs general receive buffers on
+//!    [`SimComm`] (two schedule seeds) and [`EventComm`].
+//!
+//! The snap path itself (`configurable_alltoallv`) is covered by the engine
+//! unit tests; everything here exercises the generalized machinery.
+
+use std::collections::BTreeMap;
+
+use bruck_comm::{Communicator, EventComm, MeteredComm, Metrics, SimComm, ThreadComm};
+use bruck_core::{
+    alltoallv, configurable_alltoallv_general, packed_displs, AlltoallvAlgorithm, EngineConfig,
+};
+use bruck_model::{nonuniform_trace, MatrixSource, NonuniformAlgo, RankSample};
+use bruck_workload::{Distribution, SizeMatrix};
+
+/// Pattern byte for (src, dst, idx), distinct across blocks.
+fn pat(src: usize, dst: usize, idx: usize) -> u8 {
+    (src.wrapping_mul(131) ^ dst.wrapping_mul(23) ^ idx.wrapping_mul(7)) as u8
+}
+
+/// Build rank `me`'s packed send triple for `m`.
+fn send_side(me: usize, m: &SizeMatrix) -> (Vec<u8>, Vec<usize>, Vec<usize>) {
+    let sendcounts = m.sendcounts(me);
+    let sdispls = packed_displs(&sendcounts);
+    let mut sendbuf = vec![0u8; sendcounts.iter().sum()];
+    for dst in 0..m.p() {
+        for idx in 0..sendcounts[dst] {
+            sendbuf[sdispls[dst] + idx] = pat(me, dst, idx);
+        }
+    }
+    (sendbuf, sendcounts, sdispls)
+}
+
+/// Run the legacy variant on `comm`; return the receive buffer.
+fn run_legacy<C: Communicator + ?Sized>(
+    comm: &C,
+    algo: AlltoallvAlgorithm,
+    m: &SizeMatrix,
+) -> Vec<u8> {
+    let me = comm.rank();
+    let (sendbuf, sendcounts, sdispls) = send_side(me, m);
+    let recvcounts = m.recvcounts(me);
+    let rdispls = packed_displs(&recvcounts);
+    let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+    alltoallv(algo, comm, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts, &rdispls)
+        .unwrap_or_else(|e| panic!("rank {me}: legacy {} failed: {e}", algo.name()));
+    recvbuf
+}
+
+/// Run the generalized engine (no snapping) on `comm`; return the receive
+/// buffer.
+fn run_general<C: Communicator + ?Sized>(
+    comm: &C,
+    cfg: &EngineConfig,
+    m: &SizeMatrix,
+) -> Vec<u8> {
+    let me = comm.rank();
+    let (sendbuf, sendcounts, sdispls) = send_side(me, m);
+    let recvcounts = m.recvcounts(me);
+    let rdispls = packed_displs(&recvcounts);
+    let mut recvbuf = vec![0u8; recvcounts.iter().sum()];
+    configurable_alltoallv_general(
+        comm, cfg, &sendbuf, &sendcounts, &sdispls, &mut recvbuf, &recvcounts, &rdispls,
+    )
+    .unwrap_or_else(|e| panic!("rank {me}: engine {} failed: {e}", cfg.key()));
+    recvbuf
+}
+
+/// The schedule-relevant projection of a metrics snapshot: everything
+/// deterministic under scheduling (counts and bytes, no in-flight gauges or
+/// wait histograms).
+#[derive(Debug, PartialEq)]
+struct Schedule {
+    logical: (u64, u64, u64, u64),
+    reserved: (u64, u64, u64, u64),
+    per_peer: Vec<(u64, u64, u64, u64)>,
+    per_tag_sent: BTreeMap<u32, (u64, u64)>,
+}
+
+fn schedule_of(m: &Metrics) -> Schedule {
+    Schedule {
+        logical: (m.logical.sent_msgs, m.logical.sent_bytes, m.logical.recv_msgs, m.logical.recv_bytes),
+        reserved: (m.reserved.sent_msgs, m.reserved.sent_bytes, m.reserved.recv_msgs, m.reserved.recv_bytes),
+        per_peer: m
+            .per_peer
+            .iter()
+            .map(|c| (c.sent_msgs, c.sent_bytes, c.recv_msgs, c.recv_bytes))
+            .collect(),
+        per_tag_sent: m.per_tag_sent.iter().map(|(&t, c)| (t, (c.msgs, c.bytes))).collect(),
+    }
+}
+
+/// The named points paired with the model's trace generators (Reference has
+/// no model counterpart — the engine maps it to the same oracle function, so
+/// only byte identity applies there).
+const MODELED_PAIRS: [(AlltoallvAlgorithm, NonuniformAlgo); 8] = [
+    (AlltoallvAlgorithm::SpreadOut, NonuniformAlgo::SpreadOut),
+    (AlltoallvAlgorithm::Vendor, NonuniformAlgo::Vendor),
+    (AlltoallvAlgorithm::PaddedBruck, NonuniformAlgo::PaddedBruck),
+    (AlltoallvAlgorithm::PaddedAlltoall, NonuniformAlgo::PaddedAlltoall),
+    (AlltoallvAlgorithm::TwoPhaseBruck, NonuniformAlgo::TwoPhaseBruck),
+    (AlltoallvAlgorithm::Sloav, NonuniformAlgo::Sloav),
+    (AlltoallvAlgorithm::Hierarchical, NonuniformAlgo::Hierarchical),
+    (AlltoallvAlgorithm::RankaTwoStage, NonuniformAlgo::RankaTwoStage),
+];
+
+const DISTS: [Distribution; 3] =
+    [Distribution::Uniform, Distribution::Normal, Distribution::POWER_LAW_STEEP];
+
+/// Layer 1: metered differential for one cell. Returns the general engine's
+/// per-rank metrics for layer 2's closed-form check.
+fn metered_cell(algo: AlltoallvAlgorithm, m: &SizeMatrix) -> Vec<Metrics> {
+    let cfg = EngineConfig::for_algorithm(algo);
+    let p = m.p();
+    let results = ThreadComm::run(p, |comm| {
+        let legacy_meter = MeteredComm::new(comm);
+        let legacy_recv = run_legacy(&legacy_meter, algo, m);
+        let general_meter = MeteredComm::with_key(comm, cfg.key());
+        let general_recv = run_general(&general_meter, &cfg, m);
+        (legacy_recv, general_recv, legacy_meter.metrics(), general_meter.metrics())
+    });
+    let mut general_metrics = Vec::with_capacity(p);
+    for (rank, (legacy_recv, general_recv, legacy, general)) in results.into_iter().enumerate() {
+        assert_eq!(
+            legacy_recv,
+            general_recv,
+            "{} rank {rank}: receive buffers diverge (P={p})",
+            algo.name()
+        );
+        assert_eq!(
+            schedule_of(&legacy),
+            schedule_of(&general),
+            "{} rank {rank}: wire schedules diverge (P={p})",
+            algo.name()
+        );
+        assert!(general.consistency_errors().is_empty(), "{:?}", general.consistency_errors());
+        assert_eq!(general.key.as_deref(), Some(cfg.key().as_str()));
+        general_metrics.push(general);
+    }
+    general_metrics
+}
+
+/// Algorithms whose traces are *message-exact* (one modeled message per
+/// real message). The hierarchical and Ranka traces aggregate fan-out
+/// rounds into single loads — their per-tag **bytes** are still exact, and
+/// layer 1 already proves engine↔legacy message-count identity for them.
+fn trace_is_message_exact(algo: NonuniformAlgo) -> bool {
+    !matches!(algo, NonuniformAlgo::Hierarchical | NonuniformAlgo::RankaTwoStage)
+}
+
+/// Layer 2: the general engine's metered per-tag counts must equal the
+/// model's closed-form trace for the algorithm it claims to reproduce.
+fn check_against_model(model_algo: NonuniformAlgo, m: &SizeMatrix, metrics: &[Metrics]) {
+    let p = m.p();
+    let trace = nonuniform_trace(model_algo, &MatrixSource(m), &RankSample::all(p));
+    let wire_tags = trace.wire_tags();
+    for (rank, mm) in metrics.iter().enumerate() {
+        for &tag in &wire_tags {
+            let sent = mm.sent_for_tag(tag);
+            if trace_is_message_exact(model_algo) {
+                assert_eq!(
+                    trace.msgs_for_tag(rank, tag),
+                    Some(sent.msgs),
+                    "{}: rank {rank} tag {tag:#x} message count (P={p})",
+                    model_algo.name()
+                );
+            }
+            assert_eq!(
+                trace.bytes_for_tag(rank, tag),
+                Some(sent.bytes),
+                "{}: rank {rank} tag {tag:#x} bytes (P={p})",
+                model_algo.name()
+            );
+        }
+        // No traffic outside the model's schedule: every metered logical tag
+        // must be one the trace predicts.
+        for (&tag, c) in &mm.per_tag_sent {
+            if tag < bruck_comm::RESERVED_TAG_BASE && c.msgs > 0 {
+                assert!(
+                    wire_tags.contains(&tag),
+                    "{}: rank {rank} sent on unmodeled tag {tag:#x}",
+                    model_algo.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_matches_legacy_and_model_on_thread_comm() {
+    for p in [5usize, 8, 12] {
+        for (di, dist) in DISTS.iter().enumerate() {
+            let m = SizeMatrix::generate(*dist, 0x9E00 + (di * 31 + p) as u64, p, 48);
+            // Reference: byte + schedule identity only (no model trace).
+            metered_cell(AlltoallvAlgorithm::Reference, &m);
+            for (algo, model_algo) in MODELED_PAIRS {
+                let metrics = metered_cell(algo, &m);
+                check_against_model(model_algo, &m, &metrics);
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_matches_legacy_with_empty_and_skewed_blocks() {
+    // Degenerate shapes: all-zero, single nonzero block, heavy skew.
+    let zero = SizeMatrix::uniform(8, 0);
+    let mut single = vec![vec![0usize; 8]; 8];
+    single[2][5] = 40;
+    let single = SizeMatrix::from_rows(single);
+    let skew: Vec<Vec<usize>> = (0..9)
+        .map(|src| (0..9).map(|dst| if dst == (src + 3) % 9 { 512 } else { 1 }).collect())
+        .collect();
+    let skew = SizeMatrix::from_rows(skew);
+    for m in [&zero, &single, &skew] {
+        metered_cell(AlltoallvAlgorithm::Reference, m);
+        for (algo, model_algo) in MODELED_PAIRS {
+            let metrics = metered_cell(algo, m);
+            // The implementations short-circuit all sends when the global
+            // maximum block is zero; the trace models the full schedule
+            // (zero-byte messages). Legacy↔engine identity is still asserted
+            // above; skip only the trace comparison for the all-zero matrix.
+            if m.global_max() > 0 {
+                check_against_model(model_algo, m, &metrics);
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_byte_identical_on_sim_comm_across_seeds() {
+    for p in [5usize, 8] {
+        let m = SizeMatrix::generate(Distribution::Normal, 0x51D0 + p as u64, p, 32);
+        for (cfg, algo) in EngineConfig::named_points() {
+            for seed in [1u64, 0xFEED] {
+                let legacy = SimComm::run(p, seed, |comm| run_legacy(comm, algo, &m)).results;
+                let general = SimComm::run(p, seed, |comm| run_general(comm, &cfg, &m)).results;
+                assert_eq!(
+                    legacy,
+                    general,
+                    "{} vs {} on SimComm seed {seed} (P={p})",
+                    algo.name(),
+                    cfg.key()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_byte_identical_on_event_comm() {
+    let p = 12;
+    let m = SizeMatrix::generate(Distribution::POWER_LAW_STEEP, 0xE7E7, p, 40);
+    for (cfg, algo) in EngineConfig::named_points() {
+        let legacy = EventComm::run_pooled(p, 3, |comm| run_legacy(comm, algo, &m));
+        let general = EventComm::run_pooled(p, 3, |comm| run_general(comm, &cfg, &m));
+        assert_eq!(legacy, general, "{} vs {} on EventComm (P={p})", algo.name(), cfg.key());
+    }
+}
