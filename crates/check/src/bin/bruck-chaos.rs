@@ -27,7 +27,9 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use bruck_check::chaos::{run_matrix, seeds_from_env, ChaosConfig};
+use bruck_check::chaos::{
+    run_coll_battery, run_matrix, seeds_from_env, ChaosConfig, COLL_PLAN_NAMES, COLL_SCHEDULES,
+};
 use bruck_check::recovery::{
     bench_json_line, check_against_baseline, run_recovery_matrix, RecoveryMatrixConfig,
 };
@@ -115,9 +117,32 @@ fn main() -> ExitCode {
             failures += 1;
         }
     }
+    // The collective-family battery: every allgatherv / reduce_scatter /
+    // allreduce schedule under the representative plan trio, each rank
+    // wrapped in `collective_with_deadline` so crashes end typed.
+    let coll_seeds: &[u64] = if smoke { &cfg.seeds[..1.min(cfg.seeds.len())] } else { &cfg.seeds };
+    println!(
+        "bruck-chaos: collective battery, p={}, {} schedules x plans {:?}, seeds {:?}",
+        cfg.sizes[0],
+        COLL_SCHEDULES.len(),
+        COLL_PLAN_NAMES,
+        coll_seeds,
+    );
+    let coll_reports =
+        run_coll_battery(cfg.sizes[0], coll_seeds, cfg.cell_wall_bound, |r| {
+            match &r.violation {
+                None => println!("  PASS {:<40} {:>8.1?}", r.label, r.elapsed),
+                Some(v) => println!("  FAIL {:<40} {:>8.1?}  {v}", r.label, r.elapsed),
+            }
+        });
+    for r in &coll_reports {
+        if r.violation.is_some() {
+            failures += 1;
+        }
+    }
     println!(
         "bruck-chaos: {} cells, {failures} failures, {:.1?} total",
-        reports.len(),
+        reports.len() + coll_reports.len(),
         start.elapsed()
     );
     if failures == 0 {

@@ -22,7 +22,9 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use bruck_check::sim_matrix::{run_cell, run_matrix, SimCell, SimMatrixConfig};
+use bruck_check::sim_matrix::{
+    run_cell, run_coll_matrix, run_matrix, SimCell, SimMatrixConfig, COLL_SCHEDULES,
+};
 use bruck_comm::ScheduleTrace;
 
 /// Where failing schedules are written (created on demand).
@@ -132,13 +134,33 @@ fn main() -> ExitCode {
             }
         }
     }
+    // The collective family (allgatherv / reduce_scatter / allreduce): the
+    // same determinism + reference-exactness contract over every schedule.
+    let coll_seeds: &[u64] = if smoke { &[1, 2] } else { &[1, 2, 3, 4] };
+    println!(
+        "\nbruck-sim: collective family, p={}, {} schedules, seeds {:?}",
+        cfg.p,
+        COLL_SCHEDULES.len(),
+        coll_seeds,
+    );
+    let (coll_cells, coll_failures) =
+        run_coll_matrix(cfg.p, cfg.workload_seed, coll_seeds, |label, ok| {
+            if ok {
+                println!("  PASS {label}");
+            } else {
+                println!("  FAIL {label}");
+            }
+        });
+    for f in &coll_failures {
+        println!("\nbruck-sim FAILURE: {f}");
+    }
     println!(
         "\nbruck-sim: {} cells (each run twice), {} failures, {:.1?} total",
-        report.cells_run,
-        report.failures.len(),
+        report.cells_run + coll_cells,
+        report.failures.len() + coll_failures.len(),
         start.elapsed()
     );
-    if report.failures.is_empty() {
+    if report.failures.is_empty() && coll_failures.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -31,10 +31,14 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use bruck_comm::{
-    Communicator, FaultComm, FaultPlan, MeteredComm, ReliableComm, ReliableConfig, ThreadComm,
+    CommError, Communicator, FaultComm, FaultPlan, MeteredComm, ReduceOp, ReliableComm,
+    ReliableConfig, ThreadComm,
 };
 use bruck_core::{
-    packed_displs, resilient_alltoallv, AlltoallvAlgorithm, ExchangeOutcome, ResilientConfig,
+    allgatherv, allreduce, collective_with_deadline, packed_displs, pattern_byte, pattern_u64,
+    reduce_scatter, reference_allgatherv, reference_allreduce, reference_reduce_scatter,
+    resilient_alltoallv, AllgathervAlgorithm, AllreduceAlgorithm, AlltoallvAlgorithm,
+    CollectiveOutcome, ExchangeOutcome, ReduceScatterAlgorithm, ResilientConfig,
 };
 use bruck_workload::{Distribution, SizeMatrix};
 
@@ -446,6 +450,219 @@ pub fn run_matrix(cfg: &ChaosConfig, mut progress: impl FnMut(&CellReport)) -> V
     reports
 }
 
+/// Plan names the collective battery sweeps: the clean path, the full
+/// repairable fault mix, and the scripted crash — one representative of each
+/// contract class in [`plan_battery`].
+pub const COLL_PLAN_NAMES: [&str; 3] = ["clean", "lossy", "crash"];
+
+/// Non-uniform per-rank counts (with zeros) for the collective chaos cells.
+fn coll_counts(p: usize, seed: u64) -> Vec<usize> {
+    (0..p)
+        .map(|i| {
+            let x = (seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            if x % 4 == 0 {
+                0
+            } else {
+                (x % 9) as usize + 1
+            }
+        })
+        .collect()
+}
+
+/// Expected output bytes for one rank of a collective chaos cell.
+fn coll_expected(schedule: &str, p: usize, me: usize, counts: &[usize]) -> Vec<u8> {
+    let total: usize = counts.iter().sum();
+    match schedule {
+        "agv/ring" | "agv/bruck" | "agv/pat" => {
+            let inputs: Vec<Vec<u8>> =
+                (0..p).map(|r| (0..counts[r]).map(|i| pattern_byte(r, i)).collect()).collect();
+            reference_allgatherv(&inputs)
+        }
+        "rs/pairwise" | "rs/halving" | "rs/pat" => {
+            let inputs: Vec<Vec<u64>> =
+                (0..p).map(|r| (0..total).map(|i| pattern_u64(r, i)).collect()).collect();
+            let segs = reference_reduce_scatter(&inputs, counts, ReduceOp::Sum);
+            segs[me].iter().flat_map(|v| v.to_le_bytes()).collect()
+        }
+        _ => {
+            let inputs: Vec<Vec<u64>> =
+                (0..p).map(|r| (0..total).map(|i| pattern_u64(r, i)).collect()).collect();
+            reference_allreduce(&inputs, ReduceOp::Sum)
+                .iter()
+                .flat_map(|v| v.to_le_bytes())
+                .collect()
+        }
+    }
+}
+
+type CollRankResult = (Result<CollectiveOutcome<Vec<u8>>, CommError>, Vec<String>);
+
+/// Execute one collective schedule on a fresh faulted world. Every rank runs
+/// under [`collective_with_deadline`], so a scripted crash surfaces as a
+/// typed [`CollectiveOutcome::Aborted`] — never a hang or a panic.
+fn run_coll_world(schedule: &'static str, p: usize, seed: u64, plan: &FaultPlan) -> Vec<CollRankResult> {
+    let counts = coll_counts(p, seed);
+    let total: usize = counts.iter().sum();
+    let plan = plan.clone();
+    ThreadComm::run(p, move |comm| {
+        let fc = FaultComm::new(comm, plan.clone());
+        let rc = ReliableComm::with_config(&fc, reliable_config());
+        let mc = MeteredComm::new(&rc);
+        let me = mc.rank();
+        let counts = counts.clone();
+        let outcome = collective_with_deadline(&mc, Duration::from_secs(4), |dc| {
+            match schedule {
+                "agv/ring" | "agv/bruck" | "agv/pat" => {
+                    let algo = match schedule {
+                        "agv/ring" => AllgathervAlgorithm::Ring,
+                        "agv/bruck" => AllgathervAlgorithm::Bruck,
+                        _ => AllgathervAlgorithm::Pat,
+                    };
+                    let input: Vec<u8> = (0..counts[me]).map(|i| pattern_byte(me, i)).collect();
+                    let displs = packed_displs(&counts);
+                    let mut recvbuf = vec![0u8; total];
+                    allgatherv(algo, dc, &input, &mut recvbuf, &counts, &displs)?;
+                    Ok(recvbuf)
+                }
+                "rs/pairwise" | "rs/halving" | "rs/pat" => {
+                    let algo = match schedule {
+                        "rs/pairwise" => ReduceScatterAlgorithm::Pairwise,
+                        "rs/halving" => ReduceScatterAlgorithm::RecursiveHalving,
+                        _ => ReduceScatterAlgorithm::Pat,
+                    };
+                    let input: Vec<u64> = (0..total).map(|i| pattern_u64(me, i)).collect();
+                    let mut recvbuf = vec![0u64; counts[me]];
+                    reduce_scatter(algo, dc, &input, &mut recvbuf, &counts, ReduceOp::Sum)?;
+                    Ok(recvbuf.iter().flat_map(|v| v.to_le_bytes()).collect())
+                }
+                _ => {
+                    let algo = match schedule {
+                        "ar/doubling" => AllreduceAlgorithm::RecursiveDoubling,
+                        _ => AllreduceAlgorithm::ReduceScatterAllgather,
+                    };
+                    let mut buf: Vec<u64> = (0..total).map(|i| pattern_u64(me, i)).collect();
+                    allreduce(algo, dc, &mut buf, ReduceOp::Sum)?;
+                    Ok(buf.iter().flat_map(|v| v.to_le_bytes()).collect())
+                }
+            }
+        });
+        let _ = rc.quiesce(Duration::from_millis(150), Duration::from_secs(2));
+        (outcome, mc.metrics().consistency_errors())
+    })
+}
+
+/// Run one collective chaos cell: `schedule` under `planned` faults, the
+/// crash-only contract asserted per rank.
+///
+/// * **MustComplete plans** — every rank must end [`CollectiveOutcome::Complete`]
+///   with reference-exact bytes: the reliable layer repaired every injected
+///   fault and the collective delivered exactly-once semantics.
+/// * **Crash plans** — every rank must end either `Complete` with exact bytes
+///   (the crash landed after its part of the schedule) or `Aborted` with the
+///   typed fault error. Never a hang, a panic, a non-fault error, or a
+///   `Complete` with wrong bytes.
+pub fn run_coll_cell(
+    schedule: &'static str,
+    p: usize,
+    planned: &PlannedFaults,
+    seed: u64,
+    wall_bound: Duration,
+) -> CellReport {
+    let label = format!("coll/{schedule}/{}/seed{seed}", planned.name);
+    let start = Instant::now();
+    let plan = planned.plan.clone();
+    let expect = planned.expect;
+
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let result = std::panic::catch_unwind(move || run_coll_world(schedule, p, seed, &plan))
+            .map_err(|_| "worker panicked".to_string());
+        let _ = tx.send(result);
+    });
+
+    let per_rank = match rx.recv_timeout(wall_bound) {
+        Ok(Ok(r)) => r,
+        Ok(Err(e)) => {
+            return CellReport {
+                label,
+                violation: Some(e),
+                elapsed: start.elapsed(),
+                verdicts: Vec::new(),
+            }
+        }
+        Err(_) => {
+            return CellReport {
+                label,
+                violation: Some(format!("HANG: exceeded wall bound {wall_bound:?}")),
+                elapsed: start.elapsed(),
+                verdicts: Vec::new(),
+            }
+        }
+    };
+
+    let counts = coll_counts(p, seed);
+    let mut violation = None;
+    let mut verdicts = Vec::with_capacity(p);
+    for (me, (outcome, drift)) in per_rank.into_iter().enumerate() {
+        if let Some(err) = drift.first() {
+            violation.get_or_insert(format!("rank {me}: METERING DRIFT: {err}"));
+        }
+        match outcome {
+            Ok(CollectiveOutcome::Complete(bytes)) => {
+                if bytes == coll_expected(schedule, p, me, &counts) {
+                    verdicts.push(RankVerdict::Lossless(bytes));
+                } else {
+                    violation.get_or_insert(format!(
+                        "rank {me}: SILENT CORRUPTION: completed with wrong bytes"
+                    ));
+                    verdicts.push(RankVerdict::TypedError("violation".to_string()));
+                }
+            }
+            Ok(CollectiveOutcome::Aborted { error }) => {
+                if let Expectation::MustComplete = expect {
+                    violation.get_or_insert(format!(
+                        "rank {me}: aborted ({error}) under a must-complete plan"
+                    ));
+                }
+                verdicts.push(RankVerdict::TypedError(error.to_string()));
+            }
+            Err(e) => {
+                violation.get_or_insert(format!("rank {me}: non-fault error {e}"));
+                verdicts.push(RankVerdict::TypedError("violation".to_string()));
+            }
+        }
+    }
+    CellReport { label, violation, elapsed: start.elapsed(), verdicts }
+}
+
+/// The collective-family schedules the chaos battery sweeps (label-stable,
+/// mirrors `sim_matrix::COLL_SCHEDULES`).
+pub const COLL_SCHEDULES: [&str; 8] = crate::sim_matrix::COLL_SCHEDULES;
+
+/// Run every collective schedule against each plan in [`COLL_PLAN_NAMES`]
+/// for every seed. Reports are shaped like [`run_matrix`]'s so the
+/// `bruck-chaos` binary prints them identically.
+pub fn run_coll_battery(
+    p: usize,
+    seeds: &[u64],
+    wall_bound: Duration,
+    mut progress: impl FnMut(&CellReport),
+) -> Vec<CellReport> {
+    let mut reports = Vec::new();
+    for &seed in seeds {
+        let battery = plan_battery(p, seed);
+        for planned in battery.iter().filter(|f| COLL_PLAN_NAMES.contains(&f.name)) {
+            for schedule in COLL_SCHEDULES {
+                let report = run_coll_cell(schedule, p, planned, seed, wall_bound);
+                progress(&report);
+                reports.push(report);
+            }
+        }
+    }
+    reports
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -482,6 +699,28 @@ mod tests {
         assert!(r.violation.is_none(), "{:?}", r.violation);
         // The scripted-dead rank must be a typed error.
         assert!(matches!(r.verdicts[3], RankVerdict::TypedError(_)));
+    }
+
+    #[test]
+    fn collective_clean_cell_completes_exactly_once() {
+        let battery = plan_battery(5, 1);
+        let clean = &battery[0];
+        assert_eq!(clean.name, "clean");
+        let r = run_coll_cell("agv/bruck", 5, clean, 1, Duration::from_secs(30));
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        assert!(r.verdicts.iter().all(|v| matches!(v, RankVerdict::Lossless(_))));
+    }
+
+    #[test]
+    fn collective_crash_cell_yields_typed_outcomes() {
+        let battery = plan_battery(5, 2);
+        let crash = battery.iter().find(|f| f.name == "crash").expect("battery has crash");
+        let r = run_coll_cell("agv/bruck", 5, crash, 2, Duration::from_secs(45));
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        // The scripted-dead rank crashes mid-schedule (4 fault-level ops is
+        // less than one doubling step's send+ack+recv+ack) and must abort
+        // with the typed fault error, not hang or complete.
+        assert!(matches!(r.verdicts[4], RankVerdict::TypedError(_)));
     }
 
     #[test]

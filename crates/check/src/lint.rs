@@ -271,10 +271,12 @@ fn scan_file(rel: &str, text: &str, out: &mut Vec<LintFinding>) {
     let condvar_banned = rel.starts_with("crates/comm/") && !concurrency_site;
     // Determinism-critical crates must not iterate hashed collections.
     let hash_banned = rel.starts_with("crates/core/") || rel.starts_with("crates/comm/");
-    // The engine's dispatch table is the one sanctioned variant-call site;
-    // everything else routes through it.
-    let variant_call_banned =
-        rel.starts_with("crates/") && rel != "crates/core/src/nonuniform/engine.rs";
+    // The engine's dispatch table is the one sanctioned alltoallv
+    // variant-call site, and the collectives dispatch module the one for the
+    // collective family; everything else routes through them.
+    let variant_call_banned = rel.starts_with("crates/")
+        && rel != "crates/core/src/nonuniform/engine.rs"
+        && rel != "crates/core/src/collectives/mod.rs";
     // Whole-file test modules (`#[cfg(test)] mod foo_tests;` in the crate
     // root) carry the cfg on the *declaration*, invisible from the file
     // itself; go by the naming convention.
@@ -394,12 +396,13 @@ fn scan_file(rel: &str, text: &str, out: &mut Vec<LintFinding>) {
                 }
             }
             if variant_call_banned {
-                // The nine legacy variant entry points, matched as *calls*:
+                // The nine legacy alltoallv variant entry points plus the
+                // eight collective-family schedules, matched as *calls*:
                 // name immediately followed by `(`, preceded by a
                 // non-identifier character, and not a definition (generic
                 // definitions `fn name<C: ...>(` never match `name(`, but
                 // monomorphic helpers could, so `fn ` is checked too).
-                const VARIANT_CALLS: [&str; 9] = [
+                const VARIANT_CALLS: [&str; 17] = [
                     "reference_alltoallv(",
                     "spread_out_alltoallv(",
                     "vendor_alltoallv(",
@@ -409,6 +412,14 @@ fn scan_file(rel: &str, text: &str, out: &mut Vec<LintFinding>) {
                     "sloav_alltoallv(",
                     "hierarchical_alltoallv(",
                     "ranka_two_stage_alltoallv(",
+                    "allgatherv_ring(",
+                    "allgatherv_bruck(",
+                    "pat_allgatherv(",
+                    "reduce_scatter_pairwise(",
+                    "reduce_scatter_halving(",
+                    "pat_reduce_scatter(",
+                    "allreduce_doubling(",
+                    "allreduce_rs_ag(",
                 ];
                 for call in VARIANT_CALLS {
                     for (pos, _) in san.match_indices(call) {
@@ -748,6 +759,47 @@ mod tests {
         let test_src =
             "#[cfg(test)]\nmod tests {\n    fn g(c: &C) { sloav_alltoallv(c) }\n}\n";
         assert!(scan_str("crates/core/src/nonuniform/sloav.rs", test_src)
+            .iter()
+            .all(|f| f.rule != "no-direct-variant-call"));
+    }
+
+    #[test]
+    fn direct_collective_schedule_call_flagged_outside_dispatch() {
+        let calls = [
+            "fn f(c: &C) { allgatherv_ring(c, s, r, cn, d) }\n",
+            "fn f(c: &C) { pat::pat_reduce_scatter(c, s, r, cn, op) }\n",
+            "fn f(c: &C) { allreduce_rs_ag(c, b, op) }\n",
+        ];
+        for call in calls {
+            assert!(
+                scan_str("crates/core/src/collectives/pat.rs", call)
+                    .iter()
+                    .any(|f| f.rule == "no-direct-variant-call"),
+                "{call}"
+            );
+            assert!(
+                scan_str("crates/bench/src/bin/figures.rs", call)
+                    .iter()
+                    .any(|f| f.rule == "no-direct-variant-call"),
+                "{call}"
+            );
+            // The collectives dispatch module is the sanctioned call site.
+            assert!(
+                scan_str("crates/core/src/collectives/mod.rs", call)
+                    .iter()
+                    .all(|f| f.rule != "no-direct-variant-call"),
+                "{call}"
+            );
+        }
+        // Generic definitions never match the call pattern.
+        let def = "pub(super) fn allgatherv_ring<C: Communicator + ?Sized>(\n";
+        assert!(scan_str("crates/core/src/collectives/allgatherv.rs", def)
+            .iter()
+            .all(|f| f.rule != "no-direct-variant-call"));
+        // The dispatch wrappers themselves (`allgatherv(`, `reduce_scatter(`,
+        // `allreduce(`) are not variant calls.
+        let dispatch = "fn f(c: &C) { allgatherv(algo, c, s, r, cn, d) }\n";
+        assert!(scan_str("crates/check/src/matrix.rs", dispatch)
             .iter()
             .all(|f| f.rule != "no-direct-variant-call"));
     }

@@ -17,12 +17,14 @@
 
 use crate::cells::{check_block, digest_rank_buf, pattern_send_side};
 use bruck_comm::{
-    shrink_choices, Communicator, FaultComm, FaultPlan, ReliableComm, ReliableConfig,
+    shrink_choices, Communicator, FaultComm, FaultPlan, ReduceOp, ReliableComm, ReliableConfig,
     ScheduleTrace, SimComm, SimConfig, SimStep,
 };
 use bruck_core::{
-    alltoallv, packed_displs, resilient_alltoallv, AlltoallvAlgorithm, ExchangeOutcome,
-    ResilientConfig,
+    allgatherv, allreduce, alltoallv, packed_displs, pattern_byte, pattern_u64, reduce_scatter,
+    reference_allgatherv, reference_allreduce, reference_reduce_scatter, resilient_alltoallv,
+    AllgathervAlgorithm, AllreduceAlgorithm, AlltoallvAlgorithm, ExchangeOutcome,
+    ReduceScatterAlgorithm, ResilientConfig,
 };
 use bruck_workload::{Distribution, SizeMatrix};
 use std::time::Duration;
@@ -432,6 +434,176 @@ pub fn run_matrix(
     MatrixReport { cells_run, failures }
 }
 
+/// The collective-family schedules covered by the sim sweep (DESIGN.md §16),
+/// in stable label order.
+pub const COLL_SCHEDULES: [&str; 8] = [
+    "agv/ring",
+    "agv/bruck",
+    "agv/pat",
+    "rs/pairwise",
+    "rs/halving",
+    "rs/pat",
+    "ar/doubling",
+    "ar/rsag",
+];
+
+/// Non-uniform per-rank counts for the collective sim cells, stirred by the
+/// workload seed so different seeds exercise different zero placements.
+fn coll_counts(p: usize, seed: u64) -> Vec<usize> {
+    (0..p)
+        .map(|i| {
+            let x = (seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            if x % 4 == 0 {
+                0
+            } else {
+                (x % 9) as usize + 1
+            }
+        })
+        .collect()
+}
+
+/// Outcome of one collective cell run: failure message (if any), the
+/// executed schedule, and a digest of every rank's output bytes.
+#[derive(Debug)]
+pub struct CollOutcome {
+    /// `None` if every rank produced the reference result.
+    pub failure: Option<String>,
+    /// The schedule that was executed.
+    pub trace: ScheduleTrace,
+    /// Order-sensitive digest of every rank's output.
+    pub digest: u64,
+}
+
+/// Execute one collective-family schedule under the simulator: dispatch the
+/// named schedule on every rank over seeded non-uniform counts and compare
+/// each rank's output against the pure reference oracle.
+pub fn run_coll_cell(schedule: &str, p: usize, workload_seed: u64, sched_seed: u64) -> CollOutcome {
+    let counts = coll_counts(p, workload_seed);
+    let total: usize = counts.iter().sum();
+    let cfg = SimConfig {
+        seed: sched_seed,
+        replay: None,
+        meta: format!("coll {schedule} p={p} wseed={workload_seed} sseed={sched_seed}"),
+        record_steps: false,
+    };
+    let counts_ref = &counts;
+    let report = SimComm::try_run(p, &cfg, move |comm| -> Result<Vec<u8>, String> {
+        let me = comm.rank();
+        let fail = |what: &str| format!("rank {me}: {schedule} {what}");
+        match schedule {
+            "agv/ring" | "agv/bruck" | "agv/pat" => {
+                let algo = match schedule {
+                    "agv/ring" => AllgathervAlgorithm::Ring,
+                    "agv/bruck" => AllgathervAlgorithm::Bruck,
+                    _ => AllgathervAlgorithm::Pat,
+                };
+                let inputs: Vec<Vec<u8>> = (0..p)
+                    .map(|r| (0..counts_ref[r]).map(|i| pattern_byte(r, i)).collect())
+                    .collect();
+                let displs = packed_displs(counts_ref);
+                let mut recvbuf = vec![0u8; total];
+                allgatherv(algo, comm, &inputs[me], &mut recvbuf, counts_ref, &displs)
+                    .map_err(|e| fail(&format!("failed: {e}")))?;
+                if recvbuf != reference_allgatherv(&inputs) {
+                    return Err(fail("diverges from the concatenation reference"));
+                }
+                Ok(recvbuf)
+            }
+            "rs/pairwise" | "rs/halving" | "rs/pat" => {
+                let algo = match schedule {
+                    "rs/pairwise" => ReduceScatterAlgorithm::Pairwise,
+                    "rs/halving" => ReduceScatterAlgorithm::RecursiveHalving,
+                    _ => ReduceScatterAlgorithm::Pat,
+                };
+                let inputs: Vec<Vec<u64>> = (0..p)
+                    .map(|r| (0..total).map(|i| pattern_u64(r, i)).collect())
+                    .collect();
+                let want = reference_reduce_scatter(&inputs, counts_ref, ReduceOp::Sum);
+                let mut recvbuf = vec![0u64; counts_ref[me]];
+                reduce_scatter(algo, comm, &inputs[me], &mut recvbuf, counts_ref, ReduceOp::Sum)
+                    .map_err(|e| fail(&format!("failed: {e}")))?;
+                if recvbuf != want[me] {
+                    return Err(fail("segment diverges from the Sum fold"));
+                }
+                Ok(recvbuf.iter().flat_map(|v| v.to_le_bytes()).collect())
+            }
+            "ar/doubling" | "ar/rsag" => {
+                let algo = match schedule {
+                    "ar/doubling" => AllreduceAlgorithm::RecursiveDoubling,
+                    _ => AllreduceAlgorithm::ReduceScatterAllgather,
+                };
+                let inputs: Vec<Vec<u64>> = (0..p)
+                    .map(|r| (0..total).map(|i| pattern_u64(r, i)).collect())
+                    .collect();
+                let want = reference_allreduce(&inputs, ReduceOp::Sum);
+                let mut buf = inputs[me].clone();
+                allreduce(algo, comm, &mut buf, ReduceOp::Sum)
+                    .map_err(|e| fail(&format!("failed: {e}")))?;
+                if buf != want {
+                    return Err(fail("diverges from the sequential Sum fold"));
+                }
+                Ok(buf.iter().flat_map(|v| v.to_le_bytes()).collect())
+            }
+            other => Err(format!("unknown collective schedule {other:?}")),
+        }
+    });
+    let mut digest = 0xC0FF_EE00_5EED_0001u64;
+    let mut failure = None;
+    for (rank, out) in report.outcomes.iter().enumerate() {
+        match out {
+            Ok(Ok(buf)) => digest = digest_rank_buf(digest, rank, buf),
+            Ok(Err(msg)) => {
+                failure.get_or_insert_with(|| msg.clone());
+            }
+            Err(panic_msg) => {
+                failure.get_or_insert_with(|| format!("rank {rank} panicked: {panic_msg}"));
+            }
+        }
+    }
+    CollOutcome { failure, trace: report.trace, digest }
+}
+
+/// Run every collective schedule × schedule seed twice, asserting
+/// determinism (identical schedule traces and digests) and reference-exact
+/// payloads. Returns `(cells_run, failure_messages)`.
+pub fn run_coll_matrix(
+    p: usize,
+    workload_seed: u64,
+    sched_seeds: &[u64],
+    mut progress: impl FnMut(&str, bool),
+) -> (usize, Vec<String>) {
+    let mut failures = Vec::new();
+    let mut cells_run = 0;
+    for schedule in COLL_SCHEDULES {
+        for &sched_seed in sched_seeds {
+            cells_run += 1;
+            let label = format!("{schedule}-p{p}-w{workload_seed}-s{sched_seed}");
+            let first = run_coll_cell(schedule, p, workload_seed, sched_seed);
+            let second = run_coll_cell(schedule, p, workload_seed, sched_seed);
+            let mut message = first.failure.clone();
+            if message.is_none() && first.trace.choices != second.trace.choices {
+                message = Some(format!(
+                    "nondeterministic schedule: run 1 recorded {} choices, run 2 {}",
+                    first.trace.choices.len(),
+                    second.trace.choices.len()
+                ));
+            }
+            if message.is_none() && first.digest != second.digest {
+                message = Some(format!(
+                    "nondeterministic results: digest {:#018x} vs {:#018x}",
+                    first.digest, second.digest
+                ));
+            }
+            let ok = message.is_none();
+            progress(&label, ok);
+            if let Some(message) = message {
+                failures.push(format!("{label}: {message}"));
+            }
+        }
+    }
+    (cells_run, failures)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -473,6 +645,14 @@ mod tests {
         assert!(replayed.ok(), "{:?}", replayed.failure);
         assert_eq!(replayed.trace.choices, a.trace.choices);
         assert_eq!(replayed.digest, a.digest);
+    }
+
+    #[test]
+    fn collective_cells_pass_and_are_deterministic() {
+        let (cells_run, failures) =
+            run_coll_matrix(5, 11, &[1, 2], |_label, ok| assert!(ok));
+        assert_eq!(cells_run, COLL_SCHEDULES.len() * 2);
+        assert!(failures.is_empty(), "{failures:?}");
     }
 
     #[test]

@@ -1,8 +1,10 @@
-//! Reduction operators for the scalar collectives.
+//! Reduction operators for the scalar and vector collectives.
 
 /// Associative, commutative reduction over `u64`, covering everything the
 /// all-to-all algorithms need (`MPI_MAX` for the global maximum block size,
-/// `MPI_SUM`/`MPI_MIN` for harness statistics).
+/// `MPI_SUM`/`MPI_MIN` for harness statistics) plus the element-wise vector
+/// form the wider collective family (reduce_scatter / allreduce) reduces
+/// with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReduceOp {
     /// Element-wise maximum (`MPI_MAX`).
@@ -15,6 +17,9 @@ pub enum ReduceOp {
 }
 
 impl ReduceOp {
+    /// Every operator, for property sweeps.
+    pub const ALL: [ReduceOp; 3] = [ReduceOp::Max, ReduceOp::Min, ReduceOp::Sum];
+
     /// Combine two values.
     #[inline]
     pub fn apply(self, a: u64, b: u64) -> u64 {
@@ -34,11 +39,43 @@ impl ReduceOp {
             ReduceOp::Sum => 0,
         }
     }
+
+    /// Element-wise `acc[i] = op(acc[i], other[i])` over equal-length slices.
+    ///
+    /// This is the one reduction loop in the workspace: reduce_scatter and
+    /// allreduce fold partial vectors through it instead of hand-rolling,
+    /// so the operator semantics (wrapping sum, in particular) cannot drift
+    /// between call sites.
+    ///
+    /// # Panics
+    /// If the slices differ in length — a protocol bug, not an input error:
+    /// every caller derives both lengths from the same counts array.
+    #[inline]
+    pub fn apply_slice(self, acc: &mut [u64], other: &[u64]) {
+        assert_eq!(acc.len(), other.len(), "reduce over mismatched vector lengths");
+        for (a, &b) in acc.iter_mut().zip(other) {
+            *a = self.apply(*a, b);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Splitmix-style value stream for the property sweeps.
+    fn values(seed: u64, n: usize) -> Vec<u64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            })
+            .collect()
+    }
 
     #[test]
     fn apply_matches_semantics() {
@@ -50,11 +87,58 @@ mod tests {
 
     #[test]
     fn identity_is_neutral() {
-        for op in [ReduceOp::Max, ReduceOp::Min, ReduceOp::Sum] {
+        for op in ReduceOp::ALL {
             for v in [0u64, 1, 17, u64::MAX] {
                 assert_eq!(op.apply(op.identity(), v), v);
                 assert_eq!(op.apply(v, op.identity()), v);
             }
         }
+    }
+
+    #[test]
+    fn operators_are_associative_and_commutative() {
+        // Seeded triples, including the wrap-around edge values: the
+        // collectives' correctness under arbitrary reduction orders (ring vs
+        // tree vs pairwise) stands on exactly these two laws.
+        let vals = {
+            let mut v = values(0xA11CE, 64);
+            v.extend([0, 1, u64::MAX, u64::MAX - 1, 1 << 63]);
+            v
+        };
+        for op in ReduceOp::ALL {
+            for (i, &a) in vals.iter().enumerate() {
+                for &b in &vals[i..] {
+                    assert_eq!(op.apply(a, b), op.apply(b, a), "{op:?} commutativity");
+                    for &c in vals.iter().step_by(7) {
+                        assert_eq!(
+                            op.apply(op.apply(a, b), c),
+                            op.apply(a, op.apply(b, c)),
+                            "{op:?} associativity"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_slice_is_elementwise_apply() {
+        for op in ReduceOp::ALL {
+            let mut acc = values(1, 33);
+            let other = values(2, 33);
+            let want: Vec<u64> =
+                acc.iter().zip(&other).map(|(&a, &b)| op.apply(a, b)).collect();
+            op.apply_slice(&mut acc, &other);
+            assert_eq!(acc, want, "{op:?}");
+        }
+        // Empty vectors are a no-op, not an error (zero-sized segments are
+        // legal collective inputs).
+        ReduceOp::Sum.apply_slice(&mut [], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched vector lengths")]
+    fn apply_slice_rejects_length_mismatch() {
+        ReduceOp::Sum.apply_slice(&mut [1, 2], &[3]);
     }
 }

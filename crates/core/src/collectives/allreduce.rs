@@ -1,0 +1,137 @@
+//! Vector allreduce schedules: recursive doubling and the Rabenseifner
+//! reduce_scatter + allgatherv composition.
+
+use bruck_comm::{CommResult, Communicator, MsgBuf, ReduceOp};
+
+use crate::common::{ar_doubling_tag, AR_FOLD_TAG, AR_UNFOLD_TAG};
+use crate::packed_displs;
+use crate::probe::span;
+
+use super::{bytes_to_u64s, u64s_to_bytes, AllgathervAlgorithm, ReduceScatterAlgorithm};
+
+/// Recursive-doubling allreduce: whole vectors exchanged at distances
+/// `1, 2, 4, …` within a power-of-two core of `m` ranks (`m` the largest
+/// power of two ≤ `P`), the `r = P − m` remainder ranks folded in before
+/// and handed the result after.
+///
+/// α-optimal (`⌈log₂ m⌉` latency steps) but every step moves the full
+/// `8n` bytes — the small-message schedule.
+pub(super) fn allreduce_doubling<C: Communicator + ?Sized>(
+    comm: &C,
+    buf: &mut [u64],
+    op: ReduceOp,
+) -> CommResult<()> {
+    let p = comm.size();
+    let me = comm.rank();
+    let m = if p.is_power_of_two() { p } else { p.next_power_of_two() / 2 };
+    let r = p - m;
+
+    if me >= m {
+        {
+            let _probe = span("ar_doubling.fold");
+            comm.send_buf(me - m, AR_FOLD_TAG, MsgBuf::from_vec(u64s_to_bytes(buf)))?;
+        }
+        let _probe = span("ar_doubling.unfold");
+        let got = comm.recv_buf(me - m, AR_UNFOLD_TAG)?;
+        buf.copy_from_slice(&bytes_to_u64s(got.as_slice())?);
+        return Ok(());
+    }
+
+    if me < r {
+        let _probe = span("ar_doubling.fold");
+        let got = comm.recv_buf(me + m, AR_FOLD_TAG)?;
+        op.apply_slice(buf, &bytes_to_u64s(got.as_slice())?);
+    }
+
+    for k in 0..m.trailing_zeros() {
+        let _probe = span("ar_doubling.step");
+        let partner = me ^ (1usize << k);
+        let got = comm.sendrecv_buf(
+            partner,
+            ar_doubling_tag(k),
+            MsgBuf::from_vec(u64s_to_bytes(buf)),
+            partner,
+            ar_doubling_tag(k),
+        )?;
+        op.apply_slice(buf, &bytes_to_u64s(got.as_slice())?);
+    }
+
+    if me < r {
+        let _probe = span("ar_doubling.unfold");
+        comm.send_buf(me + m, AR_UNFOLD_TAG, MsgBuf::from_vec(u64s_to_bytes(buf)))?;
+    }
+    Ok(())
+}
+
+/// Rabenseifner allreduce: recursive-halving [`super::reduce_scatter`] of
+/// near-equal pieces (`⌈n/P⌉` / `⌊n/P⌋` elements), then Bruck
+/// [`super::allgatherv`] of the reduced pieces. Moves `O(8n)` bytes per rank
+/// total instead of `8n` per step — the large-vector schedule.
+///
+/// Composition goes through the dispatch layer, so the wire trace is exactly
+/// the two component traces back to back (their tag blocks are disjoint).
+pub(super) fn allreduce_rs_ag<C: Communicator + ?Sized>(
+    comm: &C,
+    buf: &mut [u64],
+    op: ReduceOp,
+) -> CommResult<()> {
+    let p = comm.size();
+    let me = comm.rank();
+    let n = buf.len();
+    // Near-equal pieces — the same split the Ranka two-stage algorithm uses.
+    let counts: Vec<usize> = (0..p).map(|i| crate::piece_len(n, i, p)).collect();
+
+    let mut piece = vec![0u64; counts[me]];
+    super::reduce_scatter(ReduceScatterAlgorithm::RecursiveHalving, comm, buf, &mut piece, &counts, op)?;
+
+    let byte_counts: Vec<usize> = counts.iter().map(|c| c * 8).collect();
+    let byte_displs = packed_displs(&byte_counts);
+    let contrib = u64s_to_bytes(&piece);
+    let mut gathered = vec![0u8; n * 8];
+    super::allgatherv(
+        AllgathervAlgorithm::Bruck,
+        comm,
+        &contrib,
+        &mut gathered,
+        &byte_counts,
+        &byte_displs,
+    )?;
+    buf.copy_from_slice(&bytes_to_u64s(&gathered)?);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use bruck_comm::ReduceOp;
+
+    use crate::collectives::testutil::{run_ar, SIZES};
+    use crate::collectives::AllreduceAlgorithm;
+
+    #[test]
+    fn doubling_matches_reference_across_sizes() {
+        for p in SIZES {
+            for op in ReduceOp::ALL {
+                run_ar(AllreduceAlgorithm::RecursiveDoubling, p, 17, op);
+            }
+        }
+    }
+
+    #[test]
+    fn rs_ag_matches_reference_across_sizes() {
+        for p in SIZES {
+            for op in ReduceOp::ALL {
+                run_ar(AllreduceAlgorithm::ReduceScatterAllgather, p, 17, op);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_vectors_are_legal() {
+        for algo in AllreduceAlgorithm::ALL {
+            // Empty vector, vector shorter than P, single element.
+            run_ar(algo, 5, 0, ReduceOp::Sum);
+            run_ar(algo, 5, 3, ReduceOp::Max);
+            run_ar(algo, 4, 1, ReduceOp::Min);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! PAT (parallel aggregated trees) schedules, after NCCL's PAT algorithm
+//! (arXiv 2506.20252): one binomial tree per source (all-gather) or per
+//! destination (reduce-scatter), all `P` trees rotated copies of each other
+//! so that every rank sends **one aggregated message per phase** — `⌈log₂ P⌉`
+//! phases for any `P`, power of two or not.
+//!
+//! Offsets are measured from the tree root. In the all-gather tree of source
+//! `s`, the block reaches offset `j > 0` at phase `lsb(j)`: phases run
+//! *descending* (`k = L−1 … 0`), and at phase `k` every holder at offset
+//! `j ≡ 0 (mod 2ᵏ⁺¹)` with `j + 2ᵏ < P` sends to offset `j + 2ᵏ`. The
+//! reduce-scatter tree is the exact mirror: phases run *ascending*, and at
+//! phase `k` the rank at offset `j` with `lsb(j) = k` sends its aggregated
+//! partial toward the root. Rotating over all `P` trees, a rank's per-phase
+//! partners collapse to a single pair: `(q + 2ᵏ, q − 2ᵏ) mod P`.
+
+use bruck_comm::{CommResult, Communicator, MsgBuf, ReduceOp};
+
+use crate::common::{add_mod, ceil_log2, pat_ag_tag, pat_rs_tag, sub_mod};
+use crate::packed_displs;
+use crate::probe::span;
+
+use super::{bytes_to_u64s, u64s_to_bytes};
+
+/// The tree offsets that *hold* a block before phase `k` and are scheduled
+/// to forward it: `j ≡ 0 (mod 2ᵏ⁺¹)`, `j + 2ᵏ < p`, ascending.
+fn pat_sender_offsets(p: usize, k: u32) -> impl Iterator<Item = usize> {
+    let h = 1usize << k;
+    (0..p).step_by(2 * h).take_while(move |j| j + h < p)
+}
+
+/// PAT all-gather: `⌈log₂ P⌉` phases, one aggregated message per rank per
+/// phase to `(me + 2ᵏ) mod P`, received from `(me − 2ᵏ) mod P`.
+///
+/// Phase `k` wire load for rank `q`:
+/// `Σ counts[(q − j) mod P]` bytes over `j ≡ 0 (mod 2ᵏ⁺¹)`, `j + 2ᵏ < P`,
+/// on tag `pat_ag_tag(k)`.
+pub(super) fn pat_allgatherv<C: Communicator + ?Sized>(
+    comm: &C,
+    sendbuf: &[u8],
+    recvbuf: &mut [u8],
+    counts: &[usize],
+    displs: &[usize],
+) -> CommResult<()> {
+    let p = comm.size();
+    let me = comm.rank();
+    recvbuf[displs[me]..displs[me] + counts[me]].copy_from_slice(sendbuf);
+    for k in (0..ceil_log2(p)).rev() {
+        let _probe = span("pat_ag.step");
+        let h = 1usize << k;
+        let dest = add_mod(me, h, p);
+        let from = sub_mod(me, h, p);
+        // I am at offset j in the tree of source (me − j): forward every
+        // block whose tree schedules a send from my offset this phase.
+        let mut payload = Vec::new();
+        for j in pat_sender_offsets(p, k) {
+            let src = sub_mod(me, j, p);
+            payload.extend_from_slice(&recvbuf[displs[src]..displs[src] + counts[src]]);
+        }
+        let got = comm.sendrecv_buf(dest, pat_ag_tag(k), MsgBuf::from_vec(payload), from, pat_ag_tag(k))?;
+        // The sender iterated ITS offsets ascending; mirror its loop to
+        // unpack, slicing the one arrival buffer zero-copy.
+        let mut at = 0;
+        for j in pat_sender_offsets(p, k) {
+            let src = sub_mod(from, j, p);
+            let block = got.slice(at..at + counts[src]);
+            recvbuf[displs[src]..displs[src] + counts[src]].copy_from_slice(block.as_slice());
+            at += counts[src];
+        }
+    }
+    Ok(())
+}
+
+/// PAT reduce-scatter: the ascending-bit mirror. Phase `k` sends one
+/// aggregated message of partials to `(me − 2ᵏ) mod P` — the segments of
+/// every destination whose tree offset from me has `lsb = k` — and folds
+/// the partials received from `(me + 2ᵏ) mod P` into the working vector.
+///
+/// Phase `k` wire load for rank `q`:
+/// `8 · Σ counts[(q − j) mod P]` bytes over `j ≡ 2ᵏ (mod 2ᵏ⁺¹)`, `j < P`,
+/// on tag `pat_rs_tag(k)`.
+pub(super) fn pat_reduce_scatter<C: Communicator + ?Sized>(
+    comm: &C,
+    sendbuf: &[u64],
+    recvbuf: &mut [u64],
+    counts: &[usize],
+    op: ReduceOp,
+) -> CommResult<()> {
+    let p = comm.size();
+    let me = comm.rank();
+    let displs = packed_displs(counts);
+    let mut work = sendbuf.to_vec();
+    for k in 0..ceil_log2(p) {
+        let _probe = span("pat_rs.step");
+        let h = 1usize << k;
+        let dest = sub_mod(me, h, p);
+        let from = add_mod(me, h, p);
+        // Destinations whose tree offset from me has lowest set bit k: my
+        // aggregation for them is complete (their subtrees delivered at
+        // phases < k), so they leave now, toward the root.
+        let mut payload = Vec::new();
+        for j in ((h)..p).step_by(2 * h) {
+            let d = sub_mod(me, j, p);
+            payload.extend_from_slice(&work[displs[d]..displs[d] + counts[d]]);
+        }
+        let got = comm.sendrecv_buf(
+            dest,
+            pat_rs_tag(k),
+            MsgBuf::from_vec(u64s_to_bytes(&payload)),
+            from,
+            pat_rs_tag(k),
+        )?;
+        let vals = bytes_to_u64s(got.as_slice())?;
+        // I receive for destinations where MY offset j is a scheduled
+        // receiver this phase (sender sat at offset j + 2ᵏ).
+        let mut at = 0;
+        for j in pat_sender_offsets(p, k) {
+            let d = sub_mod(me, j, p);
+            let len = counts[d];
+            op.apply_slice(&mut work[displs[d]..displs[d] + len], &vals[at..at + len]);
+            at += len;
+        }
+    }
+    recvbuf.copy_from_slice(&work[displs[me]..displs[me] + counts[me]]);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use bruck_comm::ReduceOp;
+
+    use crate::collectives::testutil::{gv_counts, run_gv, run_rs, SIZES};
+    use crate::collectives::{AllgathervAlgorithm, ReduceScatterAlgorithm};
+    use crate::common::ceil_log2;
+
+    #[test]
+    fn pat_allgather_matches_reference_across_sizes() {
+        for p in SIZES {
+            for seed in [1u64, 5] {
+                run_gv(AllgathervAlgorithm::Pat, &gv_counts(p, seed));
+            }
+        }
+    }
+
+    #[test]
+    fn pat_reduce_scatter_matches_reference_across_sizes() {
+        for p in SIZES {
+            for op in ReduceOp::ALL {
+                run_rs(ReduceScatterAlgorithm::Pat, &gv_counts(p, 3), op);
+            }
+        }
+    }
+
+    #[test]
+    fn every_offset_is_covered_exactly_once() {
+        // Tree soundness for any P: each non-root offset receives the
+        // block (all-gather) / forwards its aggregate (reduce-scatter) at
+        // exactly one phase — the lsb of its offset.
+        for p in [2usize, 3, 5, 7, 8, 12, 13, 16, 31] {
+            let mut reached = vec![0u32; p];
+            for k in 0..ceil_log2(p) {
+                let h = 1usize << k;
+                for j in super::pat_sender_offsets(p, k) {
+                    reached[j + h] += 1;
+                }
+            }
+            assert!(reached[1..].iter().all(|&c| c == 1), "p={p}: {reached:?}");
+        }
+    }
+
+    #[test]
+    fn every_phase_sends_exactly_one_message() {
+        // j = 0 always qualifies on the holder side and j = 2ᵏ on the
+        // mirror side, so PAT's aggregated-message guarantee holds.
+        for p in [2usize, 3, 5, 8, 12, 16] {
+            for k in 0..ceil_log2(p) {
+                assert!(super::pat_sender_offsets(p, k).count() >= 1, "p={p} k={k}");
+            }
+        }
+    }
+}

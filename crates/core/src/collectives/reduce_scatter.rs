@@ -1,0 +1,181 @@
+//! Vector reduce-scatter schedules: pairwise exchange and recursive
+//! halving.
+//!
+//! Element space: the input vector on every rank is `Σ counts` `u64`s,
+//! segment `i` (`counts[i]` elements at the packed offset) destined for
+//! rank `i`. Elements travel little-endian (8 bytes each); all byte closed
+//! forms below are `8 ×` element counts.
+
+use bruck_comm::{CommResult, Communicator, MsgBuf, ReduceOp};
+
+use crate::common::{add_mod, rs_halving_tag, sub_mod, RS_FOLD_TAG, RS_PAIRWISE_TAG};
+use crate::packed_displs;
+use crate::probe::span;
+
+use super::{bytes_to_u64s, u64s_to_bytes};
+use crate::common::RS_UNFOLD_TAG;
+
+/// Pairwise-exchange reduce_scatter: `P − 1` rounds; in round `i` rank `q`
+/// mails its input segment for `(q + i) mod P` and folds the segment
+/// arriving from `(q − i) mod P` into its accumulator.
+///
+/// Wire load per rank on [`RS_PAIRWISE_TAG`]: `P − 1` messages,
+/// `8 · (Σ counts − counts[me])` bytes out.
+pub(super) fn reduce_scatter_pairwise<C: Communicator + ?Sized>(
+    comm: &C,
+    sendbuf: &[u64],
+    recvbuf: &mut [u64],
+    counts: &[usize],
+    op: ReduceOp,
+) -> CommResult<()> {
+    let p = comm.size();
+    let me = comm.rank();
+    let displs = packed_displs(counts);
+    recvbuf.copy_from_slice(&sendbuf[displs[me]..displs[me] + counts[me]]);
+    for i in 1..p {
+        let _probe = span("rs_pairwise.step");
+        let dest = add_mod(me, i, p);
+        let src = sub_mod(me, i, p);
+        let payload = u64s_to_bytes(&sendbuf[displs[dest]..displs[dest] + counts[dest]]);
+        let got = comm.sendrecv_buf(
+            dest,
+            RS_PAIRWISE_TAG,
+            MsgBuf::from_vec(payload),
+            src,
+            RS_PAIRWISE_TAG,
+        )?;
+        op.apply_slice(recvbuf, &bytes_to_u64s(got.as_slice())?);
+    }
+    Ok(())
+}
+
+/// Recursive-halving reduce_scatter. With `m` the largest power of two
+/// ≤ `P` and `r = P − m` remainder ranks:
+///
+/// 1. **Fold** — rank `q ≥ m` sends its whole input vector to `q − m`
+///    ([`RS_FOLD_TAG`], `8 · Σ counts` bytes), which reduces it in. The
+///    surviving `m` ranks then own the combined element space; virtual
+///    rank `v < r` answers for segments `v` *and* `v + m`.
+/// 2. **Halving** — `log₂ m` steps, largest groups first. At the step with
+///    half-width `h = 2ᵏ`, rank `v` exchanges with `v ⊕ h`
+///    ([`rs_halving_tag`]`(k)`): it sends the segments owned by the other
+///    half of its current group and folds the received half into its
+///    working vector, halving its responsibility each step.
+/// 3. **Unfold** — rank `v < r` mails the finished segment `v + m` back to
+///    its remainder partner ([`RS_UNFOLD_TAG`], `8 · counts[v + m]` bytes).
+pub(super) fn reduce_scatter_halving<C: Communicator + ?Sized>(
+    comm: &C,
+    sendbuf: &[u64],
+    recvbuf: &mut [u64],
+    counts: &[usize],
+    op: ReduceOp,
+) -> CommResult<()> {
+    let p = comm.size();
+    let me = comm.rank();
+    let displs = packed_displs(counts);
+    let m = if p.is_power_of_two() { p } else { p.next_power_of_two() / 2 };
+    let r = p - m;
+    let mut work = sendbuf.to_vec();
+
+    if me >= m {
+        // Remainder rank: hand the whole vector to the partner, collect the
+        // finished segment at the end.
+        {
+            let _probe = span("rs_halving.fold");
+            comm.send_buf(me - m, RS_FOLD_TAG, MsgBuf::from_vec(u64s_to_bytes(&work)))?;
+        }
+        let _probe = span("rs_halving.unfold");
+        let got = comm.recv_buf(me - m, RS_UNFOLD_TAG)?;
+        recvbuf.copy_from_slice(&bytes_to_u64s(got.as_slice())?);
+        return Ok(());
+    }
+
+    if me < r {
+        let _probe = span("rs_halving.fold");
+        let got = comm.recv_buf(me + m, RS_FOLD_TAG)?;
+        op.apply_slice(&mut work, &bytes_to_u64s(got.as_slice())?);
+    }
+
+    // Segments virtual rank `w` answers for after the fold.
+    let owned = |w: usize| -> Vec<usize> {
+        if w < r {
+            vec![w, w + m]
+        } else {
+            vec![w]
+        }
+    };
+    let steps = m.trailing_zeros();
+    for k in (0..steps).rev() {
+        let _probe = span("rs_halving.step");
+        let h = 1usize << k;
+        let partner = me ^ h;
+        let base = me & !(2 * h - 1);
+        let other_base = if me < base + h { base + h } else { base };
+        let mut payload = Vec::new();
+        for w in other_base..other_base + h {
+            for seg in owned(w) {
+                payload.extend_from_slice(&work[displs[seg]..displs[seg] + counts[seg]]);
+            }
+        }
+        let got = comm.sendrecv_buf(
+            partner,
+            rs_halving_tag(k),
+            MsgBuf::from_vec(u64s_to_bytes(&payload)),
+            partner,
+            rs_halving_tag(k),
+        )?;
+        let vals = bytes_to_u64s(got.as_slice())?;
+        let my_base = if other_base == base { base + h } else { base };
+        let mut at = 0;
+        for w in my_base..my_base + h {
+            for seg in owned(w) {
+                let len = counts[seg];
+                op.apply_slice(&mut work[displs[seg]..displs[seg] + len], &vals[at..at + len]);
+                at += len;
+            }
+        }
+    }
+
+    if me < r {
+        let _probe = span("rs_halving.unfold");
+        let seg = me + m;
+        let bytes = u64s_to_bytes(&work[displs[seg]..displs[seg] + counts[seg]]);
+        comm.send_buf(seg, RS_UNFOLD_TAG, MsgBuf::from_vec(bytes))?;
+    }
+    recvbuf.copy_from_slice(&work[displs[me]..displs[me] + counts[me]]);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use bruck_comm::ReduceOp;
+
+    use crate::collectives::testutil::{gv_counts, run_rs, SIZES};
+    use crate::collectives::ReduceScatterAlgorithm;
+
+    #[test]
+    fn pairwise_matches_reference_across_sizes() {
+        for p in SIZES {
+            for op in ReduceOp::ALL {
+                run_rs(ReduceScatterAlgorithm::Pairwise, &gv_counts(p, 3), op);
+            }
+        }
+    }
+
+    #[test]
+    fn halving_matches_reference_across_sizes() {
+        for p in SIZES {
+            for op in ReduceOp::ALL {
+                run_rs(ReduceScatterAlgorithm::RecursiveHalving, &gv_counts(p, 3), op);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_segments_are_legal() {
+        for algo in ReduceScatterAlgorithm::ALL {
+            run_rs(algo, &[0, 3, 0, 1, 0], ReduceOp::Sum);
+            run_rs(algo, &[0, 0, 0], ReduceOp::Max);
+        }
+    }
+}

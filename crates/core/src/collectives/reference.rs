@@ -1,0 +1,99 @@
+//! Naive local references for the collective family.
+//!
+//! These compute the *defined result* of each collective directly from
+//! every rank's input — no communication, no schedule — and are the oracle
+//! every wire schedule is differentially tested against. Keeping them pure
+//! functions makes the gauntlet's comparison trivially trustworthy: there
+//! is no shared code path with the schedules under test.
+
+use bruck_comm::ReduceOp;
+
+/// Deterministic byte for (rank, offset) test payloads — the collective
+/// family's analogue of the alltoallv pattern convention. Shared by the
+/// unit tests, the differential gauntlet, and the chaos cells so every
+/// layer checks the same bytes.
+pub fn pattern_byte(rank: usize, idx: usize) -> u8 {
+    (rank.wrapping_mul(167) ^ idx.wrapping_mul(13) ^ 0x5A) as u8
+}
+
+/// Deterministic element for (rank, offset) reduce-family payloads.
+pub fn pattern_u64(rank: usize, idx: usize) -> u64 {
+    let x = (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (idx as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^ (x >> 29)
+}
+
+/// The defined allgatherv result: the concatenation of every rank's
+/// contribution in rank order (packed layout).
+pub fn reference_allgatherv(inputs: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(inputs.iter().map(Vec::len).sum());
+    for block in inputs {
+        out.extend_from_slice(block);
+    }
+    out
+}
+
+/// The defined reduce_scatter result: element-wise reduce all input vectors
+/// in rank order, then split into per-rank segments of `counts` elements.
+///
+/// # Panics
+/// If input lengths disagree with `Σ counts` — test-harness misuse, not a
+/// runtime condition.
+pub fn reference_reduce_scatter(
+    inputs: &[Vec<u64>],
+    counts: &[usize],
+    op: ReduceOp,
+) -> Vec<Vec<u64>> {
+    let reduced = reference_allreduce(inputs, op);
+    assert_eq!(reduced.len(), counts.iter().sum::<usize>(), "counts must partition the vector");
+    let mut out = Vec::with_capacity(counts.len());
+    let mut at = 0;
+    for &c in counts {
+        out.push(reduced[at..at + c].to_vec());
+        at += c;
+    }
+    out
+}
+
+/// The defined allreduce result: the sequential element-wise fold of every
+/// rank's vector, in rank order.
+///
+/// # Panics
+/// If the input vectors differ in length — test-harness misuse.
+pub fn reference_allreduce(inputs: &[Vec<u64>], op: ReduceOp) -> Vec<u64> {
+    let Some(first) = inputs.first() else {
+        return Vec::new();
+    };
+    let mut acc = first.clone();
+    for v in &inputs[1..] {
+        op.apply_slice(&mut acc, v);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allgatherv_reference_concatenates() {
+        let inputs = vec![vec![1u8, 2], vec![], vec![3]];
+        assert_eq!(reference_allgatherv(&inputs), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn reduce_scatter_reference_partitions_the_fold() {
+        let inputs = vec![vec![1u64, 2, 3], vec![10, 20, 30]];
+        let segs = reference_reduce_scatter(&inputs, &[2, 1], ReduceOp::Sum);
+        assert_eq!(segs, vec![vec![11, 22], vec![33]]);
+    }
+
+    #[test]
+    fn allreduce_reference_folds_in_rank_order() {
+        let inputs = vec![vec![5u64, 1], vec![2, 9], vec![7, 3]];
+        assert_eq!(reference_allreduce(&inputs, ReduceOp::Max), vec![7, 9]);
+        assert_eq!(reference_allreduce(&inputs, ReduceOp::Min), vec![2, 1]);
+        assert_eq!(reference_allreduce(&inputs, ReduceOp::Sum), vec![14, 13]);
+        assert_eq!(reference_allreduce(&[], ReduceOp::Sum), Vec::<u64>::new());
+    }
+}

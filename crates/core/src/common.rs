@@ -91,6 +91,62 @@ pub const RESILIENT_FALLBACK_TAG: Tag = 0x0700;
 /// Number of distinct fallback tags before epoch reuse wraps around.
 pub const RESILIENT_EPOCH_SPAN: u32 = 0x100;
 
+// ---------------------------------------------------------------------------
+// The wider collective family (allgatherv / reduce_scatter / allreduce /
+// PAT) owns the 0x0800..0x0FFF block — disjoint from every alltoallv tag
+// above and from the resilient fallback span, so composed collectives (the
+// reduce_scatter + allgatherv allreduce) can never match a stray alltoallv
+// frame. `bruck-model`'s collective trace generators mirror these bases;
+// the gauntlet pins the two crates to the same values.
+// ---------------------------------------------------------------------------
+
+/// Tag for ring-allgatherv step `s` (one hop per step, `P − 1` steps).
+pub fn agv_ring_tag(s: u32) -> Tag {
+    0x0800 + s
+}
+
+/// Tag for Bruck (distance-doubling) allgatherv step `k`.
+pub fn agv_bruck_tag(k: u32) -> Tag {
+    0x0900 + k
+}
+
+/// Tag for the pairwise-exchange reduce_scatter (single all-pairs phase).
+pub const RS_PAIRWISE_TAG: Tag = 0x0A00;
+
+/// Tag for recursive-halving reduce_scatter step `k`.
+pub fn rs_halving_tag(k: u32) -> Tag {
+    0x0B00 + k
+}
+
+/// Tag for the recursive-halving pre-fold (non-power-of-two remainder ranks
+/// hand their whole vector to a partner).
+pub const RS_FOLD_TAG: Tag = 0x0B80;
+
+/// Tag for the recursive-halving post-unfold (partners hand remainder ranks
+/// their finished segment back).
+pub const RS_UNFOLD_TAG: Tag = 0x0B81;
+
+/// Tag for recursive-doubling allreduce step `k`.
+pub fn ar_doubling_tag(k: u32) -> Tag {
+    0x0C00 + k
+}
+
+/// Tag for the recursive-doubling pre-fold.
+pub const AR_FOLD_TAG: Tag = 0x0C80;
+
+/// Tag for the recursive-doubling post-unfold.
+pub const AR_UNFOLD_TAG: Tag = 0x0C81;
+
+/// Tag for PAT all-gather phase `k` (descending-bit binomial trees).
+pub fn pat_ag_tag(k: u32) -> Tag {
+    0x0D00 + k
+}
+
+/// Tag for PAT reduce-scatter phase `k` (ascending-bit mirrored trees).
+pub fn pat_rs_tag(k: u32) -> Tag {
+    0x0E00 + k
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

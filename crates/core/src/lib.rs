@@ -23,6 +23,14 @@
 //! * [`padded_alltoall`] — pad → vendor uniform all-to-all → scan
 //! * [`sloav_alltoallv`] — the SLOAV (Xu et al.) prior art, reimplemented (§6.1)
 //!
+//! ## Beyond alltoallv — the collective family
+//!
+//! [`allgatherv`] (ring / Bruck doubling / PAT), [`reduce_scatter`]
+//! (pairwise / recursive halving / PAT), and [`allreduce`] (recursive
+//! doubling / reduce_scatter+allgather), dispatched through
+//! [`AllgathervAlgorithm`], [`ReduceScatterAlgorithm`], and
+//! [`AllreduceAlgorithm`] — see the [`collectives`] module.
+//!
 //! ## Model — §3.3
 //!
 //! [`padded_bruck_cost`], [`two_phase_bruck_cost`], [`spread_out_cost`],
@@ -58,6 +66,7 @@
 #![deny(missing_docs)]
 
 mod allgather;
+pub mod collectives;
 pub mod common;
 mod memory;
 mod model;
@@ -68,6 +77,11 @@ mod radix;
 mod uniform;
 
 pub use allgather::bruck_allgatherv;
+pub use collectives::{
+    allgatherv, allreduce, collective_with_deadline, pattern_byte, pattern_u64, reduce_scatter,
+    reference_allgatherv, reference_allreduce, reference_reduce_scatter, AllgathervAlgorithm,
+    AllreduceAlgorithm, CollectiveOutcome, ReduceScatterAlgorithm,
+};
 pub use memory::{memory_overhead_bytes, select_algorithm_with_budget};
 pub use model::{
     padded_beats_two_phase, padded_bruck_cost, select_algorithm, spread_out_cost,

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod collective;
 mod fit;
 mod machine;
 mod par;
@@ -37,6 +38,10 @@ mod trace;
 mod tracegen;
 mod tuner;
 
+pub use collective::{
+    allgatherv_trace, allreduce_trace, reduce_scatter_trace, AllgathervModel, AllreduceModel,
+    ReduceScatterModel,
+};
 pub use fit::{calibrate, fit_error, FitSample};
 pub use par::par_map;
 pub use machine::MachineModel;

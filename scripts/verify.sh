@@ -10,6 +10,14 @@ cargo test --workspace -q
 # cell under MeteredComm must match the closed-form model's phase counts,
 # message counts, and byte volumes.
 cargo test --release -q --test conformance
+# Collective-family gate (DESIGN.md §16): the differential gauntlet — every
+# allgatherv / reduce_scatter / allreduce schedule vs the naive reference,
+# byte-identical across ThreadComm/SimComm/EventComm, schedule-independent
+# over 16 sim seeds, and message/byte-exact against the closed-form model
+# traces (a miscounted trace must fail with a precise diagnostic) — plus the
+# seeded property sweep over arbitrary non-uniform counts.
+cargo test --release -q --test collectives_gauntlet
+cargo test --release -q --test collectives_properties
 # Static gates (DESIGN.md §8): source lint with audited allowlist, then the
 # protocol-analysis matrix (every algorithm × workload under the model
 # communicator). Both exit non-zero on any unallowlisted finding.

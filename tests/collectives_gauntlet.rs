@@ -1,0 +1,521 @@
+//! The differential collective gauntlet (DESIGN.md §16).
+//!
+//! Every schedule of the collective family — allgatherv (ring / Bruck /
+//! PAT), reduce_scatter (pairwise / recursive halving / PAT), allreduce
+//! (recursive doubling / reduce_scatter+allgather) — is held to four bars:
+//!
+//! 1. **Differential**: byte-identical to the naive local reference on
+//!    every rank, across ThreadComm, SimComm, and EventComm.
+//! 2. **Schedule independence**: byte-identical results over 16 SimComm
+//!    schedule seeds.
+//! 3. **Conformance**: under `MeteredComm`, per-tag message and byte counts
+//!    match `bruck-model`'s closed-form traces *exactly*, logical totals are
+//!    fully explained by the trace, and the probe-span timeline matches the
+//!    declared phase table.
+//! 4. **Honest gate**: a deliberately miscounted model trace must produce a
+//!    precise violation — proving the conformance gate can actually fail.
+
+use bruck_comm::{Communicator, EventComm, MeteredComm, Metrics, ReduceOp, SimComm, ThreadComm};
+use bruck_core::common::{
+    agv_bruck_tag, agv_ring_tag, ar_doubling_tag, ceil_log2, pat_ag_tag, pat_rs_tag,
+    rs_halving_tag, AR_FOLD_TAG, AR_UNFOLD_TAG, RS_FOLD_TAG, RS_PAIRWISE_TAG, RS_UNFOLD_TAG,
+};
+use bruck_core::probe::{self, PhaseEvent};
+use bruck_core::{
+    allgatherv, allreduce, packed_displs, pattern_byte, pattern_u64, reduce_scatter,
+    reference_allgatherv, reference_allreduce, reference_reduce_scatter, AllgathervAlgorithm,
+    AllreduceAlgorithm, ReduceScatterAlgorithm,
+};
+use bruck_model::{
+    allgatherv_trace, allreduce_trace, reduce_scatter_trace, AllgathervModel, AllreduceModel,
+    CommTrace, RankSample, ReduceScatterModel,
+};
+
+/// World sizes covering the degenerate (1), even/odd, power-of-two and
+/// non-power-of-two regimes.
+const SIZES: [usize; 6] = [1, 2, 3, 5, 8, 12];
+
+const SIM_SEEDS: u64 = 16;
+
+/// Deterministic non-uniform per-rank counts with zeros sprinkled in.
+fn gv_counts(p: usize, seed: u64) -> Vec<usize> {
+    (0..p)
+        .map(|i| {
+            let x = (seed.wrapping_mul(31).wrapping_add(i as u64 * 7)) % 13;
+            if (i as u64 + seed) % 4 == 0 {
+                0
+            } else {
+                x as usize + 1
+            }
+        })
+        .collect()
+}
+
+fn gv_input(r: usize, len: usize) -> Vec<u8> {
+    (0..len).map(|i| pattern_byte(r, i)).collect()
+}
+
+fn rs_input(r: usize, len: usize) -> Vec<u64> {
+    (0..len).map(|i| pattern_u64(r, i)).collect()
+}
+
+/// The closure each rank runs for one allgatherv cell.
+fn gv_cell<C: Communicator + ?Sized>(
+    algo: AllgathervAlgorithm,
+    comm: &C,
+    counts: &[usize],
+) -> Vec<u8> {
+    let me = comm.rank();
+    let displs = packed_displs(counts);
+    let input = gv_input(me, counts[me]);
+    let mut recvbuf = vec![0u8; counts.iter().sum()];
+    allgatherv(algo, comm, &input, &mut recvbuf, counts, &displs).unwrap();
+    recvbuf
+}
+
+fn rs_cell<C: Communicator + ?Sized>(
+    algo: ReduceScatterAlgorithm,
+    comm: &C,
+    counts: &[usize],
+    op: ReduceOp,
+) -> Vec<u64> {
+    let me = comm.rank();
+    let total: usize = counts.iter().sum();
+    let input = rs_input(me, total);
+    let mut recvbuf = vec![0u64; counts[me]];
+    reduce_scatter(algo, comm, &input, &mut recvbuf, counts, op).unwrap();
+    recvbuf
+}
+
+fn ar_cell<C: Communicator + ?Sized>(
+    algo: AllreduceAlgorithm,
+    comm: &C,
+    n: usize,
+    op: ReduceOp,
+) -> Vec<u64> {
+    let mut buf = rs_input(comm.rank(), n);
+    allreduce(algo, comm, &mut buf, op).unwrap();
+    buf
+}
+
+// ---------------------------------------------------------------------------
+// Bar 1: differential vs the local reference, across all three backends.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn allgatherv_is_byte_identical_across_backends() {
+    for p in SIZES {
+        let counts = gv_counts(p, 2);
+        let want = reference_allgatherv(&(0..p).map(|r| gv_input(r, counts[r])).collect::<Vec<_>>());
+        for algo in AllgathervAlgorithm::ALL {
+            let c = counts.clone();
+            let thread = ThreadComm::run(p, move |comm| gv_cell(algo, comm, &c));
+            let c = counts.clone();
+            let sim = SimComm::run(p, 1, move |comm| gv_cell(algo, comm, &c)).results;
+            let c = counts.clone();
+            let event = EventComm::run(p, move |comm| gv_cell(algo, comm, &c));
+            for (backend, results) in [("ThreadComm", &thread), ("SimComm", &sim), ("EventComm", &event)] {
+                for (r, got) in results.iter().enumerate() {
+                    assert_eq!(got, &want, "{} {backend} rank {r} p={p}", algo.name());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reduce_scatter_is_byte_identical_across_backends() {
+    for p in SIZES {
+        let counts = gv_counts(p, 4);
+        let total: usize = counts.iter().sum();
+        let inputs: Vec<Vec<u64>> = (0..p).map(|r| rs_input(r, total)).collect();
+        for op in ReduceOp::ALL {
+            let want = reference_reduce_scatter(&inputs, &counts, op);
+            for algo in ReduceScatterAlgorithm::ALL {
+                let c = counts.clone();
+                let thread = ThreadComm::run(p, move |comm| rs_cell(algo, comm, &c, op));
+                let c = counts.clone();
+                let sim = SimComm::run(p, 1, move |comm| rs_cell(algo, comm, &c, op)).results;
+                let c = counts.clone();
+                let event = EventComm::run(p, move |comm| rs_cell(algo, comm, &c, op));
+                for (backend, results) in
+                    [("ThreadComm", &thread), ("SimComm", &sim), ("EventComm", &event)]
+                {
+                    for (r, got) in results.iter().enumerate() {
+                        assert_eq!(got, &want[r], "{} {backend} rank {r} p={p} {op:?}", algo.name());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn allreduce_is_byte_identical_across_backends() {
+    for p in SIZES {
+        for n in [0usize, 1, 23] {
+            let inputs: Vec<Vec<u64>> = (0..p).map(|r| rs_input(r, n)).collect();
+            for op in ReduceOp::ALL {
+                let want = reference_allreduce(&inputs, op);
+                for algo in AllreduceAlgorithm::ALL {
+                    let thread = ThreadComm::run(p, move |comm| ar_cell(algo, comm, n, op));
+                    let sim = SimComm::run(p, 1, move |comm| ar_cell(algo, comm, n, op)).results;
+                    let event = EventComm::run(p, move |comm| ar_cell(algo, comm, n, op));
+                    for (backend, results) in
+                        [("ThreadComm", &thread), ("SimComm", &sim), ("EventComm", &event)]
+                    {
+                        for (r, got) in results.iter().enumerate() {
+                            assert_eq!(
+                                got, &want,
+                                "{} {backend} rank {r} p={p} n={n} {op:?}",
+                                algo.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bar 2: schedule independence over SimComm seeds.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_schedule_is_seed_independent_on_simcomm() {
+    for p in [5usize, 8] {
+        let counts = gv_counts(p, 6);
+        let total: usize = counts.iter().sum();
+        let gv_want =
+            reference_allgatherv(&(0..p).map(|r| gv_input(r, counts[r])).collect::<Vec<_>>());
+        let rs_inputs: Vec<Vec<u64>> = (0..p).map(|r| rs_input(r, total)).collect();
+        let rs_want = reference_reduce_scatter(&rs_inputs, &counts, ReduceOp::Sum);
+        let ar_want =
+            reference_allreduce(&(0..p).map(|r| rs_input(r, 19)).collect::<Vec<_>>(), ReduceOp::Sum);
+        for seed in 0..SIM_SEEDS {
+            for algo in AllgathervAlgorithm::ALL {
+                let c = counts.clone();
+                let run = SimComm::run(p, seed, move |comm| gv_cell(algo, comm, &c));
+                for (r, got) in run.results.iter().enumerate() {
+                    assert_eq!(got, &gv_want, "{} seed {seed} rank {r} p={p}", algo.name());
+                }
+            }
+            for algo in ReduceScatterAlgorithm::ALL {
+                let c = counts.clone();
+                let run = SimComm::run(p, seed, move |comm| rs_cell(algo, comm, &c, ReduceOp::Sum));
+                for (r, got) in run.results.iter().enumerate() {
+                    assert_eq!(got, &rs_want[r], "{} seed {seed} rank {r} p={p}", algo.name());
+                }
+            }
+            for algo in AllreduceAlgorithm::ALL {
+                let run = SimComm::run(p, seed, move |comm| ar_cell(algo, comm, 19, ReduceOp::Sum));
+                for (r, got) in run.results.iter().enumerate() {
+                    assert_eq!(got, &ar_want, "{} seed {seed} rank {r} p={p}", algo.name());
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bar 3: metered conformance against the closed-form model traces.
+// ---------------------------------------------------------------------------
+
+/// Compare one rank's metered counters against the model trace — exact
+/// message and byte counts per tag, and logical totals fully explained.
+fn conformance_violations(rank: usize, metrics: &Metrics, trace: &CommTrace) -> Vec<String> {
+    let mut v = metrics.consistency_errors();
+    let mut predicted_msgs = 0u64;
+    let mut predicted_bytes = 0u64;
+    for tag in trace.wire_tags() {
+        let Some(want_msgs) = trace.msgs_for_tag(rank, tag) else {
+            v.push(format!("rank {rank}: trace does not cover rank for tag {tag:#x}"));
+            continue;
+        };
+        let want_bytes = trace.bytes_for_tag(rank, tag).unwrap_or(0);
+        predicted_msgs += want_msgs;
+        predicted_bytes += want_bytes;
+        let got = metrics.sent_for_tag(tag);
+        if got.msgs != want_msgs {
+            v.push(format!(
+                "rank {rank} tag {tag:#x}: sent {} messages, model predicts {want_msgs}",
+                got.msgs
+            ));
+        }
+        if got.bytes != want_bytes {
+            v.push(format!(
+                "rank {rank} tag {tag:#x}: sent {} bytes, model predicts {want_bytes}",
+                got.bytes
+            ));
+        }
+    }
+    if metrics.logical.sent_msgs != predicted_msgs {
+        v.push(format!(
+            "rank {rank}: {} logical messages total, model explains {predicted_msgs}",
+            metrics.logical.sent_msgs
+        ));
+    }
+    if metrics.logical.sent_bytes != predicted_bytes {
+        v.push(format!(
+            "rank {rank}: {} logical bytes total, model explains {predicted_bytes}",
+            metrics.logical.sent_bytes
+        ));
+    }
+    v
+}
+
+/// Every expected span name exactly `count` times, and nothing else.
+fn phase_violations(rank: usize, events: &[PhaseEvent], expected: &[(&str, u64)]) -> Vec<String> {
+    let mut v = Vec::new();
+    for &(name, count) in expected {
+        let got = events.iter().filter(|e| e.name == name).count() as u64;
+        if got != count {
+            v.push(format!("rank {rank}: phase '{name}' recorded {got} times, expected {count}"));
+        }
+    }
+    let total: u64 = expected.iter().map(|&(_, c)| c).sum();
+    if events.len() as u64 != total {
+        v.push(format!("rank {rank}: {} phase events, expected {total}", events.len()));
+    }
+    v
+}
+
+fn pow2_core(p: usize) -> usize {
+    if p.is_power_of_two() {
+        p
+    } else {
+        p.next_power_of_two() / 2
+    }
+}
+
+fn nonzero(phases: Vec<(&'static str, u64)>) -> Vec<(&'static str, u64)> {
+    phases.into_iter().filter(|&(_, c)| c > 0).collect()
+}
+
+fn gv_phases(algo: AllgathervAlgorithm, p: usize) -> Vec<(&'static str, u64)> {
+    let lg = u64::from(ceil_log2(p));
+    nonzero(match algo {
+        AllgathervAlgorithm::Ring => vec![("agv_ring.step", p as u64 - 1)],
+        AllgathervAlgorithm::Bruck => vec![("agv_bruck.step", lg)],
+        AllgathervAlgorithm::Pat => vec![("pat_ag.step", lg)],
+    })
+}
+
+/// Halving/doubling phase table — per rank: remainder ranks see only
+/// fold + unfold, core ranks see the halving steps (plus fold/unfold when
+/// they have a remainder partner).
+fn folded_phases(
+    names: (&'static str, &'static str, &'static str),
+    p: usize,
+    me: usize,
+) -> Vec<(&'static str, u64)> {
+    let (fold, step, unfold) = names;
+    let m = pow2_core(p);
+    let r = p - m;
+    let lg = m.trailing_zeros() as u64;
+    if me >= m {
+        vec![(fold, 1), (unfold, 1)]
+    } else {
+        let partnered = u64::from(me < r);
+        nonzero(vec![(fold, partnered), (step, lg), (unfold, partnered)])
+    }
+}
+
+fn rs_phases(algo: ReduceScatterAlgorithm, p: usize, me: usize) -> Vec<(&'static str, u64)> {
+    match algo {
+        ReduceScatterAlgorithm::Pairwise => nonzero(vec![("rs_pairwise.step", p as u64 - 1)]),
+        ReduceScatterAlgorithm::RecursiveHalving => {
+            folded_phases(("rs_halving.fold", "rs_halving.step", "rs_halving.unfold"), p, me)
+        }
+        ReduceScatterAlgorithm::Pat => nonzero(vec![("pat_rs.step", u64::from(ceil_log2(p)))]),
+    }
+}
+
+fn ar_phases(algo: AllreduceAlgorithm, p: usize, me: usize) -> Vec<(&'static str, u64)> {
+    match algo {
+        AllreduceAlgorithm::RecursiveDoubling => {
+            folded_phases(("ar_doubling.fold", "ar_doubling.step", "ar_doubling.unfold"), p, me)
+        }
+        AllreduceAlgorithm::ReduceScatterAllgather => {
+            let mut v = rs_phases(ReduceScatterAlgorithm::RecursiveHalving, p, me);
+            v.extend(gv_phases(AllgathervAlgorithm::Bruck, p));
+            v
+        }
+    }
+}
+
+fn assert_conformant(
+    name: &str,
+    runs: &[(Metrics, Vec<PhaseEvent>)],
+    trace: &CommTrace,
+    phases: impl Fn(usize) -> Vec<(&'static str, u64)>,
+) {
+    for (rank, (metrics, events)) in runs.iter().enumerate() {
+        let mut v = conformance_violations(rank, metrics, trace);
+        v.extend(phase_violations(rank, events, &phases(rank)));
+        assert!(v.is_empty(), "{name}: {v:#?}");
+    }
+}
+
+#[test]
+fn allgatherv_conforms_to_model_traces() {
+    for p in SIZES {
+        let counts = gv_counts(p, 7);
+        for (algo, model) in [
+            (AllgathervAlgorithm::Ring, AllgathervModel::Ring),
+            (AllgathervAlgorithm::Bruck, AllgathervModel::Bruck),
+            (AllgathervAlgorithm::Pat, AllgathervModel::Pat),
+        ] {
+            let trace = allgatherv_trace(model, &counts, &RankSample::all(p));
+            let c = counts.clone();
+            let runs = ThreadComm::run(p, move |comm| {
+                let mc = MeteredComm::new(comm);
+                probe::install();
+                gv_cell(algo, &mc, &c);
+                (mc.metrics(), probe::take())
+            });
+            assert_conformant(&format!("{} p={p}", algo.name()), &runs, &trace, |_| {
+                gv_phases(algo, p)
+            });
+        }
+    }
+}
+
+#[test]
+fn reduce_scatter_conforms_to_model_traces() {
+    for p in SIZES {
+        let counts = gv_counts(p, 9);
+        for (algo, model) in [
+            (ReduceScatterAlgorithm::Pairwise, ReduceScatterModel::Pairwise),
+            (ReduceScatterAlgorithm::RecursiveHalving, ReduceScatterModel::Halving),
+            (ReduceScatterAlgorithm::Pat, ReduceScatterModel::Pat),
+        ] {
+            let trace = reduce_scatter_trace(model, &counts, &RankSample::all(p));
+            let c = counts.clone();
+            let runs = ThreadComm::run(p, move |comm| {
+                let mc = MeteredComm::new(comm);
+                probe::install();
+                rs_cell(algo, &mc, &c, ReduceOp::Sum);
+                (mc.metrics(), probe::take())
+            });
+            assert_conformant(&format!("{} p={p}", algo.name()), &runs, &trace, |me| {
+                rs_phases(algo, p, me)
+            });
+        }
+    }
+}
+
+#[test]
+fn allreduce_conforms_to_model_traces() {
+    for p in SIZES {
+        let n = 23usize;
+        for (algo, model) in [
+            (AllreduceAlgorithm::RecursiveDoubling, AllreduceModel::Doubling),
+            (AllreduceAlgorithm::ReduceScatterAllgather, AllreduceModel::RsAg),
+        ] {
+            let trace = allreduce_trace(model, p, n, &RankSample::all(p));
+            let runs = ThreadComm::run(p, move |comm| {
+                let mc = MeteredComm::new(comm);
+                probe::install();
+                ar_cell(algo, &mc, n, ReduceOp::Max);
+                (mc.metrics(), probe::take())
+            });
+            assert_conformant(&format!("{} p={p}", algo.name()), &runs, &trace, |me| {
+                ar_phases(algo, p, me)
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tag agreement: core's tag functions and the model's trace tags are the
+// same constants (the two crates deliberately do not share code).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn core_and_model_agree_on_every_wire_tag() {
+    let p = 12;
+    let counts = vec![4usize; p];
+    let s = RankSample::all(p);
+    let lg = ceil_log2(p);
+    assert_eq!(
+        allgatherv_trace(AllgathervModel::Ring, &counts, &s).wire_tags(),
+        (0..p as u32 - 1).map(agv_ring_tag).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        allgatherv_trace(AllgathervModel::Bruck, &counts, &s).wire_tags(),
+        (0..lg).map(agv_bruck_tag).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        allgatherv_trace(AllgathervModel::Pat, &counts, &s).wire_tags(),
+        (0..lg).rev().map(pat_ag_tag).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        reduce_scatter_trace(ReduceScatterModel::Pairwise, &counts, &s).wire_tags(),
+        vec![RS_PAIRWISE_TAG]
+    );
+    let m = pow2_core(p);
+    let mut halving = vec![RS_FOLD_TAG];
+    halving.extend((0..m.trailing_zeros()).rev().map(rs_halving_tag));
+    halving.push(RS_UNFOLD_TAG);
+    assert_eq!(reduce_scatter_trace(ReduceScatterModel::Halving, &counts, &s).wire_tags(), halving);
+    assert_eq!(
+        reduce_scatter_trace(ReduceScatterModel::Pat, &counts, &s).wire_tags(),
+        (0..lg).map(pat_rs_tag).collect::<Vec<_>>()
+    );
+    let mut doubling = vec![AR_FOLD_TAG];
+    doubling.extend((0..m.trailing_zeros()).map(ar_doubling_tag));
+    doubling.push(AR_UNFOLD_TAG);
+    assert_eq!(allreduce_trace(AllreduceModel::Doubling, p, 8, &s).wire_tags(), doubling);
+}
+
+// ---------------------------------------------------------------------------
+// Bar 4: the conformance gate can fail — a miscounted fixture must produce
+// a precise diagnostic.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn miscounted_allgatherv_fixture_fails_the_gate_with_precise_diagnostic() {
+    let p = 5;
+    let counts = gv_counts(p, 7);
+    let c = counts.clone();
+    let runs = ThreadComm::run(p, move |comm| {
+        let mc = MeteredComm::new(comm);
+        gv_cell(AllgathervAlgorithm::Bruck, &mc, &c);
+        mc.metrics()
+    });
+
+    // The honest trace passes...
+    let honest = allgatherv_trace(AllgathervModel::Bruck, &counts, &RankSample::all(p));
+    for (rank, metrics) in runs.iter().enumerate() {
+        assert!(conformance_violations(rank, metrics, &honest).is_empty());
+    }
+
+    // ...and a trace built from deliberately miscounted contributions — the
+    // classic "one rank's count drifted" bug — must fail, naming a Bruck
+    // wire tag, the measured bytes, and the (wrong) prediction.
+    let mut wrong = counts.clone();
+    wrong[1] += 3;
+    let fixture = allgatherv_trace(AllgathervModel::Bruck, &wrong, &RankSample::all(p));
+    let violations: Vec<String> = runs
+        .iter()
+        .enumerate()
+        .flat_map(|(rank, metrics)| conformance_violations(rank, metrics, &fixture))
+        .collect();
+    assert!(!violations.is_empty(), "miscounted fixture must not pass the gate");
+    assert!(
+        violations.iter().any(|v| v.contains("tag 0x9") && v.contains("model predicts")),
+        "diagnostic must name the Bruck tag and both byte counts: {violations:#?}"
+    );
+
+    // A wrong-schedule trace (ring instead of Bruck) fails on message
+    // accounting, not just bytes.
+    let wrong_schedule = allgatherv_trace(AllgathervModel::Ring, &counts, &RankSample::all(p));
+    let violations: Vec<String> = runs
+        .iter()
+        .enumerate()
+        .flat_map(|(rank, metrics)| conformance_violations(rank, metrics, &wrong_schedule))
+        .collect();
+    assert!(violations.iter().any(|v| v.contains("messages")), "{violations:#?}");
+}

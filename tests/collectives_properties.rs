@@ -1,0 +1,137 @@
+//! Property sweep for the collective family: seeded arbitrary non-uniform
+//! counts — including zero-sized segments, all-zero worlds, and the
+//! single-rank degenerate — checked against the defining equations:
+//!
+//! * allgatherv == concatenation of every rank's contribution;
+//! * allreduce == the sequential element-wise fold of every rank's vector;
+//! * reduce_scatter's segments partition the reduced vector: concatenating
+//!   every rank's output segment reproduces the full allreduce.
+
+use bruck_comm::{Communicator, ReduceOp, ThreadComm};
+use bruck_core::{
+    allgatherv, allreduce, packed_displs, pattern_byte, pattern_u64, reduce_scatter,
+    reference_allgatherv, reference_allreduce, AllgathervAlgorithm, AllreduceAlgorithm,
+    ReduceScatterAlgorithm,
+};
+
+/// splitmix64 — deterministic, seed-stirred count generation.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Arbitrary non-uniform counts: ~1/3 of ranks get zero-sized segments.
+fn arbitrary_counts(p: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed;
+    (0..p)
+        .map(|_| {
+            let x = splitmix(&mut state);
+            if x % 3 == 0 {
+                0
+            } else {
+                (x % 11) as usize + 1
+            }
+        })
+        .collect()
+}
+
+/// The sweep grid: every world size (incl. the single-rank degenerate) ×
+/// several seeds, plus hand-picked edge count vectors.
+fn sweep_counts() -> Vec<Vec<usize>> {
+    let mut cases = Vec::new();
+    for p in [1usize, 2, 3, 4, 5, 7, 8, 11, 16] {
+        for seed in [1u64, 2, 3] {
+            cases.push(arbitrary_counts(p, seed));
+        }
+    }
+    // Edges: all-zero world, single non-empty rank, heavily skewed.
+    cases.push(vec![0; 6]);
+    cases.push(vec![0, 0, 9, 0, 0]);
+    cases.push(vec![40, 1, 1, 1]);
+    cases.push(vec![3]);
+    cases.push(vec![0]);
+    cases
+}
+
+#[test]
+fn allgatherv_equals_concatenation() {
+    for counts in sweep_counts() {
+        let p = counts.len();
+        let inputs: Vec<Vec<u8>> =
+            (0..p).map(|r| (0..counts[r]).map(|i| pattern_byte(r, i)).collect()).collect();
+        let want = reference_allgatherv(&inputs);
+        for algo in AllgathervAlgorithm::ALL {
+            let c = counts.clone();
+            let ins = inputs.clone();
+            let results = ThreadComm::run(p, move |comm| {
+                let me = comm.rank();
+                let displs = packed_displs(&c);
+                let mut recvbuf = vec![0u8; c.iter().sum()];
+                allgatherv(algo, comm, &ins[me], &mut recvbuf, &c, &displs).unwrap();
+                recvbuf
+            });
+            for (r, got) in results.iter().enumerate() {
+                assert_eq!(got, &want, "{} rank {r} counts {counts:?}", algo.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn allreduce_equals_sequential_fold() {
+    for counts in sweep_counts() {
+        // Reuse the count vectors as (p, n) shapes: n = Σ counts.
+        let p = counts.len();
+        let n: usize = counts.iter().sum();
+        let inputs: Vec<Vec<u64>> =
+            (0..p).map(|r| (0..n).map(|i| pattern_u64(r, i)).collect()).collect();
+        for op in ReduceOp::ALL {
+            let want = reference_allreduce(&inputs, op);
+            for algo in AllreduceAlgorithm::ALL {
+                let ins = inputs.clone();
+                let results = ThreadComm::run(p, move |comm| {
+                    let mut buf = ins[comm.rank()].clone();
+                    allreduce(algo, comm, &mut buf, op).unwrap();
+                    buf
+                });
+                for (r, got) in results.iter().enumerate() {
+                    assert_eq!(got, &want, "{} rank {r} p={p} n={n} {op:?}", algo.name());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reduce_scatter_segments_partition_the_reduced_vector() {
+    for counts in sweep_counts() {
+        let p = counts.len();
+        let total: usize = counts.iter().sum();
+        let inputs: Vec<Vec<u64>> =
+            (0..p).map(|r| (0..total).map(|i| pattern_u64(r, i)).collect()).collect();
+        for op in ReduceOp::ALL {
+            let reduced = reference_allreduce(&inputs, op);
+            for algo in ReduceScatterAlgorithm::ALL {
+                let c = counts.clone();
+                let ins = inputs.clone();
+                let results = ThreadComm::run(p, move |comm| {
+                    let me = comm.rank();
+                    let mut recvbuf = vec![0u64; c[me]];
+                    reduce_scatter(algo, comm, &ins[me], &mut recvbuf, &c, op).unwrap();
+                    recvbuf
+                });
+                // Segment lengths match counts, and their concatenation in
+                // rank order is exactly the full reduction — a partition.
+                let mut glued = Vec::with_capacity(total);
+                for (r, seg) in results.iter().enumerate() {
+                    assert_eq!(seg.len(), counts[r], "{} rank {r}", algo.name());
+                    glued.extend_from_slice(seg);
+                }
+                assert_eq!(glued, reduced, "{} counts {counts:?} {op:?}", algo.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! The README "Beyond alltoallv" example, compiled and run verbatim so the
+//! docs cannot rot.
+
+use bruck_comm::{Communicator, ReduceOp, ThreadComm};
+use bruck_core::{
+    allgatherv, allreduce, packed_displs, AllgathervAlgorithm, AllreduceAlgorithm,
+};
+
+#[test]
+fn readme_beyond_alltoallv_example() {
+    ThreadComm::run(4, |comm| {
+        let me = comm.rank();
+        // Non-uniform all-gather: rank r contributes r bytes (rank 0: none).
+        let counts = vec![0, 1, 2, 3];
+        let displs = packed_displs(&counts);
+        let mine = vec![me as u8; counts[me]];
+        let mut gathered = vec![0u8; counts.iter().sum()];
+        allgatherv(AllgathervAlgorithm::Pat, comm, &mine, &mut gathered, &counts, &displs)
+            .unwrap();
+        assert_eq!(gathered, [1, 2, 2, 3, 3, 3]);
+
+        // Bandwidth-optimal allreduce over u64 vectors.
+        let mut v = vec![me as u64; 8];
+        allreduce(AllreduceAlgorithm::ReduceScatterAllgather, comm, &mut v, ReduceOp::Sum)
+            .unwrap();
+        assert_eq!(v, vec![6; 8]);
+    });
+}
